@@ -1,0 +1,166 @@
+//! Building algorithm DAGs from read/write access sets.
+//!
+//! The loop-blocked algorithms (LU with partial pivoting, 2-D Floyd–Warshall) are
+//! most naturally described as a sequence of block operations with known read and
+//! write sets.  [`AccessDagBuilder`] turns such a sequence into an
+//! [`AlgorithmDag`]: it serialises conflicting accesses (read-after-write,
+//! write-after-write and write-after-read) and nothing else — i.e. it produces the
+//! *algorithm DAG* of the computation, which is exactly what the ND model exposes to
+//! the scheduler.  The NP variants of the same algorithms are produced by the same
+//! builder with explicit phase barriers added.
+
+use nd_core::dag::{AlgorithmDag, DagVertexId};
+use nd_core::spawn_tree::NodeId;
+use std::collections::HashMap;
+
+/// Builds an [`AlgorithmDag`] from tasks annotated with the abstract cells they read
+/// and write.
+#[derive(Default)]
+pub struct AccessDagBuilder {
+    dag: AlgorithmDag,
+    last_writer: HashMap<u64, DagVertexId>,
+    readers_since_write: HashMap<u64, Vec<DagVertexId>>,
+    /// Vertices every subsequent task must depend on (used for phase barriers).
+    barrier_frontier: Vec<DagVertexId>,
+    edges_seen: std::collections::HashSet<(u32, u32)>,
+}
+
+impl AccessDagBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_edge(&mut self, from: DagVertexId, to: DagVertexId) {
+        if from != to && self.edges_seen.insert((from.0, to.0)) {
+            self.dag.add_edge(from, to);
+        }
+    }
+
+    /// Adds a task with the given work, size, operation tag and access sets, in
+    /// program order.  Returns its vertex.
+    pub fn add_task(
+        &mut self,
+        work: u64,
+        size: u64,
+        op: Option<u64>,
+        label: impl Into<String>,
+        reads: &[u64],
+        writes: &[u64],
+    ) -> DagVertexId {
+        let v = self
+            .dag
+            .add_strand(NodeId(self.dag.vertex_count() as u32), work, size, op, label.into());
+        for f in self.barrier_frontier.clone() {
+            self.add_edge(f, v);
+        }
+        for &cell in reads {
+            if let Some(&w) = self.last_writer.get(&cell) {
+                self.add_edge(w, v);
+            }
+            self.readers_since_write.entry(cell).or_default().push(v);
+        }
+        for &cell in writes {
+            if let Some(&w) = self.last_writer.get(&cell) {
+                self.add_edge(w, v);
+            }
+            if let Some(readers) = self.readers_since_write.remove(&cell) {
+                for r in readers {
+                    self.add_edge(r, v);
+                }
+            }
+            self.last_writer.insert(cell, v);
+        }
+        v
+    }
+
+    /// Inserts a phase barrier: every task added after this point depends on every
+    /// task added before it.  This is how the NP (parallel-loop + serial-phase)
+    /// variants of the blocked algorithms are expressed.
+    pub fn barrier(&mut self) {
+        // Gather all vertices so far as the new frontier, represented by a single
+        // zero-work barrier vertex to keep the edge count linear.
+        let all: Vec<DagVertexId> = self.dag.vertex_ids().collect();
+        if all.is_empty() {
+            return;
+        }
+        let bar = self.dag.add_barrier();
+        for v in all {
+            if v != bar {
+                self.add_edge(v, bar);
+            }
+        }
+        self.barrier_frontier = vec![bar];
+        // After a barrier, earlier writers/readers are superseded by the barrier.
+        self.last_writer.clear();
+        self.readers_since_write.clear();
+    }
+
+    /// Finishes the build and returns the DAG.
+    pub fn finish(self) -> AlgorithmDag {
+        self.dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_dependency() {
+        let mut b = AccessDagBuilder::new();
+        let w = b.add_task(1, 1, None, "w", &[], &[10]);
+        let r = b.add_task(1, 1, None, "r", &[10], &[]);
+        let dag = b.finish();
+        assert!(dag.depends_transitively(w, r));
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn waw_and_war_dependencies() {
+        let mut b = AccessDagBuilder::new();
+        let w1 = b.add_task(1, 1, None, "w1", &[], &[5]);
+        let r1 = b.add_task(1, 1, None, "r1", &[5], &[]);
+        let w2 = b.add_task(1, 1, None, "w2", &[], &[5]);
+        let dag = b.finish();
+        assert!(dag.depends_transitively(w1, w2)); // WAW
+        assert!(dag.depends_transitively(r1, w2)); // WAR
+        assert!(dag.depends_transitively(w1, r1)); // RAW
+    }
+
+    #[test]
+    fn independent_cells_stay_parallel() {
+        let mut b = AccessDagBuilder::new();
+        let a = b.add_task(1, 1, None, "a", &[], &[1]);
+        let c = b.add_task(1, 1, None, "c", &[], &[2]);
+        let dag = b.finish();
+        assert!(!dag.depends_transitively(a, c));
+        assert!(!dag.depends_transitively(c, a));
+        assert_eq!(dag.span(), 1);
+    }
+
+    #[test]
+    fn barrier_serialises_phases() {
+        let mut b = AccessDagBuilder::new();
+        let a = b.add_task(1, 1, None, "a", &[], &[1]);
+        let c = b.add_task(1, 1, None, "c", &[], &[2]);
+        b.barrier();
+        let d = b.add_task(1, 1, None, "d", &[], &[3]);
+        let dag = b.finish();
+        assert!(dag.depends_transitively(a, d));
+        assert!(dag.depends_transitively(c, d));
+        assert_eq!(dag.span(), 2);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn chains_of_writes_are_fully_ordered() {
+        let mut b = AccessDagBuilder::new();
+        let ids: Vec<_> = (0..10).map(|i| b.add_task(2, 1, None, format!("t{i}"), &[], &[7])).collect();
+        let dag = b.finish();
+        assert_eq!(dag.span(), 20);
+        for w in ids.windows(2) {
+            assert!(dag.depends_transitively(w[0], w[1]));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared types for the algorithm modules.
+
+use nd_core::dag::AlgorithmDag;
+use nd_core::fire::FireTable;
+use nd_core::spawn_tree::SpawnTree;
+
+/// Which programming model a spawn tree is expressed in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Nested Parallel: `;` and `‖` only (the baseline with artificial dependencies).
+    Np,
+    /// Nested Dataflow: partial dependencies expressed with fire constructs.
+    Nd,
+}
+
+impl Mode {
+    /// A short lowercase name (`"np"` / `"nd"`), used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Np => "np",
+            Mode::Nd => "nd",
+        }
+    }
+}
+
+/// A rectangular block of one of the execution context's matrices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rect {
+    /// Index of the matrix in the [`ExecContext`](crate::exec::ExecContext).
+    pub mat: usize,
+    /// Top row of the block.
+    pub r: usize,
+    /// Left column of the block.
+    pub c: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Rect {
+    /// A block of matrix `mat` with top-left corner `(r, c)` and shape
+    /// `rows × cols`.
+    pub fn new(mat: usize, r: usize, c: usize, rows: usize, cols: usize) -> Self {
+        Rect {
+            mat,
+            r,
+            c,
+            rows,
+            cols,
+        }
+    }
+
+    /// The quadrant `(qi, qj)` (each 0 or 1) of this block, assuming even splits.
+    pub fn quadrant(&self, qi: usize, qj: usize) -> Rect {
+        let rh = self.rows / 2;
+        let ch = self.cols / 2;
+        Rect {
+            mat: self.mat,
+            r: self.r + qi * rh,
+            c: self.c + qj * ch,
+            rows: if qi == 0 { rh } else { self.rows - rh },
+            cols: if qj == 0 { ch } else { self.cols - ch },
+        }
+    }
+
+    /// Number of elements in the block.
+    pub fn area(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+}
+
+/// The concrete base-case operation a strand performs, referenced from the spawn
+/// tree by its index in the operation table.
+#[derive(Clone, Debug)]
+pub enum BlockOp {
+    /// `C += α·A·B`.
+    Gemm {
+        /// Output block.
+        c: Rect,
+        /// Left operand.
+        a: Rect,
+        /// Right operand.
+        b: Rect,
+        /// Scale factor (−1 for the MMS multiply-subtract of the paper).
+        alpha: f64,
+    },
+    /// `C += α·A·Bᵀ`.
+    GemmNt {
+        /// Output block.
+        c: Rect,
+        /// Left operand.
+        a: Rect,
+        /// Right operand (transposed when applied).
+        b: Rect,
+        /// Scale factor.
+        alpha: f64,
+    },
+    /// Solve `T·X = B` in place in `B` (lower-triangular `T`).
+    TrsmLower {
+        /// Triangular block.
+        t: Rect,
+        /// Right-hand side, overwritten with the solution.
+        b: Rect,
+    },
+    /// Solve `X·Lᵀ = B` in place in `B` (lower-triangular `L`).
+    TrsmRightLt {
+        /// Triangular block.
+        l: Rect,
+        /// Right-hand side, overwritten with the solution.
+        b: Rect,
+    },
+    /// In-place Cholesky factorization of a block.
+    Potrf {
+        /// The block (lower triangle overwritten with `L`).
+        a: Rect,
+    },
+    /// One block of the LCS dynamic-programming table (1-based half-open ranges).
+    LcsBlock {
+        /// Matrix index of the table.
+        table: usize,
+        /// First row (inclusive).
+        i0: usize,
+        /// Last row (exclusive).
+        i1: usize,
+        /// First column (inclusive).
+        j0: usize,
+        /// Last column (exclusive).
+        j1: usize,
+    },
+    /// One block of the 1-D Floyd–Warshall table (1-based half-open ranges).
+    Fw1dBlock {
+        /// Matrix index of the table.
+        table: usize,
+        /// First time step (inclusive).
+        t0: usize,
+        /// Last time step (exclusive).
+        t1: usize,
+        /// First cell (inclusive).
+        i0: usize,
+        /// Last cell (exclusive).
+        i1: usize,
+    },
+    /// Min-plus block update `X = min(X, U + V)` (2-D Floyd–Warshall).
+    FwUpdate {
+        /// Updated block.
+        x: Rect,
+        /// Row-panel operand.
+        u: Rect,
+        /// Column-panel operand.
+        v: Rect,
+    },
+    /// A strand with no runtime effect (analysis-only placeholders).
+    Nop,
+}
+
+/// Everything the analysis, simulation and execution layers need about one built
+/// algorithm instance.
+pub struct BuiltAlgorithm {
+    /// The fully unfolded spawn tree.
+    pub tree: SpawnTree,
+    /// The algorithm DAG produced by the DAG Rewriting System.
+    pub dag: AlgorithmDag,
+    /// The fire-rule table the tree was built against.
+    pub fires: FireTable,
+    /// Block operations, indexed by the strands' `op` tags.
+    pub ops: Vec<BlockOp>,
+    /// Which model the tree is expressed in.
+    pub mode: Mode,
+    /// A short human-readable description (algorithm and size).
+    pub label: String,
+}
+
+impl BuiltAlgorithm {
+    /// Work and span of the algorithm DAG.
+    pub fn work_span(&self) -> nd_core::work_span::WorkSpan {
+        nd_core::work_span::WorkSpan::of_dag(&self.dag)
+    }
+}
+
+/// Asserts that `n` is a power of two times `base` (the quadrant recursions in this
+/// crate split evenly all the way down to the base case).
+pub fn check_power_of_two_ratio(n: usize, base: usize) {
+    assert!(base >= 1 && n >= base, "need n ≥ base ≥ 1, got n={n}, base={base}");
+    let ratio = n / base;
+    assert_eq!(
+        n % base,
+        0,
+        "n={n} must be a multiple of the base case {base}"
+    );
+    assert!(
+        ratio.is_power_of_two(),
+        "n/base must be a power of two, got {n}/{base}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_quadrants_tile_the_block() {
+        let r = Rect::new(0, 4, 8, 16, 32);
+        let q00 = r.quadrant(0, 0);
+        let q11 = r.quadrant(1, 1);
+        assert_eq!(q00, Rect::new(0, 4, 8, 8, 16));
+        assert_eq!(q11, Rect::new(0, 12, 24, 8, 16));
+        let total: u64 = (0..2)
+            .flat_map(|i| (0..2).map(move |j| r.quadrant(i, j).area()))
+            .sum();
+        assert_eq!(total, r.area());
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Np.name(), "np");
+        assert_eq!(Mode::Nd.name(), "nd");
+    }
+
+    #[test]
+    fn power_of_two_ratio_check() {
+        check_power_of_two_ratio(128, 16);
+        check_power_of_two_ratio(8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_ratio_panics() {
+        check_power_of_two_ratio(96, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the base")]
+    fn non_multiple_panics() {
+        check_power_of_two_ratio(100, 16);
+    }
+}

@@ -1,0 +1,191 @@
+//! Executing algorithm DAGs on the real runtime.
+//!
+//! The strands of a [`BuiltAlgorithm`](crate::common::BuiltAlgorithm) carry indices
+//! into a table of [`BlockOp`]s; this module turns the algorithm DAG plus that table
+//! into a [`TaskGraph`] for the dataflow executor of `nd-runtime` and runs it.
+//!
+//! # Safety
+//!
+//! The block kernels of `nd-linalg` write through raw [`MatPtr`] views.  The safety
+//! argument for calling them from concurrently running worker threads is the central
+//! invariant of this repository: **the algorithm DAG produced by the DAG Rewriting
+//! System orders every pair of conflicting block accesses**, and the dataflow
+//! executor never starts a task before all of its predecessors have finished.  The
+//! correctness tests in every algorithm module validate the invariant end-to-end by
+//! comparing parallel results against the sequential reference kernels.
+
+use crate::common::{BlockOp, BuiltAlgorithm, Rect};
+use nd_core::dag::{AlgorithmDag, DagVertex};
+use nd_linalg::matrix::{MatPtr, Matrix};
+use nd_linalg::{fw, gemm, lcs, potrf, trsm};
+use nd_runtime::dataflow::{execute_graph, ExecStats, TaskGraph};
+use nd_runtime::pool::ThreadPool;
+use std::sync::Arc;
+
+/// The runtime data an algorithm's block operations refer to.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Raw views of the matrices, indexed by [`Rect::mat`].
+    pub mats: Vec<MatPtr>,
+    /// First sequence (LCS).
+    pub seq_s: Arc<Vec<u8>>,
+    /// Second sequence (LCS).
+    pub seq_t: Arc<Vec<u8>>,
+}
+
+impl ExecContext {
+    /// A context over matrices only.
+    pub fn from_matrices(mats: &mut [&mut Matrix]) -> Self {
+        ExecContext {
+            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
+            seq_s: Arc::new(Vec::new()),
+            seq_t: Arc::new(Vec::new()),
+        }
+    }
+
+    /// A context over matrices plus the two LCS sequences.
+    pub fn with_sequences(mats: &mut [&mut Matrix], s: Vec<u8>, t: Vec<u8>) -> Self {
+        ExecContext {
+            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
+            seq_s: Arc::new(s),
+            seq_t: Arc::new(t),
+        }
+    }
+
+    fn block(&self, r: &Rect) -> MatPtr {
+        self.mats[r.mat].block(r.r, r.c, r.rows, r.cols)
+    }
+}
+
+/// Builds the runtime closure for one block operation.
+pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnOnce() + Send + 'static> {
+    match op {
+        BlockOp::Gemm { c, a, b, alpha } => {
+            let (c, a, b, alpha) = (ctx.block(c), ctx.block(a), ctx.block(b), *alpha);
+            Box::new(move || unsafe { gemm::gemm_block(c, a, b, alpha) })
+        }
+        BlockOp::GemmNt { c, a, b, alpha } => {
+            let (c, a, b, alpha) = (ctx.block(c), ctx.block(a), ctx.block(b), *alpha);
+            Box::new(move || unsafe { gemm::gemm_nt_block(c, a, b, alpha) })
+        }
+        BlockOp::TrsmLower { t, b } => {
+            let (t, b) = (ctx.block(t), ctx.block(b));
+            Box::new(move || unsafe { trsm::trsm_lower_block(t, b) })
+        }
+        BlockOp::TrsmRightLt { l, b } => {
+            let (l, b) = (ctx.block(l), ctx.block(b));
+            Box::new(move || unsafe { trsm::trsm_right_lower_trans_block(l, b) })
+        }
+        BlockOp::Potrf { a } => {
+            let a = ctx.block(a);
+            Box::new(move || unsafe { potrf::potrf_block(a) })
+        }
+        BlockOp::LcsBlock {
+            table,
+            i0,
+            i1,
+            j0,
+            j1,
+        } => {
+            let view = ctx.mats[*table];
+            let (s, t) = (Arc::clone(&ctx.seq_s), Arc::clone(&ctx.seq_t));
+            let (i0, i1, j0, j1) = (*i0, *i1, *j0, *j1);
+            Box::new(move || unsafe { lcs::lcs_block(view, &s, &t, i0, i1, j0, j1) })
+        }
+        BlockOp::Fw1dBlock {
+            table,
+            t0,
+            t1,
+            i0,
+            i1,
+        } => {
+            let view = ctx.mats[*table];
+            let (t0, t1, i0, i1) = (*t0, *t1, *i0, *i1);
+            Box::new(move || unsafe { fw::fw1d_block(view, t0, t1, i0, i1) })
+        }
+        BlockOp::FwUpdate { x, u, v } => {
+            let (x, u, v) = (ctx.block(x), ctx.block(u), ctx.block(v));
+            Box::new(move || unsafe { fw::fw_update_block(x, u, v) })
+        }
+        BlockOp::Nop => Box::new(|| {}),
+    }
+}
+
+/// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`].
+pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) -> TaskGraph {
+    let mut graph = TaskGraph::with_capacity(dag.vertex_count());
+    for v in dag.vertex_ids() {
+        match dag.vertex(v) {
+            DagVertex::Strand { op: Some(op), .. } => {
+                let closure = op_closure(&ops[*op as usize], ctx);
+                graph.add_task(closure);
+            }
+            _ => {
+                graph.add_empty_task();
+            }
+        }
+    }
+    for v in dag.vertex_ids() {
+        for s in dag.successors(v) {
+            graph.add_dependency(
+                nd_runtime::dataflow::TaskId(v.0),
+                nd_runtime::dataflow::TaskId(s.0),
+            );
+        }
+    }
+    graph
+}
+
+/// Executes a built algorithm on a pool against the given runtime data.
+pub fn run(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
+    let graph = build_task_graph(&built.dag, &built.ops, ctx);
+    execute_graph(pool, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::dag::AlgorithmDag;
+    use nd_core::spawn_tree::NodeId;
+
+    #[test]
+    fn build_graph_preserves_shape() {
+        let mut dag = AlgorithmDag::new();
+        let a = dag.add_strand(NodeId(0), 1, 1, Some(0), "a".into());
+        let bar = dag.add_barrier();
+        let b = dag.add_strand(NodeId(1), 1, 1, Some(1), "b".into());
+        dag.add_edge(a, bar);
+        dag.add_edge(bar, b);
+        let ops = vec![BlockOp::Nop, BlockOp::Nop];
+        let mut m = Matrix::zeros(2, 2);
+        let ctx = ExecContext::from_matrices(&mut [&mut m]);
+        let graph = build_task_graph(&dag, &ops, &ctx);
+        assert_eq!(graph.task_count(), 3);
+        assert_eq!(graph.edge_count(), 2);
+        assert!(graph.is_acyclic());
+    }
+
+    #[test]
+    fn gemm_op_executes_on_pool() {
+        let pool = ThreadPool::new(2);
+        let a = Matrix::random(8, 8, 1);
+        let b = Matrix::random(8, 8, 2);
+        let mut c = Matrix::zeros(8, 8);
+        let expected = a.matmul(&b);
+
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
+        let mut dag = AlgorithmDag::new();
+        dag.add_strand(NodeId(0), 1, 1, Some(0), String::new());
+        let ops = vec![BlockOp::Gemm {
+            c: Rect::new(0, 0, 0, 8, 8),
+            a: Rect::new(1, 0, 0, 8, 8),
+            b: Rect::new(2, 0, 0, 8, 8),
+            alpha: 1.0,
+        }];
+        let graph = build_task_graph(&dag, &ops, &ctx);
+        execute_graph(&pool, graph);
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # nd-algorithms — the paper's algorithms in the NP and ND models
+//!
+//! Every algorithm from Section 3 of the paper (plus the recursive matrix multiply
+//! of Section 2) is expressed twice:
+//!
+//! * in the **NP model** — the classical divide-and-conquer formulation with `;`
+//!   (serial) and `‖` (parallel) composition only, which introduces the artificial
+//!   dependencies the paper sets out to remove, and
+//! * in the **ND model** — the same spawn tree with the serial constructs replaced
+//!   by typed **fire constructs** whose rule tables are taken from the paper
+//!   (Eqs. 1, 4–8, 14, 17–21) or derived from the data dependencies where the
+//!   paper's listing is ambiguous (each module documents its table).
+//!
+//! Each algorithm module produces a [`BuiltAlgorithm`](common::BuiltAlgorithm): the
+//! spawn tree, the algorithm DAG produced by the DAG Rewriting System, and the table
+//! of block operations attached to the strands.  The same object feeds
+//!
+//! 1. the analysis passes of `nd-core` (work/span, `Q*`, `Q̂_α`, `α_max`),
+//! 2. the simulated schedulers of `nd-sched`, and
+//! 3. the real dataflow executor of `nd-runtime` (via [`exec`]), whose results are
+//!    compared against the sequential kernels of `nd-linalg` in the tests.
+//!
+//! | module | algorithm | NP span | ND span (this repo) |
+//! |--------|-----------|---------|---------------------|
+//! | [`mm`] | recursive matrix multiply (MM/MMS) | Θ(n) | Θ(n) (same leaves, more ready parallelism) |
+//! | [`trs`] | triangular system solve | Θ(n log n) | Θ(n) |
+//! | [`cholesky`] | Cholesky factorization | Θ(n log² n) | Θ(n log n) (see module docs) |
+//! | [`lu`] | LU with partial pivoting (blocked) | phase-serialised | dataflow (lookahead) |
+//! | [`fw1d`] | 1-D Floyd–Warshall | Θ(n log n) | Θ(n) |
+//! | [`fw2d`] | 2-D Floyd–Warshall (APSP, blocked) | phase-serialised | dataflow wavefront |
+//! | [`lcs`] | longest common subsequence | Θ(n log n) | Θ(n) |
+
+#![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
+
+pub mod access;
+pub mod cholesky;
+pub mod common;
+pub mod exec;
+pub mod fw1d;
+pub mod fw2d;
+pub mod lcs;
+pub mod lu;
+pub mod mm;
+pub mod trs;
+
+pub use common::{BlockOp, BuiltAlgorithm, Mode, Rect};

@@ -1,0 +1,93 @@
+//! E8 (Claim 1): parallel cache complexity `Q*(N; M)`.
+//!
+//! For the dense algorithms (MM, TRS, Cholesky) the paper claims
+//! `Q*(N; M) = O(N^{1.5} / M^{0.5})` with `N = n²`, and for LCS `Q*(n; M) = O(n²/M)`
+//! — identical in the NP and ND models (the spawn tree does not change).  This
+//! binary sweeps `M` and `n`, prints the measured `Q*`, and fits the exponent of the
+//! `1/M` dependence.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::{cholesky, lcs, mm, trs};
+use nd_bench::fitted_exponent;
+use nd_core::pcc::pcc;
+
+fn main() {
+    let base = 8;
+    let n = 256;
+    let ms = [64u64, 256, 1024, 4096, 16384];
+    println!("E8 (Claim 1): parallel cache complexity Q*(N; M) at n = {n} (base {base})");
+    println!("{:-<95}", "");
+    println!(
+        "{:<10} {:>8} | {:>12} {:>12} | {:>22}",
+        "algorithm", "M", "Q* (NP)", "Q* (ND)", "paper shape"
+    );
+
+    type Builder = fn(usize, usize, Mode) -> nd_algorithms::BuiltAlgorithm;
+    let algos: Vec<(&str, Builder, &str, f64)> = vec![
+        (
+            "mm",
+            (|n, b, m| mm::build_mm(n, b, m, 1.0)) as Builder,
+            "O(N^1.5/M^0.5)",
+            -0.5,
+        ),
+        ("trs", |n, b, m| trs::build_trs(n, b, m), "O(N^1.5/M^0.5)", -0.5),
+        (
+            "cholesky",
+            |n, b, m| cholesky::build_cholesky(n, b, m),
+            "O(N^1.5/M^0.5)",
+            -0.5,
+        ),
+        ("lcs", |n, b, m| lcs::build_lcs(n, b, m), "O(n^2/M)", -1.0),
+    ];
+
+    for (name, build, shape, expected_m_exp) in algos {
+        let np = build(n, base, Mode::Np);
+        let nd = build(n, base, Mode::Nd);
+        let mut series = Vec::new();
+        for &m in &ms {
+            let q_np = pcc(&np.tree, np.tree.root(), m);
+            let q_nd = pcc(&nd.tree, nd.tree.root(), m);
+            // The leading Σ-sizes term is identical across models; only the O(1)
+            // glue-node term differs (the NP and ND spawn trees nest their
+            // composition constructs slightly differently).
+            let diff = q_np.abs_diff(q_nd) as f64;
+            assert!(
+                diff <= 0.02 * q_np as f64 + 64.0,
+                "Q* should agree across models up to the glue term: {q_np} vs {q_nd}"
+            );
+            series.push((m as f64, q_nd as f64));
+            println!(
+                "{:<10} {:>8} | {:>12} {:>12} | {:>22}",
+                name, m, q_np, q_nd, shape
+            );
+        }
+        let m_exp = fitted_exponent(&series);
+        println!(
+            "{:<10} fitted M-exponent: {:+.2}   (paper: {:+.1}; the flat tail appears once M exceeds the input)",
+            name, m_exp, expected_m_exp
+        );
+        println!("{:-<95}", "");
+    }
+
+    // Growth in N at fixed M for the dense algorithms (expect exponent ≈ 1.5 in N = n²,
+    // i.e. ≈ 3 in n) and ≈ 2 in n for LCS.
+    println!("\nGrowth in n at fixed M = 1024:");
+    let sizes = [64usize, 128, 256, 512];
+    for (name, build) in [
+        ("trs", (|n, b, m| trs::build_trs(n, b, m)) as Builder),
+        ("lcs", |n, b, m| lcs::build_lcs(n, b, m)),
+    ] {
+        let series: Vec<(f64, f64)> = sizes
+            .iter()
+            .map(|&n| {
+                let built = build(n, base, Mode::Nd);
+                (n as f64, pcc(&built.tree, built.tree.root(), 1024) as f64)
+            })
+            .collect();
+        println!(
+            "  {:<10} Q* ~ n^{:.2}   (paper: n^3 for dense via N^1.5, n^2 for LCS)",
+            name,
+            fitted_exponent(&series)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! E10–E11 (Theorems 1 and 3): the space-bounded scheduler on the PMH.
+//!
+//! * E10 — per-level cache misses of the SB scheduler versus the `Q*(t; σ·M_j)`
+//!   bound of Theorem 1.
+//! * E11 — completion time of SB-ND, SB-NP and work stealing as the number of
+//!   level-(h−1) subclusters (and hence processors) grows, against the
+//!   perfectly-balanced bound of Eq. (22).  The ND model sustains near-perfect
+//!   efficiency on more processors — Theorem 3's message.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::{cholesky, lcs, trs};
+use nd_core::pcc::pcc;
+use nd_pmh::config::PmhConfig;
+use nd_pmh::machine::MachineTree;
+use nd_sched::cost::MissModel;
+use nd_sched::space_bounded::{simulate_space_bounded, SbConfig};
+use nd_sched::stats::perfect_balance_time;
+use nd_sched::work_stealing::simulate_work_stealing;
+
+fn main() {
+    let base = 8;
+    let n = 256;
+    let sb_cfg = SbConfig::default();
+
+    type Builder = fn(usize, usize, Mode) -> nd_algorithms::BuiltAlgorithm;
+    let algos: Vec<(&str, Builder)> = vec![
+        ("trs", (|n, b, m| trs::build_trs(n, b, m)) as Builder),
+        ("cholesky", |n, b, m| cholesky::build_cholesky(n, b, m)),
+        ("lcs", |n, b, m| lcs::build_lcs(n, b, m)),
+    ];
+
+    // ---------------------------------------------------------------- E10 ----
+    println!("E10 (Theorem 1): SB-scheduler misses vs the Q*(t; σ·M_j) bound  (n = {n}, σ = 1/3)");
+    println!("{:-<95}", "");
+    let config = PmhConfig::experiment_machine(2);
+    let machine = MachineTree::build(&config);
+    for (name, build) in &algos {
+        let built = build(n, base, Mode::Nd);
+        let stats = simulate_space_bounded(&built.tree, &built.dag, &machine, &sb_cfg);
+        for (li, misses) in stats.misses_per_level.iter().enumerate() {
+            let threshold = (sb_cfg.sigma * config.size(li + 1) as f64) as u64;
+            let bound = pcc(&built.tree, built.tree.root(), threshold);
+            println!(
+                "  {:<10} level {}: misses {:>14.0}   Q* bound {:>14}   ratio {:>5.2}   {}",
+                name,
+                li + 1,
+                misses,
+                bound,
+                misses / bound as f64,
+                if *misses <= bound as f64 + 1e-6 { "OK" } else { "VIOLATION" }
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------- E11 ----
+    println!();
+    println!("E11 (Theorem 3): completion time vs machine size  (n = {n}, base {base})");
+    println!("{:-<110}", "");
+    println!(
+        "{:<10} {:>5} {:>6} | {:>14} {:>14} {:>14} {:>14} | {:>8} {:>8}",
+        "algorithm", "sub", "p", "SB-ND", "SB-NP", "WS (pess.)", "perfect", "eff ND", "eff NP"
+    );
+    for (name, build) in &algos {
+        let nd = build(n, base, Mode::Nd);
+        let np = build(n, base, Mode::Np);
+        for subclusters in [1usize, 2, 4, 8] {
+            let config = PmhConfig::experiment_machine(subclusters);
+            let machine = MachineTree::build(&config);
+            let p = config.num_processors();
+            let sb_nd = simulate_space_bounded(&nd.tree, &nd.dag, &machine, &sb_cfg);
+            let sb_np = simulate_space_bounded(&np.tree, &np.dag, &machine, &sb_cfg);
+            let ws = simulate_work_stealing(
+                &nd.tree,
+                &nd.dag,
+                &config,
+                p,
+                sb_cfg.sigma,
+                MissModel::PerStrand,
+            );
+            let costs: Vec<u64> = (1..=config.cache_levels())
+                .map(|l| config.miss_cost(l))
+                .collect();
+            let work: f64 = sb_nd.busy_time
+                - sb_nd
+                    .misses_per_level
+                    .iter()
+                    .zip(&costs)
+                    .map(|(m, &c)| m * c as f64)
+                    .sum::<f64>();
+            let perfect = perfect_balance_time(work, &sb_nd.misses_per_level, &costs, p);
+            println!(
+                "{:<10} {:>5} {:>6} | {:>14.0} {:>14.0} {:>14.0} {:>14.0} | {:>7.0}% {:>7.0}%",
+                name,
+                subclusters,
+                p,
+                sb_nd.completion_time,
+                sb_np.completion_time,
+                ws.completion_time,
+                perfect,
+                100.0 * perfect / sb_nd.completion_time,
+                100.0 * perfect / sb_np.completion_time,
+            );
+        }
+        println!("{:-<110}", "");
+    }
+    println!("eff = perfect-balance time / measured time (Theorem 3 predicts eff ND stays Θ(1)");
+    println!("while the machine grows, for machines whose parallelism is below α_max).");
+}

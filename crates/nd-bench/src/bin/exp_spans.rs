@@ -1,0 +1,86 @@
+//! E1–E7: span of every algorithm in the NP and ND models, across input sizes, with
+//! fitted growth exponents.  Reproduces the paper's Section 3 claims:
+//! TRS `Θ(n log n) → Θ(n)`, Cholesky `Θ(n log² n) → Θ(n)`, LCS and 1-D FW
+//! `Θ(n log n) → Θ(n)`, MM `Θ(n)` in both models, LU / 2-D FW as dataflow
+//! (makespan) improvements.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::{cholesky, fw1d, fw2d, lcs, lu, mm, trs};
+use nd_bench::fitted_exponent;
+use nd_core::work_span::WorkSpan;
+
+fn main() {
+    let base = 8;
+    let sizes = [32usize, 64, 128, 256];
+    println!("E1–E7: spans of the divide-and-conquer algorithms (base case {base})");
+    println!("{:-<100}", "");
+    println!(
+        "{:<10} {:>6} | {:>12} {:>12} | {:>10} | paper (NP -> ND)",
+        "algorithm", "n", "span NP", "span ND", "ND/NP"
+    );
+
+    type Builder = fn(usize, usize, Mode) -> nd_core::dag::AlgorithmDag;
+    let fire_algos: Vec<(&str, Builder, &str)> = vec![
+        ("mm", |n, b, m| mm::build_mm(n, b, m, 1.0).dag, "Θ(n) -> Θ(n)"),
+        ("trs", |n, b, m| trs::build_trs(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
+        (
+            "cholesky",
+            |n, b, m| cholesky::build_cholesky(n, b, m).dag,
+            "Θ(n log² n) -> Θ(n)",
+        ),
+        ("lcs", |n, b, m| lcs::build_lcs(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
+        ("fw1d", |n, b, m| fw1d::build_fw1d(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
+        ("fw2d", |n, b, m| fw2d::build_fw2d(n, b, m).dag, "blocked dataflow"),
+        ("lu", |n, b, m| lu::build_lu(n, b, m).dag, "blocked dataflow"),
+    ];
+
+    for (name, build, paper) in &fire_algos {
+        let mut np_series = Vec::new();
+        let mut nd_series = Vec::new();
+        for &n in &sizes {
+            let np = WorkSpan::of_dag(&build(n, base, Mode::Np));
+            let nd = WorkSpan::of_dag(&build(n, base, Mode::Nd));
+            np_series.push((n as f64, np.span as f64));
+            nd_series.push((n as f64, nd.span as f64));
+            println!(
+                "{:<10} {:>6} | {:>12} {:>12} | {:>10.3} | {}",
+                name,
+                n,
+                np.span,
+                nd.span,
+                nd.span as f64 / np.span as f64,
+                paper
+            );
+        }
+        println!(
+            "{:<10} fitted span exponent:  NP ~ n^{:.2}   ND ~ n^{:.2}",
+            name,
+            fitted_exponent(&np_series),
+            fitted_exponent(&nd_series)
+        );
+        println!("{:-<100}", "");
+    }
+
+    println!("\nGreedy makespans on 16 processors (blocked algorithms, shows the ND lookahead):");
+    for (name, build) in [
+        ("lu", lu::build_lu as fn(usize, usize, Mode) -> lu::LuBuilt),
+    ] {
+        for &n in &[128usize, 256] {
+            let np = build(n, 16, Mode::Np).dag.greedy_makespan(16);
+            let nd = build(n, 16, Mode::Nd).dag.greedy_makespan(16);
+            println!(
+                "  {name:<6} n={n:<5} makespan NP {np:>12}   ND {nd:>12}   speedup {:.2}x",
+                np as f64 / nd as f64
+            );
+        }
+    }
+    for &n in &[128usize, 256] {
+        let np = fw2d::build_fw2d(n, 16, Mode::Np).dag.greedy_makespan(16);
+        let nd = fw2d::build_fw2d(n, 16, Mode::Nd).dag.greedy_makespan(16);
+        println!(
+            "  {:<6} n={n:<5} makespan NP {np:>12}   ND {nd:>12}   speedup {:.2}x",
+            "fw2d",
+            np as f64 / nd as f64
+        );
+    }
+}

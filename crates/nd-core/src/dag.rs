@@ -1,0 +1,556 @@
+//! The algorithm DAG.
+//!
+//! The algorithm DAG is the paper's ground-truth object: its vertices are the strand
+//! leaves of the spawn tree and its edges are the data dependencies implied by the
+//! serial and fire constructs after the DAG Rewriting System has run.
+//!
+//! Serial (`;`) constructs imply *all-to-all* dependencies between the leaves of the
+//! left and right subtrees.  Materialising those edges directly would be quadratic,
+//! so this representation inserts zero-work **barrier** vertices: `leaves(left) →
+//! barrier → leaves(right)`.  Barriers preserve both the dependency relation
+//! (transitively) and every path length (they carry zero work), so work/span and
+//! scheduling results are unaffected.
+
+use crate::spawn_tree::NodeId;
+use std::collections::{HashSet, VecDeque};
+
+/// Index of a vertex in an [`AlgorithmDag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DagVertexId(pub u32);
+
+impl DagVertexId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A vertex of the algorithm DAG.
+#[derive(Clone, Debug)]
+pub enum DagVertex {
+    /// A strand of the spawn tree.
+    Strand {
+        /// The spawn-tree leaf this vertex corresponds to.
+        tree_node: NodeId,
+        /// Work of the strand.
+        work: u64,
+        /// Size (distinct memory locations) of the strand.
+        size: u64,
+        /// Opaque operation tag for executors.
+        op: Option<u64>,
+        /// Label copied from the spawn tree (may be empty).
+        label: String,
+    },
+    /// A zero-work synchronisation vertex standing for an all-to-all dependency.
+    Barrier {
+        /// The spawn-tree node the barrier belongs to (the serial construct, or the
+        /// lowest common ancestor of the endpoints of the rewritten dependency).
+        /// Schedulers use it to decide whether the barrier is internal to a task.
+        home: Option<NodeId>,
+    },
+}
+
+impl DagVertex {
+    /// Work contributed by this vertex to a path.
+    #[inline]
+    pub fn work(&self) -> u64 {
+        match self {
+            DagVertex::Strand { work, .. } => *work,
+            DagVertex::Barrier { .. } => 0,
+        }
+    }
+
+    /// The spawn-tree node this vertex is associated with, if any.
+    #[inline]
+    pub fn tree_node(&self) -> Option<NodeId> {
+        match self {
+            DagVertex::Strand { tree_node, .. } => Some(*tree_node),
+            DagVertex::Barrier { home } => *home,
+        }
+    }
+
+    /// `true` if the vertex is a strand.
+    #[inline]
+    pub fn is_strand(&self) -> bool {
+        matches!(self, DagVertex::Strand { .. })
+    }
+}
+
+/// The algorithm DAG: strands + barriers, and directed dependency edges.
+#[derive(Clone, Debug, Default)]
+pub struct AlgorithmDag {
+    vertices: Vec<DagVertex>,
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl AlgorithmDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a strand vertex.
+    pub fn add_strand(
+        &mut self,
+        tree_node: NodeId,
+        work: u64,
+        size: u64,
+        op: Option<u64>,
+        label: String,
+    ) -> DagVertexId {
+        self.push(DagVertex::Strand {
+            tree_node,
+            work,
+            size,
+            op,
+            label,
+        })
+    }
+
+    /// Adds a barrier vertex with no spawn-tree association.
+    pub fn add_barrier(&mut self) -> DagVertexId {
+        self.push(DagVertex::Barrier { home: None })
+    }
+
+    /// Adds a barrier vertex associated with a spawn-tree node.
+    pub fn add_barrier_at(&mut self, home: NodeId) -> DagVertexId {
+        self.push(DagVertex::Barrier { home: Some(home) })
+    }
+
+    fn push(&mut self, v: DagVertex) -> DagVertexId {
+        let id = DagVertexId(self.vertices.len() as u32);
+        self.vertices.push(v);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `from → to`.  Self-edges are ignored.  The caller is
+    /// responsible for not inserting duplicates (the [`DagRewriter`](crate::drs)
+    /// deduplicates).
+    pub fn add_edge(&mut self, from: DagVertexId, to: DagVertexId) {
+        if from == to {
+            return;
+        }
+        self.succs[from.index()].push(to.0);
+        self.preds[to.index()].push(from.0);
+        self.edge_count += 1;
+    }
+
+    /// Vertex accessor.
+    #[inline]
+    pub fn vertex(&self, id: DagVertexId) -> &DagVertex {
+        &self.vertices[id.index()]
+    }
+
+    /// Number of vertices (strands + barriers).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of strand vertices.
+    pub fn strand_count(&self) -> usize {
+        self.vertices.iter().filter(|v| v.is_strand()).count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = DagVertexId> {
+        (0..self.vertices.len() as u32).map(DagVertexId)
+    }
+
+    /// Successors of a vertex.
+    pub fn successors(&self, id: DagVertexId) -> impl Iterator<Item = DagVertexId> + '_ {
+        self.succs[id.index()].iter().map(|&i| DagVertexId(i))
+    }
+
+    /// Predecessors of a vertex.
+    pub fn predecessors(&self, id: DagVertexId) -> impl Iterator<Item = DagVertexId> + '_ {
+        self.preds[id.index()].iter().map(|&i| DagVertexId(i))
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, id: DagVertexId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, id: DagVertexId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// Vertices with no predecessors.
+    pub fn sources(&self) -> Vec<DagVertexId> {
+        self.vertex_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Vertices with no successors.
+    pub fn sinks(&self) -> Vec<DagVertexId> {
+        self.vertex_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// A topological order of the vertices, or `None` if the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<DagVertexId>> {
+        let n = self.vertices.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(DagVertexId(v));
+            for &s in &self.succs[v as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Total work: sum of strand works.
+    pub fn work(&self) -> u64 {
+        self.vertices.iter().map(|v| v.work()).sum()
+    }
+
+    /// Span: the weight of the heaviest path, counting vertex works.
+    ///
+    /// # Panics
+    /// Panics if the graph has a cycle.
+    pub fn span(&self) -> u64 {
+        let order = self
+            .topological_order()
+            .expect("span is undefined for cyclic graphs");
+        let mut dist = vec![0u64; self.vertices.len()];
+        let mut best = 0u64;
+        for v in order {
+            let d = dist[v.index()] + self.vertex(v).work();
+            best = best.max(d);
+            for s in self.successors(v) {
+                if d > dist[s.index()] {
+                    dist[s.index()] = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Returns the vertices along one critical (heaviest) path, in execution order.
+    pub fn critical_path(&self) -> Vec<DagVertexId> {
+        let order = self
+            .topological_order()
+            .expect("critical path is undefined for cyclic graphs");
+        let n = self.vertices.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut dist = vec![0u64; n];
+        let mut pred: Vec<Option<u32>> = vec![None; n];
+        let mut best_v = 0u32;
+        let mut best_d = 0u64;
+        for v in order {
+            let d = dist[v.index()] + self.vertex(v).work();
+            if d > best_d {
+                best_d = d;
+                best_v = v.0;
+            }
+            for s in self.successors(v) {
+                if d > dist[s.index()] {
+                    dist[s.index()] = d;
+                    pred[s.index()] = Some(v.0);
+                }
+            }
+        }
+        let mut path = vec![DagVertexId(best_v)];
+        let mut cur = best_v;
+        while let Some(p) = pred[cur as usize] {
+            path.push(DagVertexId(p));
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// `true` if `to` is reachable from `from` (i.e. `to` transitively depends on
+    /// `from`).  Linear-time BFS; intended for tests and examples, not hot paths.
+    pub fn depends_transitively(&self, from: DagVertexId, to: DagVertexId) -> bool {
+        if from == to {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        seen.insert(from);
+        while let Some(v) = queue.pop_front() {
+            for s in self.successors(v) {
+                if s == to {
+                    return true;
+                }
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Looks up the first strand vertex with the given label.
+    pub fn find_by_label(&self, label: &str) -> Option<DagVertexId> {
+        self.vertex_ids().find(|&v| match self.vertex(v) {
+            DagVertex::Strand { label: l, .. } => l == label,
+            DagVertex::Barrier { .. } => false,
+        })
+    }
+
+    /// Convenience for tests and doc examples: reachability between labelled strands.
+    ///
+    /// # Panics
+    /// Panics if either label does not exist.
+    pub fn depends_transitively_by_label(&self, from: &str, to: &str) -> bool {
+        let f = self
+            .find_by_label(from)
+            .unwrap_or_else(|| panic!("no strand labelled `{from}`"));
+        let t = self
+            .find_by_label(to)
+            .unwrap_or_else(|| panic!("no strand labelled `{to}`"));
+        self.depends_transitively(f, t)
+    }
+
+    /// The vertex id of the strand created for a given spawn-tree leaf, if any.
+    pub fn vertex_of_tree_node(&self, node: NodeId) -> Option<DagVertexId> {
+        self.vertex_ids().find(|&v| match self.vertex(v) {
+            DagVertex::Strand { tree_node, .. } => *tree_node == node,
+            DagVertex::Barrier { .. } => false,
+        })
+    }
+
+    /// Makespan of a greedy (list-scheduling) execution on `p` identical processors
+    /// that ignores caches: tasks become ready when all predecessors finish, and any
+    /// free processor immediately starts any ready task.  By Graham's bound this is
+    /// within 2× of optimal; it is the cache-free yardstick the blocked-algorithm
+    /// experiments use to show that the ND DAG overlaps phases that the NP DAG
+    /// serialises.
+    ///
+    /// # Panics
+    /// Panics if the graph has a cycle or `p == 0`.
+    pub fn greedy_makespan(&self, p: usize) -> u64 {
+        assert!(p > 0, "need at least one processor");
+        let n = self.vertices.len();
+        if n == 0 {
+            return 0;
+        }
+        assert!(self.is_acyclic(), "makespan is undefined for cyclic graphs");
+        let mut pending: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut ready: std::collections::VecDeque<u32> = (0..n as u32)
+            .filter(|&i| pending[i as usize] == 0)
+            .collect();
+        // (finish_time, vertex) min-heap via Reverse.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut busy = 0usize;
+        let mut done = 0usize;
+        while done < n {
+            // Start as many ready tasks as processors allow.
+            while busy < p {
+                match ready.pop_front() {
+                    Some(v) => {
+                        let dur = self.vertices[v as usize].work();
+                        running.push(Reverse((now + dur, v)));
+                        busy += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Advance to the next completion.
+            let Reverse((t, v)) = running.pop().expect("deadlock: no running task");
+            now = t;
+            busy -= 1;
+            done += 1;
+            for s in self.successors(DagVertexId(v)) {
+                pending[s.index()] -= 1;
+                if pending[s.index()] == 0 {
+                    ready.push_back(s.0);
+                }
+            }
+            // Drain other tasks finishing at the same instant.
+            while let Some(&Reverse((t2, _))) = running.peek() {
+                if t2 != now {
+                    break;
+                }
+                let Reverse((_, v2)) = running.pop().unwrap();
+                busy -= 1;
+                done += 1;
+                for s in self.successors(DagVertexId(v2)) {
+                    pending[s.index()] -= 1;
+                    if pending[s.index()] == 0 {
+                        ready.push_back(s.0);
+                    }
+                }
+            }
+        }
+        now
+    }
+
+    /// Maximum number of strands with pairwise no dependency that appear in any
+    /// antichain "level" of a BFS layering — a cheap lower bound on available
+    /// parallelism, used in sanity tests.
+    pub fn max_ready_width(&self) -> usize {
+        // Layered longest-path depth (in *edges*), then count vertices per layer.
+        let order = match self.topological_order() {
+            Some(o) => o,
+            None => return 0,
+        };
+        let mut depth = vec![0usize; self.vertices.len()];
+        for v in &order {
+            for s in self.successors(*v) {
+                depth[s.index()] = depth[s.index()].max(depth[v.index()] + 1);
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for (i, d) in depth.iter().enumerate() {
+            if self.vertices[i].is_strand() {
+                *counts.entry(*d).or_insert(0usize) += 1;
+            }
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (AlgorithmDag, Vec<DagVertexId>) {
+        // a -> b, a -> c, b -> d, c -> d; works 1, 2, 3, 4.
+        let mut g = AlgorithmDag::new();
+        let a = g.add_strand(NodeId(0), 1, 1, None, "a".into());
+        let b = g.add_strand(NodeId(1), 2, 1, None, "b".into());
+        let c = g.add_strand(NodeId(2), 3, 1, None, "c".into());
+        let d = g.add_strand(NodeId(3), 4, 1, None, "d".into());
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn work_and_span_of_diamond() {
+        let (g, _) = diamond();
+        assert_eq!(g.work(), 10);
+        assert_eq!(g.span(), 1 + 3 + 4);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn critical_path_is_the_heavy_side() {
+        let (g, v) = diamond();
+        let path = g.critical_path();
+        assert_eq!(path, vec![v[0], v[2], v[3]]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, v) = diamond();
+        assert!(g.depends_transitively(v[0], v[3]));
+        assert!(!g.depends_transitively(v[1], v[2]));
+        assert!(!g.depends_transitively(v[3], v[0]));
+        assert!(g.depends_transitively_by_label("a", "d"));
+    }
+
+    #[test]
+    fn barrier_contributes_no_work() {
+        let mut g = AlgorithmDag::new();
+        let a = g.add_strand(NodeId(0), 5, 1, None, String::new());
+        let bar = g.add_barrier();
+        let b = g.add_strand(NodeId(1), 7, 1, None, String::new());
+        g.add_edge(a, bar);
+        g.add_edge(bar, b);
+        assert_eq!(g.work(), 12);
+        assert_eq!(g.span(), 12);
+        assert_eq!(g.strand_count(), 2);
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = AlgorithmDag::new();
+        let a = g.add_strand(NodeId(0), 1, 1, None, String::new());
+        let b = g.add_strand(NodeId(1), 1, 1, None, String::new());
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(!g.is_acyclic());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, v) = diamond();
+        assert_eq!(g.sources(), vec![v[0]]);
+        assert_eq!(g.sinks(), vec![v[3]]);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = AlgorithmDag::new();
+        let a = g.add_strand(NodeId(0), 1, 1, None, String::new());
+        g.add_edge(a, a);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn ready_width_of_diamond() {
+        let (g, _) = diamond();
+        assert_eq!(g.max_ready_width(), 2);
+    }
+
+    #[test]
+    fn greedy_makespan_bounds() {
+        let (g, _) = diamond();
+        // One processor: makespan = work.  Unbounded processors: makespan = span.
+        assert_eq!(g.greedy_makespan(1), g.work());
+        assert_eq!(g.greedy_makespan(64), g.span());
+        // Intermediate: between span and work.
+        let m2 = g.greedy_makespan(2);
+        assert!(m2 >= g.span() && m2 <= g.work());
+    }
+
+    #[test]
+    fn greedy_makespan_independent_tasks_scale_with_p() {
+        let mut g = AlgorithmDag::new();
+        for i in 0..8 {
+            g.add_strand(NodeId(i), 3, 1, None, String::new());
+        }
+        assert_eq!(g.greedy_makespan(1), 24);
+        assert_eq!(g.greedy_makespan(2), 12);
+        assert_eq!(g.greedy_makespan(4), 6);
+        assert_eq!(g.greedy_makespan(8), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AlgorithmDag::new();
+        assert_eq!(g.work(), 0);
+        assert_eq!(g.span(), 0);
+        assert!(g.critical_path().is_empty());
+        assert!(g.is_acyclic());
+    }
+}

@@ -1,0 +1,540 @@
+//! The DAG Rewriting System (DRS).
+//!
+//! The DRS defines the semantics of the fire construct: it converts a spawn tree —
+//! whose internal nodes are `;`, `‖` and `⤳` constructs — into the **algorithm
+//! DAG** over the tree's strand leaves (Section 2 of the paper).
+//!
+//! Two kinds of rewriting are applied:
+//!
+//! * **Spawn rule** — handled implicitly here because the tree is already fully
+//!   unfolded: a serial construct implies an all-to-all dependency between the
+//!   leaves of consecutive children (materialised with a barrier vertex), a parallel
+//!   construct implies nothing, and a fire construct starts with a single *dashed
+//!   arrow* from its source child to its sink child.
+//! * **Fire rule** — a dashed arrow of type `T` between nodes `A` and `B` is
+//!   rewritten using `T`'s rules: for every rule `+○p  T'⤳  -○q`, a new dashed arrow
+//!   of type `T'` is added from `descend(A, p)` to `descend(B, q)`, recursively,
+//!   until both endpoints are strands, at which point the arrow becomes a real
+//!   dependency edge.  If the spawn tree bottoms out before a rule's pedigree is
+//!   exhausted (a base case was reached), the walk **clamps** at the strand — this is
+//!   exactly the paper's "if the recursion terminates … the fire constructs between
+//!   leaves are interpreted as full dependencies".
+
+use crate::dag::{AlgorithmDag, DagVertexId};
+use crate::fire::{DepKind, FireTable, FireTypeId};
+use crate::spawn_tree::{NodeId, NodeKind, SpawnTree};
+use std::collections::HashSet;
+
+/// Builds an [`AlgorithmDag`] from a spawn tree and the fire-rule table of its
+/// program.
+pub struct DagRewriter<'a> {
+    tree: &'a SpawnTree,
+    fires: &'a FireTable,
+    /// DAG vertex for every strand leaf, indexed by spawn-tree arena index.
+    leaf_vertex: Vec<Option<DagVertexId>>,
+    /// Positions `[start, end)` in global leaf order of the leaves under each node.
+    leaf_range: Vec<(u32, u32)>,
+    /// Global leaf order: DAG vertex of the i-th leaf.
+    ordered_leaves: Vec<DagVertexId>,
+    dag: AlgorithmDag,
+    /// Dedup for direct strand→strand edges.
+    seen_edges: HashSet<(u32, u32)>,
+    /// Dedup for all-to-all (barrier) dependencies keyed by tree-node pair.
+    seen_barriers: HashSet<(u32, u32)>,
+    /// Dedup/termination guard for dashed-arrow rewriting, keyed by
+    /// (source node, fire type, sink node).
+    seen_arrows: HashSet<(u32, u16, u32)>,
+}
+
+impl<'a> DagRewriter<'a> {
+    /// Creates a rewriter for the given (fully unfolded) spawn tree.
+    pub fn new(tree: &'a SpawnTree, fires: &'a FireTable) -> Self {
+        DagRewriter {
+            tree,
+            fires,
+            leaf_vertex: vec![None; tree.len()],
+            leaf_range: vec![(u32::MAX, 0); tree.len()],
+            ordered_leaves: Vec::new(),
+            dag: AlgorithmDag::new(),
+            seen_edges: HashSet::new(),
+            seen_barriers: HashSet::new(),
+            seen_arrows: HashSet::new(),
+        }
+    }
+
+    /// Runs the DRS and returns the algorithm DAG.
+    pub fn build(mut self) -> AlgorithmDag {
+        if self.tree.is_empty() {
+            return self.dag;
+        }
+        self.create_strand_vertices();
+        self.compute_leaf_ranges();
+        self.apply_constructs();
+        self.dag
+    }
+
+    /// Creates one DAG vertex per strand leaf, in left-to-right (pre-order) order.
+    fn create_strand_vertices(&mut self) {
+        // Arena order is a pre-order of the tree, so iterating it visits leaves in
+        // left-to-right order.
+        for id in self.tree.node_ids() {
+            let node = self.tree.node(id);
+            if let NodeKind::Strand { work, op } = node.kind {
+                let size = self.tree.effective_size(id);
+                let v = self
+                    .dag
+                    .add_strand(id, work, size, op, node.label.clone());
+                self.leaf_vertex[id.index()] = Some(v);
+                self.ordered_leaves.push(v);
+            }
+        }
+    }
+
+    /// Computes, for every tree node, the contiguous range of global leaf positions
+    /// covered by its subtree.  Children are stored at larger arena indices than
+    /// their parents, so a single reverse sweep suffices.
+    fn compute_leaf_ranges(&mut self) {
+        let mut next_leaf_pos = 0u32;
+        // First pass (forward): assign leaf positions in pre-order.
+        let mut leaf_pos = vec![u32::MAX; self.tree.len()];
+        for id in self.tree.node_ids() {
+            if self.tree.node(id).is_strand() {
+                leaf_pos[id.index()] = next_leaf_pos;
+                next_leaf_pos += 1;
+            }
+        }
+        // Second pass (reverse): ranges bottom-up.
+        for idx in (0..self.tree.len()).rev() {
+            let id = NodeId(idx as u32);
+            let node = self.tree.node(id);
+            if node.is_strand() {
+                let p = leaf_pos[idx];
+                self.leaf_range[idx] = (p, p + 1);
+            } else {
+                let mut start = u32::MAX;
+                let mut end = 0u32;
+                for &c in &node.children {
+                    let (cs, ce) = self.leaf_range[c.index()];
+                    if cs < start {
+                        start = cs;
+                    }
+                    if ce > end {
+                        end = ce;
+                    }
+                }
+                // A construct node with no children (degenerate) covers no leaves.
+                if start == u32::MAX {
+                    start = 0;
+                    end = 0;
+                }
+                self.leaf_range[idx] = (start, end);
+            }
+        }
+    }
+
+    /// Walks the tree applying the spawn-rule part of the DRS.
+    fn apply_constructs(&mut self) {
+        for id in self.tree.node_ids() {
+            let node = self.tree.node(id);
+            match node.kind {
+                NodeKind::Strand { .. } | NodeKind::Par => {}
+                NodeKind::Seq => {
+                    let children = node.children.clone();
+                    for pair in children.windows(2) {
+                        self.add_full_dependency(pair[0], pair[1]);
+                    }
+                }
+                NodeKind::Fire(ty) => {
+                    debug_assert_eq!(
+                        node.children.len(),
+                        2,
+                        "fire construct must be binary (source, sink)"
+                    );
+                    let src = node.children[0];
+                    let dst = node.children[1];
+                    self.process_arrow(src, ty, dst);
+                }
+            }
+        }
+    }
+
+    /// Adds an all-to-all dependency: every leaf under `a` precedes every leaf under
+    /// `b`.  A single strand→strand pair becomes a direct edge; anything larger goes
+    /// through a barrier vertex.
+    fn add_full_dependency(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        if !self.seen_barriers.insert((a.0, b.0)) {
+            return;
+        }
+        let (a_lo, a_hi) = self.leaf_range[a.index()];
+        let (b_lo, b_hi) = self.leaf_range[b.index()];
+        let a_len = (a_hi - a_lo) as usize;
+        let b_len = (b_hi - b_lo) as usize;
+        if a_len == 0 || b_len == 0 {
+            return;
+        }
+        if a_len == 1 && b_len == 1 {
+            let u = self.ordered_leaves[a_lo as usize];
+            let v = self.ordered_leaves[b_lo as usize];
+            self.add_edge_dedup(u, v);
+            return;
+        }
+        let bar = self.dag.add_barrier_at(self.lca(a, b));
+        for i in a_lo..a_hi {
+            let u = self.ordered_leaves[i as usize];
+            self.dag.add_edge(u, bar);
+        }
+        for i in b_lo..b_hi {
+            let v = self.ordered_leaves[i as usize];
+            self.dag.add_edge(bar, v);
+        }
+    }
+
+    /// Lowest common ancestor of two tree nodes (used to attribute barrier vertices
+    /// to the task that contains both endpoints).
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let mut da = self.tree.depth_of(a);
+        let mut db = self.tree.depth_of(b);
+        let (mut x, mut y) = (a, b);
+        while da > db {
+            x = self.tree.node(x).parent.expect("depth bookkeeping");
+            da -= 1;
+        }
+        while db > da {
+            y = self.tree.node(y).parent.expect("depth bookkeeping");
+            db -= 1;
+        }
+        while x != y {
+            x = self.tree.node(x).parent.expect("nodes share a root");
+            y = self.tree.node(y).parent.expect("nodes share a root");
+        }
+        x
+    }
+
+    fn add_edge_dedup(&mut self, u: DagVertexId, v: DagVertexId) {
+        if u == v {
+            return;
+        }
+        if self.seen_edges.insert((u.0, v.0)) {
+            self.dag.add_edge(u, v);
+        }
+    }
+
+    /// Rewrites a dashed arrow of type `ty` from `src` to `dst` (fire-rule part of
+    /// the DRS).
+    fn process_arrow(&mut self, src: NodeId, ty: FireTypeId, dst: NodeId) {
+        if !self.seen_arrows.insert((src.0, ty.0, dst.0)) {
+            return;
+        }
+        let src_is_strand = self.tree.node(src).is_strand();
+        let dst_is_strand = self.tree.node(dst).is_strand();
+        let fire_type = self.fires.get(ty);
+
+        if src_is_strand && dst_is_strand {
+            // Both operands are strands: the arrow becomes "src ; dst", or nothing at
+            // all if the fire type has an empty rule set (it degenerates to `‖`).
+            if !fire_type.rules.is_empty() {
+                let u = self.leaf_vertex[src.index()].expect("strand has a vertex");
+                let v = self.leaf_vertex[dst.index()].expect("strand has a vertex");
+                self.add_edge_dedup(u, v);
+            }
+            return;
+        }
+
+        // Clone the rules to release the borrow on the fire table entry.
+        let rules = fire_type.rules.clone();
+        for rule in rules {
+            let s = self.tree.descend(src, &rule.src);
+            let d = self.tree.descend(dst, &rule.dst);
+            match rule.dep {
+                DepKind::Full => self.add_full_dependency(s, d),
+                DepKind::Fire(t2) => self.process_arrow(s, t2, d),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fire::{FireRuleSpec, FireTable};
+    use crate::program::{Composition, Expansion, NdProgram};
+
+    // ---------------------------------------------------------------------------
+    // The MAIN / F / G example of Figure 3.
+    // ---------------------------------------------------------------------------
+    #[derive(Clone, Debug, PartialEq)]
+    enum MTask {
+        Main,
+        F,
+        G,
+        Strand(&'static str),
+    }
+
+    struct MainProgram {
+        fires: FireTable,
+    }
+
+    impl MainProgram {
+        fn new() -> Self {
+            let mut fires = FireTable::new();
+            fires.define("FG", vec![FireRuleSpec::full(&[1], &[1])]);
+            fires.resolve();
+            MainProgram { fires }
+        }
+    }
+
+    impl NdProgram for MainProgram {
+        type Task = MTask;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn task_size(&self, _t: &MTask) -> u64 {
+            1
+        }
+        fn expand(&self, t: &MTask) -> Expansion<MTask> {
+            use Composition::*;
+            match t {
+                MTask::Main => Expansion::compose(Fire(
+                    Box::new(Leaf(MTask::F)),
+                    self.fires.id("FG"),
+                    Box::new(Leaf(MTask::G)),
+                )),
+                MTask::F => Expansion::compose(Seq(vec![
+                    Leaf(MTask::Strand("A")),
+                    Leaf(MTask::Strand("B")),
+                ])),
+                MTask::G => Expansion::compose(Seq(vec![
+                    Leaf(MTask::Strand("C")),
+                    Leaf(MTask::Strand("D")),
+                ])),
+                MTask::Strand(name) => Expansion::strand(1, 1).with_label(*name),
+            }
+        }
+    }
+
+    fn main_example_dag() -> AlgorithmDag {
+        let program = MainProgram::new();
+        let tree = SpawnTree::unfold(&program, MTask::Main);
+        DagRewriter::new(&tree, program.fire_table()).build()
+    }
+
+    #[test]
+    fn figure3_dependencies() {
+        let dag = main_example_dag();
+        assert_eq!(dag.strand_count(), 4);
+        assert!(dag.is_acyclic());
+        // Serial inside F and G.
+        assert!(dag.depends_transitively_by_label("A", "B"));
+        assert!(dag.depends_transitively_by_label("C", "D"));
+        // The fire rule: A → C.
+        assert!(dag.depends_transitively_by_label("A", "C"));
+        // No artificial dependencies: B does not precede C or D.
+        assert!(!dag.depends_transitively_by_label("B", "C"));
+        assert!(!dag.depends_transitively_by_label("B", "D"));
+    }
+
+    #[test]
+    fn figure3_span_is_three() {
+        // In the NP model MAIN = F ; G would have span 4 (A,B,C,D serial).  In the ND
+        // model the span is 3: the critical path is A → C → D (or A → B).
+        let dag = main_example_dag();
+        assert_eq!(dag.work(), 4);
+        assert_eq!(dag.span(), 3);
+    }
+
+    // ---------------------------------------------------------------------------
+    // A recursive fire type in the spirit of Eq. (1): the MM⤳ rules.
+    // Each task splits into (pair ‖ pair) MM⤳ (pair ‖ pair) until the base case.
+    // ---------------------------------------------------------------------------
+    #[derive(Clone, Debug)]
+    struct RTask {
+        level: u32,
+        id: u64,
+    }
+
+    struct RecursiveFire {
+        fires: FireTable,
+        np: bool,
+    }
+
+    impl RecursiveFire {
+        fn new(np: bool) -> Self {
+            let mut fires = FireTable::new();
+            fires.define(
+                "MM",
+                vec![
+                    FireRuleSpec::fire(&[1], "MM", &[1]),
+                    FireRuleSpec::fire(&[2], "MM", &[2]),
+                ],
+            );
+            fires.resolve();
+            RecursiveFire { fires, np }
+        }
+    }
+
+    impl NdProgram for RecursiveFire {
+        type Task = RTask;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn task_size(&self, t: &RTask) -> u64 {
+            1u64 << t.level
+        }
+        fn expand(&self, t: &RTask) -> Expansion<RTask> {
+            if t.level == 0 {
+                return Expansion::strand(1, 1).with_label(format!("s{}", t.id));
+            }
+            let sub = |k: u64| {
+                Composition::task(RTask {
+                    level: t.level - 1,
+                    id: t.id * 4 + k,
+                })
+            };
+            let first = Composition::par2(sub(0), sub(1));
+            let second = Composition::par2(sub(2), sub(3));
+            if self.np {
+                Expansion::compose(Composition::seq2(first, second))
+            } else {
+                Expansion::compose(Composition::fire(first, self.fires.id("MM"), second))
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_fire_reduces_span_vs_serial() {
+        // With the serial construct the span obeys S(l) = 2 S(l-1)  → 2^l.
+        // With the MM⤳ rules, the dependency is only between matching halves, so the
+        // span obeys the same recurrence *per chain* but the DAG work is spread over
+        // 2^l independent chains of length 2^l / 2^l... the key property we check is
+        // span(ND) <= span(NP) and both DAGs have the same strand set and total work.
+        for level in 1..=4u32 {
+            let np = RecursiveFire::new(true);
+            let nd = RecursiveFire::new(false);
+            let t_np = SpawnTree::unfold(&np, RTask { level, id: 0 });
+            let t_nd = SpawnTree::unfold(&nd, RTask { level, id: 0 });
+            let d_np = DagRewriter::new(&t_np, np.fire_table()).build();
+            let d_nd = DagRewriter::new(&t_nd, nd.fire_table()).build();
+            assert!(d_np.is_acyclic());
+            assert!(d_nd.is_acyclic());
+            assert_eq!(d_np.strand_count(), d_nd.strand_count());
+            assert_eq!(d_np.work(), d_nd.work());
+            assert!(d_nd.span() <= d_np.span());
+        }
+    }
+
+    #[test]
+    fn recursive_fire_spans_match_hand_computed_values() {
+        // Hand-checked small cases.  Level 1: both models have span 2 (one cross
+        // dependency between matching strands / one barrier).  Level 2: the NP model
+        // serialises the two halves (span 4) while the ND fire rules only link
+        // matching quadrants, giving span 3.
+        let span_of = |np: bool, level: u32| {
+            let p = RecursiveFire::new(np);
+            let t = SpawnTree::unfold(&p, RTask { level, id: 0 });
+            DagRewriter::new(&t, p.fire_table()).build().span()
+        };
+        assert_eq!(span_of(true, 1), 2);
+        assert_eq!(span_of(false, 1), 2);
+        assert_eq!(span_of(true, 2), 4);
+        assert_eq!(span_of(false, 2), 3);
+
+        // The ND DAG never allows fewer simultaneously-ready strands than NP.
+        let nd = RecursiveFire::new(false);
+        let t = SpawnTree::unfold(&nd, RTask { level: 3, id: 0 });
+        let d = DagRewriter::new(&t, nd.fire_table()).build();
+        let np = RecursiveFire::new(true);
+        let t = SpawnTree::unfold(&np, RTask { level: 3, id: 0 });
+        let dnp = DagRewriter::new(&t, np.fire_table()).build();
+        assert!(d.max_ready_width() >= dnp.max_ready_width());
+    }
+
+    #[test]
+    fn clamped_rules_fall_back_to_leaf_dependencies() {
+        // At level 1 the MM rules descend one step to strands; at level 0 the fire
+        // arrow connects two strands directly.  Either way the DAG stays acyclic and
+        // the dependency count is positive.
+        let nd = RecursiveFire::new(false);
+        let t = SpawnTree::unfold(&nd, RTask { level: 1, id: 0 });
+        let d = DagRewriter::new(&t, nd.fire_table()).build();
+        assert_eq!(d.strand_count(), 4);
+        assert!(d.edge_count() >= 2);
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn parallel_only_tree_has_no_edges() {
+        struct ParOnly {
+            fires: FireTable,
+        }
+        #[derive(Clone)]
+        struct PT(u32);
+        impl NdProgram for ParOnly {
+            type Task = PT;
+            fn fire_table(&self) -> &FireTable {
+                &self.fires
+            }
+            fn task_size(&self, _t: &PT) -> u64 {
+                1
+            }
+            fn expand(&self, t: &PT) -> Expansion<PT> {
+                if t.0 == 0 {
+                    Expansion::strand(1, 1)
+                } else {
+                    Expansion::compose(Composition::par2(
+                        Composition::task(PT(t.0 - 1)),
+                        Composition::task(PT(t.0 - 1)),
+                    ))
+                }
+            }
+        }
+        let p = ParOnly {
+            fires: FireTable::new().resolved(),
+        };
+        let t = SpawnTree::unfold(&p, PT(4));
+        let d = DagRewriter::new(&t, p.fire_table()).build();
+        assert_eq!(d.strand_count(), 16);
+        assert_eq!(d.edge_count(), 0);
+        assert_eq!(d.span(), 1);
+        assert_eq!(d.work(), 16);
+    }
+
+    #[test]
+    fn serial_chain_spans_add_up() {
+        struct SeqOnly {
+            fires: FireTable,
+        }
+        #[derive(Clone)]
+        struct ST(u32);
+        impl NdProgram for SeqOnly {
+            type Task = ST;
+            fn fire_table(&self) -> &FireTable {
+                &self.fires
+            }
+            fn task_size(&self, _t: &ST) -> u64 {
+                1
+            }
+            fn expand(&self, t: &ST) -> Expansion<ST> {
+                if t.0 == 0 {
+                    Expansion::strand(2, 1)
+                } else {
+                    Expansion::compose(Composition::Seq(vec![
+                        Composition::task(ST(t.0 - 1)),
+                        Composition::task(ST(t.0 - 1)),
+                        Composition::task(ST(t.0 - 1)),
+                    ]))
+                }
+            }
+        }
+        let p = SeqOnly {
+            fires: FireTable::new().resolved(),
+        };
+        let t = SpawnTree::unfold(&p, ST(2));
+        let d = DagRewriter::new(&t, p.fire_table()).build();
+        assert_eq!(d.strand_count(), 9);
+        assert_eq!(d.work(), 18);
+        assert_eq!(d.span(), 18);
+    }
+}

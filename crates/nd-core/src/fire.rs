@@ -1,0 +1,337 @@
+//! Fire constructs and fire rules.
+//!
+//! The fire construct `⤳` is the paper's extension of the nested-parallel model: it
+//! composes a *source* task and a *sink* task with a **partial dependency**.  Each
+//! fire construct has a *type* (e.g. `MM⤳`, `TM⤳`, `2TM2T⤳` for the TRS algorithm)
+//! and every type carries a set of **fire rules** of the form
+//!
+//! ```text
+//!   +○ p   T'⤳   -○ q
+//! ```
+//!
+//! meaning: "the descendant of the source at pedigree `p` must precede the descendant
+//! of the sink at pedigree `q`, where the dependency between *those* two nodes is
+//! itself the (possibly partial) dependency `T'`".  A rule whose dependency is the
+//! plain serial construct `;` is a *full* dependency at that granularity.
+//!
+//! The binary `;` and `‖` constructs are special cases (Section 2 of the paper): `;`
+//! is a fire type whose rules recursively refine between both pairs of subtasks, and
+//! `‖` is a fire type with an empty rule set.
+
+use crate::pedigree::Pedigree;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a fire-construct type registered in a [`FireTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct FireTypeId(pub u16);
+
+/// The dependency named on the right-hand side of a fire rule: either a *full*
+/// (serial) dependency, or a recursive fire dependency of some type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DepKind {
+    /// A full dependency (the `;` construct): every descendant of the source must
+    /// finish before any descendant of the sink starts.
+    Full,
+    /// A recursive partial dependency of the given fire type.
+    Fire(FireTypeId),
+}
+
+/// One fire rule `+○src  dep⤳  -○dst` of a fire-construct type.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FireRule {
+    /// Pedigree of the rule's source, relative to the fire construct's source task.
+    pub src: Pedigree,
+    /// The dependency placed between the two descendants.
+    pub dep: DepKind,
+    /// Pedigree of the rule's sink, relative to the fire construct's sink task.
+    pub dst: Pedigree,
+}
+
+/// A fire-construct type: a name plus its set of fire rules.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FireType {
+    /// Human-readable name, e.g. `"TM"` or `"2TM2T"`.
+    pub name: String,
+    /// The rewrite rules of this type.  An empty rule set is the `‖` construct.
+    pub rules: Vec<FireRule>,
+}
+
+/// A rule written against *names* of fire types, used while a table is being built
+/// (before the referenced types have been assigned ids).  This makes it possible to
+/// define mutually recursive rule sets such as the TRS table where `2TM2T` refers to
+/// `MT`, which refers to `MM` and to itself.
+#[derive(Clone, Debug)]
+pub struct FireRuleSpec {
+    /// Source pedigree.
+    pub src: Pedigree,
+    /// `None` means a full (`;`) dependency; `Some(name)` a fire dependency of type `name`.
+    pub dep: Option<String>,
+    /// Sink pedigree.
+    pub dst: Pedigree,
+}
+
+impl FireRuleSpec {
+    /// A rule placing a **full** dependency between the two descendants.
+    pub fn full(src: &[u8], dst: &[u8]) -> Self {
+        FireRuleSpec {
+            src: Pedigree::new(src),
+            dep: None,
+            dst: Pedigree::new(dst),
+        }
+    }
+
+    /// A rule placing a recursive **fire** dependency of type `ty` between the two
+    /// descendants.
+    pub fn fire(src: &[u8], ty: &str, dst: &[u8]) -> Self {
+        FireRuleSpec {
+            src: Pedigree::new(src),
+            dep: Some(ty.to_string()),
+            dst: Pedigree::new(dst),
+        }
+    }
+}
+
+/// A registry of fire-construct types.
+///
+/// Algorithms define their fire types once (by name, so that rule sets may refer to
+/// each other recursively) and then refer to them by [`FireTypeId`] when building
+/// spawn trees.
+#[derive(Clone, Debug, Default)]
+pub struct FireTable {
+    types: Vec<FireType>,
+    by_name: HashMap<String, FireTypeId>,
+    pending: Vec<(FireTypeId, Vec<FireRuleSpec>)>,
+}
+
+impl FireTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a fire type with no rules yet (useful for forward references).
+    /// Returns its id.  Declaring an already-declared name returns the existing id.
+    pub fn declare(&mut self, name: &str) -> FireTypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FireTypeId(self.types.len() as u16);
+        self.types.push(FireType {
+            name: name.to_string(),
+            rules: Vec::new(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Defines (or redefines) the rule set of a fire type.  Rules may reference fire
+    /// types by name that have not been declared yet; they are resolved lazily by
+    /// [`FireTable::resolve`], which is called automatically by accessors.
+    pub fn define(&mut self, name: &str, rules: Vec<FireRuleSpec>) -> FireTypeId {
+        let id = self.declare(name);
+        self.pending.push((id, rules));
+        id
+    }
+
+    /// Resolves all pending name references.  Idempotent.
+    ///
+    /// # Panics
+    /// Panics if a rule references a fire type name that was never declared or
+    /// defined.
+    pub fn resolve(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        // First pass: make sure every referenced name exists (declare creates it only
+        // if it was defined elsewhere in `pending`, otherwise this is an error we
+        // detect below).
+        for (_, rules) in &pending {
+            for r in rules {
+                if let Some(dep_name) = &r.dep {
+                    assert!(
+                        self.by_name.contains_key(dep_name),
+                        "fire rule references undeclared fire type `{dep_name}`"
+                    );
+                }
+            }
+        }
+        for (id, rules) in pending {
+            let resolved: Vec<FireRule> = rules
+                .into_iter()
+                .map(|r| FireRule {
+                    src: r.src,
+                    dep: match r.dep {
+                        None => DepKind::Full,
+                        Some(name) => DepKind::Fire(self.by_name[&name]),
+                    },
+                    dst: r.dst,
+                })
+                .collect();
+            self.types[id.0 as usize].rules = resolved;
+        }
+    }
+
+    /// Returns the id of the named fire type.
+    ///
+    /// # Panics
+    /// Panics if the type was never declared.
+    pub fn id(&self, name: &str) -> FireTypeId {
+        *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("fire type `{name}` is not declared"))
+    }
+
+    /// Returns the type for an id, resolving pending definitions if necessary.
+    pub fn get(&self, id: FireTypeId) -> &FireType {
+        assert!(
+            self.pending.is_empty(),
+            "FireTable::resolve() must be called before reading rules"
+        );
+        &self.types[id.0 as usize]
+    }
+
+    /// Name of a fire type.
+    pub fn name(&self, id: FireTypeId) -> &str {
+        &self.types[id.0 as usize].name
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// `true` if no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over all `(id, type)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FireTypeId, &FireType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (FireTypeId(i as u16), t))
+    }
+
+    /// Convenience: define-and-resolve in one go (used by tests and small programs).
+    pub fn resolved(mut self) -> Self {
+        self.resolve();
+        self
+    }
+}
+
+impl fmt::Display for FireType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⤳ = {{ ", self.name)?;
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match r.dep {
+                DepKind::Full => write!(f, "{} ; -{}", r.src, fmt_sink(&r.dst))?,
+                DepKind::Fire(id) => write!(f, "{} [{}]⤳ -{}", r.src, id.0, fmt_sink(&r.dst))?,
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+fn fmt_sink(p: &Pedigree) -> String {
+    let mut s = String::new();
+    for i in p.indices() {
+        s.push_str(&format!("<{i}>"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut t = FireTable::new();
+        let a = t.declare("MM");
+        let b = t.declare("MM");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn define_and_resolve_recursive_rules() {
+        // The MM⤳ rules from Eq. (1):  +○1○ MM⤳ -○1○,  +○2○ MM⤳ -○2○.
+        let mut t = FireTable::new();
+        t.define(
+            "MM",
+            vec![
+                FireRuleSpec::fire(&[1], "MM", &[1]),
+                FireRuleSpec::fire(&[2], "MM", &[2]),
+            ],
+        );
+        t.resolve();
+        let id = t.id("MM");
+        let ty = t.get(id);
+        assert_eq!(ty.rules.len(), 2);
+        assert_eq!(ty.rules[0].dep, DepKind::Fire(id));
+        assert_eq!(ty.rules[0].src, Pedigree::new(&[1]));
+        assert_eq!(ty.rules[1].dst, Pedigree::new(&[2]));
+    }
+
+    #[test]
+    fn mutually_recursive_rules_resolve() {
+        let mut t = FireTable::new();
+        t.define("A", vec![FireRuleSpec::fire(&[1], "B", &[1])]);
+        t.define("B", vec![FireRuleSpec::fire(&[2], "A", &[2])]);
+        t.resolve();
+        assert_eq!(t.get(t.id("A")).rules[0].dep, DepKind::Fire(t.id("B")));
+        assert_eq!(t.get(t.id("B")).rules[0].dep, DepKind::Fire(t.id("A")));
+    }
+
+    #[test]
+    fn full_rules_have_no_type() {
+        let mut t = FireTable::new();
+        t.define("FG", vec![FireRuleSpec::full(&[1], &[1])]);
+        t.resolve();
+        assert_eq!(t.get(t.id("FG")).rules[0].dep, DepKind::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared fire type")]
+    fn undeclared_reference_panics_on_resolve() {
+        let mut t = FireTable::new();
+        t.define("A", vec![FireRuleSpec::fire(&[1], "NOPE", &[1])]);
+        t.resolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn unknown_name_panics() {
+        let t = FireTable::new();
+        let _ = t.id("missing");
+    }
+
+    #[test]
+    fn empty_rule_set_models_parallel_construct() {
+        let mut t = FireTable::new();
+        t.define("PAR", vec![]);
+        t.resolve();
+        assert!(t.get(t.id("PAR")).rules.is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut t = FireTable::new();
+        t.define(
+            "FG",
+            vec![
+                FireRuleSpec::full(&[1], &[1]),
+                FireRuleSpec::fire(&[2], "FG", &[2]),
+            ],
+        );
+        t.resolve();
+        let s = format!("{}", t.get(t.id("FG")));
+        assert!(s.contains("FG⤳"));
+        assert!(s.contains(';'));
+    }
+}

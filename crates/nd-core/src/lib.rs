@@ -1,0 +1,100 @@
+//! # nd-core — the Nested Dataflow programming model
+//!
+//! This crate implements the primary contribution of *"Extending the Nested Parallel
+//! Model to the Nested Dataflow Model with Provably Efficient Schedulers"* (Dinh,
+//! Simhadri, Tang — SPAA 2016):
+//!
+//! * the **fire construct** `⤳` and its **fire rules**, which express *partial
+//!   dependencies* between subtasks of a spawn tree ([`fire`]),
+//! * **relative pedigrees** naming descendants of a task ([`pedigree`]),
+//! * **spawn trees** composed from the `;` (serial), `‖` (parallel) and `⤳` (fire)
+//!   constructs ([`spawn_tree`], [`program`]),
+//! * the **DAG Rewriting System (DRS)** that rewrites fire arrows into the algorithm
+//!   DAG ([`drs`], [`dag`]),
+//! * the analysis metrics used by the paper's scheduler theorems:
+//!   work/span ([`work_span`]), parallel cache complexity `Q*` ([`pcc`]),
+//!   effective cache complexity `Q̂_α` and effective depth ([`ecc`]), and the
+//!   parallelizability `α_max` of an algorithm ([`parallelizability`]).
+//!
+//! The crate is purely a *model* crate: it has no threads and no unsafe code. Real
+//! execution lives in `nd-runtime`, and machine-model simulation in `nd-pmh` /
+//! `nd-sched`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use nd_core::fire::{FireTable, FireRuleSpec};
+//! use nd_core::program::{Composition, Expansion, NdProgram};
+//! use nd_core::spawn_tree::SpawnTree;
+//! use nd_core::drs::DagRewriter;
+//!
+//! // The MAIN / F / G example from Figure 3 of the paper:
+//! //   MAIN() { F() FG⤳ G() }     F() { A() ; B() }     G() { C() ; D() }
+//! //   +○ FG⤳ -○ = { +○1○ ; -○1○ }          (A must finish before C starts)
+//! #[derive(Clone, Debug, PartialEq)]
+//! enum Task { Main, F, G, Strand(&'static str) }
+//!
+//! struct MainProgram { fires: FireTable }
+//!
+//! impl MainProgram {
+//!     fn new() -> Self {
+//!         let mut fires = FireTable::new();
+//!         fires.define("FG", vec![FireRuleSpec::full(&[1], &[1])]);
+//!         fires.resolve();
+//!         MainProgram { fires }
+//!     }
+//! }
+//!
+//! impl NdProgram for MainProgram {
+//!     type Task = Task;
+//!     fn fire_table(&self) -> &FireTable { &self.fires }
+//!     fn task_size(&self, _t: &Task) -> u64 { 1 }
+//!     fn expand(&self, t: &Task) -> Expansion<Task> {
+//!         use Composition::*;
+//!         match t {
+//!             Task::Main => Expansion::compose(Fire(
+//!                 Box::new(Leaf(Task::F)),
+//!                 self.fires.id("FG"),
+//!                 Box::new(Leaf(Task::G)),
+//!             )),
+//!             Task::F => Expansion::compose(Seq(vec![
+//!                 Leaf(Task::Strand("A")), Leaf(Task::Strand("B")),
+//!             ])),
+//!             Task::G => Expansion::compose(Seq(vec![
+//!                 Leaf(Task::Strand("C")), Leaf(Task::Strand("D")),
+//!             ])),
+//!             Task::Strand(name) => Expansion::strand(1, 1).with_label(*name),
+//!         }
+//!     }
+//! }
+//!
+//! let program = MainProgram::new();
+//! let tree = SpawnTree::unfold(&program, Task::Main);
+//! let dag = DagRewriter::new(&tree, program.fire_table()).build();
+//! // Strands: A, B, C, D.  Dependencies: A→B and C→D (serial), A→C (the fire rule).
+//! assert_eq!(dag.strand_count(), 4);
+//! assert!(dag.depends_transitively_by_label("A", "C"));
+//! assert!(!dag.depends_transitively_by_label("B", "C")); // artificial NP dependency is gone
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag;
+pub mod drs;
+pub mod ecc;
+pub mod fire;
+pub mod parallelizability;
+pub mod pcc;
+pub mod pedigree;
+pub mod program;
+pub mod spawn_tree;
+pub mod work_span;
+
+pub use dag::AlgorithmDag;
+pub use drs::DagRewriter;
+pub use fire::{DepKind, FireRule, FireRuleSpec, FireTable, FireType, FireTypeId};
+pub use pedigree::Pedigree;
+pub use program::{Composition, Expansion, NdProgram};
+pub use spawn_tree::{NodeId, NodeKind, SpawnTree};
+pub use work_span::WorkSpan;

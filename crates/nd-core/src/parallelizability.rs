@@ -1,0 +1,190 @@
+//! Parallelizability `α_max` of an algorithm.
+//!
+//! The paper defines the parallelizability of an algorithm (for a cache size `M`) as
+//! the largest `α` such that the effective cache complexity stays within a constant
+//! factor of the parallel cache complexity: `Q̂_α(N; M) ≤ c_U · Q*(N; M)` for all
+//! sufficiently large inputs (Section 4; Claims 2 and 3 compute it analytically for
+//! matrix multiplication and for the NP-model TRS).  An algorithm is *reasonably
+//! regular* when `α_max` approaches the difference between its work and span
+//! exponents; the space-bounded scheduler can then keep `p ≈ (M_i/M_{i-1})^{α_max}`
+//! subclusters busy per cache.
+//!
+//! This module estimates `α_max` *numerically* from measured ECC values, which is
+//! how experiment E9 regenerates the Claims 2–3 comparison (MM vs NP-TRS vs ND-TRS).
+
+use crate::dag::AlgorithmDag;
+use crate::ecc::{ecc_alpha_sweep, EccResult};
+use crate::spawn_tree::{NodeId, SpawnTree};
+use serde::{Deserialize, Serialize};
+
+/// One instance (one input size) contributing to an `α_max` estimate.
+pub struct Instance<'a> {
+    /// The unfolded spawn tree of the instance.
+    pub tree: &'a SpawnTree,
+    /// The algorithm DAG of the instance (from the DRS).
+    pub dag: &'a AlgorithmDag,
+    /// The root task node.
+    pub root: NodeId,
+}
+
+/// The outcome of an `α_max` estimation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AlphaMaxEstimate {
+    /// The cache size used.
+    pub m: u64,
+    /// The tolerated constant `c_U` in `Q̂_α ≤ c_U · Q*`.
+    pub c_u: f64,
+    /// The grid of `α` values that was probed.
+    pub alphas: Vec<f64>,
+    /// For every probed `α`, the worst (largest) ratio `Q̂_α / Q*` over all instances.
+    pub worst_ratios: Vec<f64>,
+    /// The estimated parallelizability: the largest probed `α` whose worst ratio is
+    /// at most `c_U`, or `0.0` if none qualifies.
+    pub alpha_max: f64,
+}
+
+impl AlphaMaxEstimate {
+    /// The `(α, worst ratio)` pairs, convenient for plotting/tabulation.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.alphas
+            .iter()
+            .copied()
+            .zip(self.worst_ratios.iter().copied())
+            .collect()
+    }
+}
+
+/// A default `α` probe grid: 0.05 steps over `(0, 1.5]`.
+pub fn default_alpha_grid() -> Vec<f64> {
+    (1..=30).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Estimates `α_max` for an algorithm from a family of instances of growing size.
+///
+/// For each probed `α`, the worst ratio `Q̂_α / Q*` over the instances is recorded;
+/// `α_max` is the largest `α` whose worst ratio does not exceed `c_u`.
+pub fn estimate_alpha_max(
+    instances: &[Instance<'_>],
+    m: u64,
+    alphas: &[f64],
+    c_u: f64,
+) -> AlphaMaxEstimate {
+    assert!(!instances.is_empty(), "need at least one instance");
+    assert!(!alphas.is_empty(), "need at least one alpha probe");
+    let mut worst = vec![0.0f64; alphas.len()];
+    for inst in instances {
+        let sweep: Vec<EccResult> = ecc_alpha_sweep(inst.tree, inst.dag, inst.root, m, alphas);
+        for (i, r) in sweep.iter().enumerate() {
+            worst[i] = worst[i].max(r.ratio());
+        }
+    }
+    let mut alpha_max = 0.0f64;
+    for (i, &a) in alphas.iter().enumerate() {
+        if worst[i] <= c_u {
+            alpha_max = alpha_max.max(a);
+        }
+    }
+    AlphaMaxEstimate {
+        m,
+        c_u,
+        alphas: alphas.to_vec(),
+        worst_ratios: worst,
+        alpha_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drs::DagRewriter;
+    use crate::fire::FireTable;
+    use crate::program::{Composition, Expansion, NdProgram};
+    use crate::spawn_tree::SpawnTree;
+
+    struct Quad {
+        fires: FireTable,
+        serial: bool,
+    }
+
+    #[derive(Clone)]
+    struct T {
+        level: u32,
+    }
+
+    impl NdProgram for Quad {
+        type Task = T;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn task_size(&self, t: &T) -> u64 {
+            4u64.pow(t.level)
+        }
+        fn expand(&self, t: &T) -> Expansion<T> {
+            if t.level == 0 {
+                return Expansion::strand(1, 1);
+            }
+            let sub = || Composition::task(T { level: t.level - 1 });
+            let comp = if self.serial {
+                Composition::Seq(vec![sub(), sub(), sub(), sub()])
+            } else {
+                Composition::Par(vec![sub(), sub(), sub(), sub()])
+            };
+            Expansion::compose(comp)
+        }
+    }
+
+    fn build(serial: bool, levels: u32) -> (SpawnTree, AlgorithmDag) {
+        let p = Quad {
+            fires: FireTable::new().resolved(),
+            serial,
+        };
+        let tree = SpawnTree::unfold(&p, T { level: levels });
+        let dag = DagRewriter::new(&tree, p.fire_table()).build();
+        (tree, dag)
+    }
+
+    #[test]
+    fn parallel_algorithm_has_higher_alpha_max_than_serial() {
+        let alphas = default_alpha_grid();
+        let (t1, d1) = build(false, 3);
+        let (t2, d2) = build(false, 4);
+        let par_instances = [
+            Instance { tree: &t1, dag: &d1, root: t1.root() },
+            Instance { tree: &t2, dag: &d2, root: t2.root() },
+        ];
+        let (s1, e1) = build(true, 3);
+        let (s2, e2) = build(true, 4);
+        let ser_instances = [
+            Instance { tree: &s1, dag: &e1, root: s1.root() },
+            Instance { tree: &s2, dag: &e2, root: s2.root() },
+        ];
+        let par = estimate_alpha_max(&par_instances, 16, &alphas, 4.0);
+        let ser = estimate_alpha_max(&ser_instances, 16, &alphas, 4.0);
+        assert!(
+            par.alpha_max > ser.alpha_max,
+            "parallel α_max {} should exceed serial α_max {}",
+            par.alpha_max,
+            ser.alpha_max
+        );
+        assert!(par.alpha_max >= 0.95, "got {}", par.alpha_max);
+    }
+
+    #[test]
+    fn worst_ratio_curve_grows_overall() {
+        // The ratio Q̂_α/Q* grows with α overall; the ceiling operators in
+        // Definition 2 can introduce small local sawtooth dips, so only the trend is
+        // asserted, not per-step monotonicity.
+        let alphas = default_alpha_grid();
+        let (t, d) = build(true, 4);
+        let inst = [Instance { tree: &t, dag: &d, root: t.root() }];
+        let est = estimate_alpha_max(&inst, 16, &alphas, 2.0);
+        assert!(est.worst_ratios.last().unwrap() > &(est.worst_ratios[0] + 1.0));
+        assert_eq!(est.curve().len(), alphas.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_instances_panic() {
+        let _ = estimate_alpha_max(&[], 16, &[0.5], 2.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Relative pedigrees.
+//!
+//! A *pedigree* names a descendant of a task by the sequence of child indices taken
+//! while descending the spawn tree, exactly as in the paper (and in Leiserson,
+//! Schardl and Sukha's deterministic parallel RNG work the paper cites).  The paper
+//! writes pedigrees with circled numbers: `+○ 2○ 1○` is "the first subtask of the
+//! second subtask of the source of the fire construct".  Indices are **1-based** to
+//! match the paper's notation; the empty pedigree refers to the task itself.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relative pedigree: a (possibly empty) sequence of 1-based child indices.
+///
+/// Pedigrees are small (the algorithms in the paper use at most four levels per
+/// rule), so they are stored inline in a `Vec<u8>`; an index of `0` is invalid.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Pedigree(Vec<u8>);
+
+impl Pedigree {
+    /// The empty pedigree, naming the task itself (`+○` / `-○` in the paper).
+    pub fn root() -> Self {
+        Pedigree(Vec::new())
+    }
+
+    /// Builds a pedigree from a slice of 1-based child indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `0`; pedigree indices are 1-based.
+    pub fn new(indices: &[u8]) -> Self {
+        assert!(
+            indices.iter().all(|&i| i > 0),
+            "pedigree indices are 1-based; got {indices:?}"
+        );
+        Pedigree(indices.to_vec())
+    }
+
+    /// Number of levels this pedigree descends.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if this is the empty pedigree (refers to the task itself).
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates the 1-based child indices from the task downwards.
+    pub fn indices(&self) -> impl Iterator<Item = u8> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns a new pedigree that first descends `self` and then `other`.
+    pub fn concat(&self, other: &Pedigree) -> Pedigree {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Pedigree(v)
+    }
+
+    /// Returns a new pedigree extended by one more child index.
+    ///
+    /// # Panics
+    /// Panics if `index` is `0`.
+    pub fn child(&self, index: u8) -> Pedigree {
+        assert!(index > 0, "pedigree indices are 1-based");
+        let mut v = self.0.clone();
+        v.push(index);
+        Pedigree(v)
+    }
+
+    /// `true` if `self` is a (non-strict) prefix of `other`, i.e. `other` names a
+    /// descendant of (or the same node as) the node named by `self`.
+    pub fn is_prefix_of(&self, other: &Pedigree) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The parent pedigree (one level shorter), or `None` for the root pedigree.
+    pub fn parent(&self) -> Option<Pedigree> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Pedigree(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The raw index slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&[u8]> for Pedigree {
+    fn from(indices: &[u8]) -> Self {
+        Pedigree::new(indices)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Pedigree {
+    fn from(indices: [u8; N]) -> Self {
+        Pedigree::new(&indices)
+    }
+}
+
+impl fmt::Debug for Pedigree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Pedigree {
+    /// Renders the pedigree in a form close to the paper's: `+<1><2>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+")?;
+        for i in &self.0 {
+            write!(f, "<{i}>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_empty() {
+        let p = Pedigree::root();
+        assert!(p.is_root());
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.parent(), None);
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Pedigree::new(&[1, 2, 1]);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.indices().collect::<Vec<_>>(), vec![1, 2, 1]);
+        assert_eq!(p.as_slice(), &[1, 2, 1]);
+        assert!(!p.is_root());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_index_panics() {
+        let _ = Pedigree::new(&[1, 0]);
+    }
+
+    #[test]
+    fn concat_and_child() {
+        let a = Pedigree::new(&[1]);
+        let b = Pedigree::new(&[2, 2]);
+        assert_eq!(a.concat(&b), Pedigree::new(&[1, 2, 2]));
+        assert_eq!(a.child(3), Pedigree::new(&[1, 3]));
+        assert_eq!(Pedigree::root().concat(&b), b);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Pedigree::new(&[1, 2]);
+        let b = Pedigree::new(&[1, 2, 3]);
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Pedigree::root().is_prefix_of(&a));
+        assert!(!Pedigree::new(&[2]).is_prefix_of(&b));
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        let p = Pedigree::new(&[1, 2, 3]);
+        assert_eq!(p.parent(), Some(Pedigree::new(&[1, 2])));
+        assert_eq!(
+            p.parent().unwrap().parent().unwrap().parent(),
+            Some(Pedigree::root())
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Pedigree::new(&[2, 1]).to_string(), "+<2><1>");
+        assert_eq!(Pedigree::root().to_string(), "+");
+    }
+
+    #[test]
+    fn array_conversion() {
+        let p: Pedigree = [1u8, 2].into();
+        assert_eq!(p, Pedigree::new(&[1, 2]));
+    }
+}

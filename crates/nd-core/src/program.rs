@@ -1,0 +1,228 @@
+//! The [`NdProgram`] abstraction: recursive, divide-and-conquer descriptions of
+//! spawn trees.
+//!
+//! A program in the ND model is not a static DAG — it is a recursive recipe: every
+//! *task* either is a base-case *strand* (a segment of serial code) or expands into a
+//! composition of smaller subtasks glued together by the `;`, `‖` and `⤳`
+//! constructs.  [`NdProgram::expand`] is exactly that recipe; the
+//! [`SpawnTree::unfold`](crate::spawn_tree::SpawnTree::unfold) driver applies it
+//! repeatedly to build the full spawn tree (the paper's dynamic unfolding performed
+//! statically, which is sufficient for analysis, simulation and static-DAG
+//! execution).
+
+use crate::fire::{FireTable, FireTypeId};
+
+/// A composition of subtasks, mirroring the paper's three constructs.
+///
+/// `T` is the program's task descriptor type (e.g. "TRS on the `n/2 × n/2` block at
+/// offset `(r, c)`").
+#[derive(Clone, Debug)]
+pub enum Composition<T> {
+    /// A reference to a subtask that will itself be expanded recursively.
+    Leaf(T),
+    /// Serial composition `c₁ ; c₂ ; … ; c_k`.
+    Seq(Vec<Composition<T>>),
+    /// Parallel composition `c₁ ‖ c₂ ‖ … ‖ c_k`.
+    Par(Vec<Composition<T>>),
+    /// Fire composition `source  T⤳  sink` with the given fire type.
+    Fire(Box<Composition<T>>, FireTypeId, Box<Composition<T>>),
+}
+
+impl<T> Composition<T> {
+    /// Convenience constructor for a binary serial composition.
+    pub fn seq2(a: Composition<T>, b: Composition<T>) -> Self {
+        Composition::Seq(vec![a, b])
+    }
+
+    /// Convenience constructor for a binary parallel composition.
+    pub fn par2(a: Composition<T>, b: Composition<T>) -> Self {
+        Composition::Par(vec![a, b])
+    }
+
+    /// Convenience constructor for a fire composition.
+    pub fn fire(src: Composition<T>, ty: FireTypeId, dst: Composition<T>) -> Self {
+        Composition::Fire(Box::new(src), ty, Box::new(dst))
+    }
+
+    /// Convenience constructor for a subtask reference.
+    pub fn task(t: T) -> Self {
+        Composition::Leaf(t)
+    }
+}
+
+/// How a task expands: either it is a base-case strand, or it is a composition of
+/// subtasks.
+#[derive(Clone, Debug)]
+pub enum ExpansionKind<T> {
+    /// A strand: a leaf of the spawn tree.
+    Strand {
+        /// Work (number of unit operations) performed by the strand.
+        work: u64,
+        /// Size: number of distinct memory locations accessed by the strand.
+        size: u64,
+        /// Opaque tag identifying the concrete operation the strand performs
+        /// (e.g. an index into a side table of kernel invocations).  Analysis-only
+        /// programs leave this `None`.
+        op: Option<u64>,
+    },
+    /// An internal node: the task is a composition of subtasks.
+    Compose(Composition<T>),
+}
+
+/// The result of expanding one task.
+#[derive(Clone, Debug)]
+pub struct Expansion<T> {
+    /// What the task expands to.
+    pub kind: ExpansionKind<T>,
+    /// Optional human-readable label attached to the resulting spawn-tree node.
+    pub label: Option<String>,
+}
+
+impl<T> Expansion<T> {
+    /// A base-case strand with the given work and size.
+    pub fn strand(work: u64, size: u64) -> Self {
+        Expansion {
+            kind: ExpansionKind::Strand {
+                work,
+                size,
+                op: None,
+            },
+            label: None,
+        }
+    }
+
+    /// A base-case strand carrying an opaque operation tag for later execution.
+    pub fn strand_op(work: u64, size: u64, op: u64) -> Self {
+        Expansion {
+            kind: ExpansionKind::Strand {
+                work,
+                size,
+                op: Some(op),
+            },
+            label: None,
+        }
+    }
+
+    /// An internal composition.
+    pub fn compose(c: Composition<T>) -> Self {
+        Expansion {
+            kind: ExpansionKind::Compose(c),
+            label: None,
+        }
+    }
+
+    /// Attaches a label (builder-style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// A program in the Nested Dataflow model.
+///
+/// Implementors describe the recursive structure of an algorithm: the fire types it
+/// uses, how each task expands, and the size annotation `s(t)` that the space-bounded
+/// scheduler and the cache-complexity metrics rely on.
+pub trait NdProgram {
+    /// The task descriptor type.
+    type Task: Clone;
+
+    /// The table of fire-construct types used by this program.  It must already be
+    /// [resolved](crate::fire::FireTable::resolve).
+    fn fire_table(&self) -> &FireTable;
+
+    /// Expands one task into either a strand or a composition of subtasks.
+    fn expand(&self, task: &Self::Task) -> Expansion<Self::Task>;
+
+    /// The size `s(t)` of a task: the number of distinct memory locations accessed
+    /// by its subtree.  This is the annotation the paper assumes is supplied by the
+    /// programmer or a profiling tool.
+    fn task_size(&self, task: &Self::Task) -> u64;
+
+    /// Optional human-readable label for a task (used in debugging output).
+    fn task_label(&self, _task: &Self::Task) -> Option<String> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fire::FireTable;
+
+    #[derive(Clone, Debug)]
+    struct Dummy(u32);
+
+    struct P {
+        fires: FireTable,
+    }
+
+    impl NdProgram for P {
+        type Task = Dummy;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn expand(&self, t: &Dummy) -> Expansion<Dummy> {
+            if t.0 == 0 {
+                Expansion::strand(1, 1)
+            } else {
+                Expansion::compose(Composition::par2(
+                    Composition::task(Dummy(t.0 - 1)),
+                    Composition::task(Dummy(t.0 - 1)),
+                ))
+            }
+        }
+        fn task_size(&self, t: &Dummy) -> u64 {
+            1 << t.0
+        }
+    }
+
+    #[test]
+    fn expansion_builders() {
+        let e: Expansion<Dummy> = Expansion::strand(10, 5).with_label("leaf");
+        match e.kind {
+            ExpansionKind::Strand { work, size, op } => {
+                assert_eq!((work, size, op), (10, 5, None));
+            }
+            _ => panic!("expected strand"),
+        }
+        assert_eq!(e.label.as_deref(), Some("leaf"));
+
+        let e: Expansion<Dummy> = Expansion::strand_op(1, 2, 42);
+        match e.kind {
+            ExpansionKind::Strand { op, .. } => assert_eq!(op, Some(42)),
+            _ => panic!("expected strand"),
+        }
+    }
+
+    #[test]
+    fn program_trait_is_usable() {
+        let p = P {
+            fires: FireTable::new().resolved(),
+        };
+        assert_eq!(p.task_size(&Dummy(3)), 8);
+        match p.expand(&Dummy(0)).kind {
+            ExpansionKind::Strand { .. } => {}
+            _ => panic!("base case should be a strand"),
+        }
+        match p.expand(&Dummy(2)).kind {
+            ExpansionKind::Compose(Composition::Par(cs)) => assert_eq!(cs.len(), 2),
+            _ => panic!("expected parallel composition"),
+        }
+    }
+
+    #[test]
+    fn composition_helpers() {
+        let c: Composition<Dummy> = Composition::seq2(
+            Composition::task(Dummy(1)),
+            Composition::par2(Composition::task(Dummy(2)), Composition::task(Dummy(3))),
+        );
+        match c {
+            Composition::Seq(v) => {
+                assert_eq!(v.len(), 2);
+                matches!(v[1], Composition::Par(_));
+            }
+            _ => panic!(),
+        }
+    }
+}

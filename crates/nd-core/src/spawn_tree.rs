@@ -1,0 +1,588 @@
+//! Spawn trees.
+//!
+//! A spawn tree is the recursive composition that an NP or ND program describes: its
+//! internal nodes are the composition constructs (`;`, `‖`, `⤳`) and its leaves are
+//! strands.  Subtrees of the spawn tree are *tasks*.  This module stores the tree in
+//! a flat arena so that the analysis passes (DRS, PCC, ECC) and the schedulers can
+//! index nodes cheaply.
+
+use crate::fire::FireTypeId;
+use crate::pedigree::Pedigree;
+use crate::program::{Composition, ExpansionKind, NdProgram};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`SpawnTree`] arena.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a spawn-tree node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A strand (leaf): serial code with the given work and an optional opaque
+    /// operation tag used by executors.
+    Strand {
+        /// Work performed by the strand.
+        work: u64,
+        /// Opaque operation tag (index into an executor-side table).
+        op: Option<u64>,
+    },
+    /// Serial composition of the children, in order.
+    Seq,
+    /// Parallel composition of the children.
+    Par,
+    /// Fire composition: exactly two children, `children[0]` is the source and
+    /// `children[1]` the sink of the partial dependency of the given type.
+    Fire(FireTypeId),
+}
+
+/// One node of the spawn tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The node's kind.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children, in subtask order.
+    pub children: Vec<NodeId>,
+    /// Explicit size annotation `s(t)` if this node is a task root or strand.
+    /// Unannotated construct nodes inherit the annotation of their lowest annotated
+    /// ancestor, exactly as the paper prescribes (see [`SpawnTree::effective_size`]).
+    pub size: Option<u64>,
+    /// Human-readable label (may be empty).
+    pub label: String,
+}
+
+impl Node {
+    /// `true` if this node is a strand (leaf).
+    pub fn is_strand(&self) -> bool {
+        matches!(self.kind, NodeKind::Strand { .. })
+    }
+}
+
+/// A spawn tree stored in a flat arena.
+#[derive(Clone, Debug, Default)]
+pub struct SpawnTree {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl SpawnTree {
+    /// Creates an empty tree.  Most users should call [`SpawnTree::unfold`] instead.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fully unfolds an [`NdProgram`] starting from `root_task`, producing the static
+    /// spawn tree that the dynamic execution would have produced.
+    pub fn unfold<P: NdProgram>(program: &P, root_task: P::Task) -> Self {
+        let mut tree = SpawnTree::new();
+        let root = tree.unfold_task(program, &root_task, None);
+        tree.root = Some(root);
+        tree
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    fn attach(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Expands one task into a subtree and returns its root node.
+    fn unfold_task<P: NdProgram>(
+        &mut self,
+        program: &P,
+        task: &P::Task,
+        parent: Option<NodeId>,
+    ) -> NodeId {
+        let expansion = program.expand(task);
+        let size = program.task_size(task);
+        let label = expansion
+            .label
+            .clone()
+            .or_else(|| program.task_label(task))
+            .unwrap_or_default();
+        match expansion.kind {
+            ExpansionKind::Strand {
+                work,
+                size: strand_size,
+                op,
+            } => {
+                // A task that expands directly to a strand: the strand's own size
+                // annotation wins if provided, otherwise the task size applies.
+                let s = if strand_size > 0 { strand_size } else { size };
+                self.push_with_parent(
+                    Node {
+                        kind: NodeKind::Strand { work, op },
+                        parent,
+                        children: Vec::new(),
+                        size: Some(s),
+                        label,
+                    },
+                    parent,
+                )
+            }
+            ExpansionKind::Compose(comp) => {
+                let id = self.unfold_composition(program, &comp, parent);
+                // The root of the expansion *is* the task node: annotate it.
+                let node = &mut self.nodes[id.index()];
+                node.size = Some(size);
+                if node.label.is_empty() {
+                    node.label = label;
+                }
+                id
+            }
+        }
+    }
+
+    fn push_with_parent(&mut self, node: Node, parent: Option<NodeId>) -> NodeId {
+        let id = self.push_node(node);
+        if let Some(p) = parent {
+            self.attach(p, id);
+        }
+        id
+    }
+
+    /// Expands one composition node (and everything below it).
+    fn unfold_composition<P: NdProgram>(
+        &mut self,
+        program: &P,
+        comp: &Composition<P::Task>,
+        parent: Option<NodeId>,
+    ) -> NodeId {
+        match comp {
+            Composition::Leaf(task) => self.unfold_task(program, task, parent),
+            Composition::Seq(children) => {
+                let id = self.push_with_parent(
+                    Node {
+                        kind: NodeKind::Seq,
+                        parent,
+                        children: Vec::new(),
+                        size: None,
+                        label: String::new(),
+                    },
+                    parent,
+                );
+                for c in children {
+                    self.unfold_composition(program, c, Some(id));
+                }
+                id
+            }
+            Composition::Par(children) => {
+                let id = self.push_with_parent(
+                    Node {
+                        kind: NodeKind::Par,
+                        parent,
+                        children: Vec::new(),
+                        size: None,
+                        label: String::new(),
+                    },
+                    parent,
+                );
+                for c in children {
+                    self.unfold_composition(program, c, Some(id));
+                }
+                id
+            }
+            Composition::Fire(src, ty, dst) => {
+                let id = self.push_with_parent(
+                    Node {
+                        kind: NodeKind::Fire(*ty),
+                        parent,
+                        children: Vec::new(),
+                        size: None,
+                        label: String::new(),
+                    },
+                    parent,
+                );
+                self.unfold_composition(program, src, Some(id));
+                self.unfold_composition(program, dst, Some(id));
+                id
+            }
+        }
+    }
+
+    /// The root node.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("spawn tree is empty")
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of strand leaves.
+    pub fn strand_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_strand()).count()
+    }
+
+    /// Iterates all node ids in arena order (which is a pre-order of the tree).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Descends from `start` following a relative pedigree, **clamping** at strands:
+    /// if the subtree is shallower than the pedigree (base case reached), the walk
+    /// stops at the leaf, matching the DRS semantics where fire arrows attach to the
+    /// strands themselves once the recursion bottoms out.
+    ///
+    /// Out-of-range child indices also clamp (and are reported by
+    /// [`descend_checked`](Self::descend_checked) for validation).
+    pub fn descend(&self, start: NodeId, pedigree: &Pedigree) -> NodeId {
+        self.descend_checked(start, pedigree).0
+    }
+
+    /// Like [`descend`](Self::descend) but also reports whether the full pedigree
+    /// was consumed without clamping.
+    pub fn descend_checked(&self, start: NodeId, pedigree: &Pedigree) -> (NodeId, bool) {
+        let mut cur = start;
+        for idx in pedigree.indices() {
+            let node = self.node(cur);
+            if node.is_strand() {
+                return (cur, false);
+            }
+            let child_pos = (idx - 1) as usize;
+            match node.children.get(child_pos) {
+                Some(&c) => cur = c,
+                None => return (cur, false),
+            }
+        }
+        (cur, true)
+    }
+
+    /// The size annotation in effect for a node: its own annotation, or the
+    /// annotation of its lowest annotated ancestor (paper, Section 4, "Terminology").
+    pub fn effective_size(&self, id: NodeId) -> u64 {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if let Some(s) = self.node(c).size {
+                return s;
+            }
+            cur = self.node(c).parent;
+        }
+        // A tree produced by `unfold` always has an annotated root.
+        0
+    }
+
+    /// Collects the strand leaves under `id` (including `id` itself if it is a
+    /// strand), in left-to-right order.
+    pub fn leaves_under(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_leaf_under(id, |l| out.push(l));
+        out
+    }
+
+    /// Visits the strand leaves under `id` in left-to-right order without
+    /// allocating the intermediate vector.
+    pub fn for_each_leaf_under<F: FnMut(NodeId)>(&self, id: NodeId, mut f: F) {
+        // Explicit stack to avoid recursion depth limits on deep trees.
+        let mut stack = vec![id];
+        let mut ordered = Vec::new();
+        while let Some(n) = stack.pop() {
+            if self.node(n).is_strand() {
+                ordered.push(n);
+            } else {
+                // push children in reverse so they pop in order
+                for &c in self.node(n).children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        for n in ordered {
+            f(n);
+        }
+    }
+
+    /// Total work of the subtree rooted at `id` (sum of strand works).
+    pub fn subtree_work(&self, id: NodeId) -> u64 {
+        let mut total = 0u64;
+        self.for_each_leaf_under(id, |l| {
+            if let NodeKind::Strand { work, .. } = self.node(l).kind {
+                total += work;
+            }
+        });
+        total
+    }
+
+    /// The pedigree of `descendant` relative to `ancestor`.
+    ///
+    /// Returns `None` if `descendant` is not in the subtree of `ancestor`.
+    pub fn pedigree_of(&self, descendant: NodeId, ancestor: NodeId) -> Option<Pedigree> {
+        let mut indices = Vec::new();
+        let mut cur = descendant;
+        while cur != ancestor {
+            let parent = self.node(cur).parent?;
+            let pos = self
+                .node(parent)
+                .children
+                .iter()
+                .position(|&c| c == cur)
+                .expect("child/parent link corrupted");
+            indices.push((pos + 1) as u8);
+            cur = parent;
+        }
+        indices.reverse();
+        Some(Pedigree::new(&indices))
+    }
+
+    /// Depth of the node below the root (root has depth 0).
+    pub fn depth_of(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// `true` if `ancestor` is an ancestor of (or equal to) `node`.
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.node(c).parent;
+        }
+        false
+    }
+
+    /// Produces a compact indented rendering of the tree (for debugging and the
+    /// quickstart example).  `max_depth` truncates deep trees.
+    pub fn render(&self, max_depth: usize) -> String {
+        let mut out = String::new();
+        self.render_node(self.root(), 0, max_depth, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, depth: usize, max_depth: usize, out: &mut String) {
+        if depth > max_depth {
+            return;
+        }
+        let node = self.node(id);
+        let indent = "  ".repeat(depth);
+        let desc = match &node.kind {
+            NodeKind::Strand { work, .. } => format!("strand(w={work})"),
+            NodeKind::Seq => ";".to_string(),
+            NodeKind::Par => "‖".to_string(),
+            NodeKind::Fire(t) => format!("⤳[{}]", t.0),
+        };
+        let label = if node.label.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", node.label)
+        };
+        let size = node
+            .size
+            .map(|s| format!(" s={s}"))
+            .unwrap_or_default();
+        out.push_str(&format!("{indent}{desc}{size}{label}\n"));
+        for &c in &node.children {
+            self.render_node(c, depth + 1, max_depth, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fire::{FireRuleSpec, FireTable};
+    use crate::program::{Composition, Expansion, NdProgram};
+
+    /// A tiny program: Par of two Seq chains of strands, `depth` levels deep.
+    struct BinaryProgram {
+        fires: FireTable,
+        depth: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    struct T {
+        level: u32,
+    }
+
+    impl NdProgram for BinaryProgram {
+        type Task = T;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn expand(&self, t: &T) -> Expansion<T> {
+            if t.level == 0 {
+                Expansion::strand(3, 2)
+            } else {
+                Expansion::compose(Composition::par2(
+                    Composition::seq2(
+                        Composition::task(T { level: t.level - 1 }),
+                        Composition::task(T { level: t.level - 1 }),
+                    ),
+                    Composition::task(T { level: t.level - 1 }),
+                ))
+            }
+        }
+        fn task_size(&self, t: &T) -> u64 {
+            4u64 << t.level
+        }
+    }
+
+    fn tree(depth: u32) -> SpawnTree {
+        let p = BinaryProgram {
+            fires: FireTable::new().resolved(),
+            depth,
+        };
+        SpawnTree::unfold(&p, T { level: p.depth })
+    }
+
+    #[test]
+    fn unfold_counts() {
+        let t = tree(1);
+        // root Par -> [Seq -> [strand, strand], strand]
+        assert_eq!(t.strand_count(), 3);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.node(t.root()).kind, NodeKind::Par);
+    }
+
+    #[test]
+    fn leaves_are_left_to_right() {
+        let t = tree(2);
+        let leaves = t.leaves_under(t.root());
+        assert_eq!(leaves.len(), 9);
+        // Every leaf really is a strand.
+        assert!(leaves.iter().all(|&l| t.node(l).is_strand()));
+        // Arena order of first leaf must precede last leaf (pre-order).
+        assert!(leaves.first().unwrap() < leaves.last().unwrap());
+    }
+
+    #[test]
+    fn descend_follows_pedigrees_and_clamps() {
+        let t = tree(2);
+        let root = t.root();
+        // <1> is the Seq child, <2> is the level-1 task (a Par).
+        let seq = t.descend(root, &Pedigree::new(&[1]));
+        assert_eq!(t.node(seq).kind, NodeKind::Seq);
+        let sub = t.descend(root, &Pedigree::new(&[2]));
+        assert_eq!(t.node(sub).kind, NodeKind::Par);
+        // Descend beyond a leaf: clamps at the strand.
+        let (leaf, complete) = t.descend_checked(root, &Pedigree::new(&[2, 2, 1, 1, 1, 1]));
+        assert!(t.node(leaf).is_strand());
+        assert!(!complete);
+        // Fully valid pedigree is complete.
+        let (_, complete) = t.descend_checked(root, &Pedigree::new(&[2, 2]));
+        assert!(complete);
+    }
+
+    #[test]
+    fn effective_size_inherits_from_ancestor() {
+        let t = tree(1);
+        let root = t.root();
+        assert_eq!(t.effective_size(root), 8);
+        // The Seq node has no annotation of its own; it inherits the root task's.
+        let seq = t.descend(root, &Pedigree::new(&[1]));
+        assert!(t.node(seq).size.is_none());
+        assert_eq!(t.effective_size(seq), 8);
+        // Its strand children have their own annotation.
+        let strand = t.descend(root, &Pedigree::new(&[1, 1]));
+        assert_eq!(t.effective_size(strand), 2);
+    }
+
+    #[test]
+    fn pedigree_of_inverts_descend() {
+        let t = tree(2);
+        let root = t.root();
+        for id in t.node_ids() {
+            let p = t.pedigree_of(id, root).unwrap();
+            assert_eq!(t.descend(root, &p), id);
+        }
+    }
+
+    #[test]
+    fn subtree_work_sums_strands() {
+        let t = tree(2);
+        assert_eq!(t.subtree_work(t.root()), 9 * 3);
+    }
+
+    #[test]
+    fn fire_nodes_have_two_children() {
+        // A one-off program with a fire construct.
+        struct FP {
+            fires: FireTable,
+        }
+        #[derive(Clone)]
+        struct Ft(u32);
+        impl NdProgram for FP {
+            type Task = Ft;
+            fn fire_table(&self) -> &FireTable {
+                &self.fires
+            }
+            fn expand(&self, t: &Ft) -> Expansion<Ft> {
+                if t.0 == 0 {
+                    Expansion::strand(1, 1)
+                } else {
+                    Expansion::compose(Composition::fire(
+                        Composition::task(Ft(0)),
+                        self.fires.id("X"),
+                        Composition::task(Ft(0)),
+                    ))
+                }
+            }
+            fn task_size(&self, _t: &Ft) -> u64 {
+                1
+            }
+        }
+        let mut fires = FireTable::new();
+        fires.define("X", vec![FireRuleSpec::full(&[1], &[1])]);
+        fires.resolve();
+        let p = FP { fires };
+        let t = SpawnTree::unfold(&p, Ft(1));
+        let root = t.root();
+        assert!(matches!(t.node(root).kind, NodeKind::Fire(_)));
+        assert_eq!(t.node(root).children.len(), 2);
+    }
+
+    #[test]
+    fn render_does_not_panic() {
+        let t = tree(2);
+        let s = t.render(10);
+        assert!(s.contains('‖'));
+        assert!(s.contains("strand"));
+    }
+
+    #[test]
+    fn is_ancestor_and_depth() {
+        let t = tree(2);
+        let root = t.root();
+        let leaf = *t.leaves_under(root).first().unwrap();
+        assert!(t.is_ancestor(root, leaf));
+        assert!(!t.is_ancestor(leaf, root));
+        assert!(t.depth_of(leaf) >= 2);
+        assert_eq!(t.depth_of(root), 0);
+    }
+}

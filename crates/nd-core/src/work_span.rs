@@ -1,0 +1,169 @@
+//! Work–span analysis and small curve-fitting helpers used by the experiments.
+//!
+//! `T₁` (work) is the total number of unit operations of a DAG; `T∞` (span) is the
+//! weight of its critical path.  The paper's central algorithmic claim is that the
+//! ND versions of the divide-and-conquer algorithms have asymptotically smaller
+//! spans than their NP counterparts (e.g. `O(n)` vs `O(n log n)` for TRS and LCS);
+//! the curve-fitting helpers here let the benchmark harness verify those *shapes*
+//! from measured spans.
+
+use crate::dag::AlgorithmDag;
+use serde::{Deserialize, Serialize};
+
+/// The result of a work–span analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkSpan {
+    /// Total work `T₁`.
+    pub work: u64,
+    /// Span (critical-path weight) `T∞`.
+    pub span: u64,
+}
+
+impl WorkSpan {
+    /// Computes work and span of an algorithm DAG.
+    pub fn of_dag(dag: &AlgorithmDag) -> Self {
+        WorkSpan {
+            work: dag.work(),
+            span: dag.span(),
+        }
+    }
+
+    /// The parallelism `T₁ / T∞` of the DAG (how many processors it can keep busy).
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+}
+
+/// Fits `y ≈ c · x^e` by least squares in log–log space and returns `(e, c)`.
+///
+/// Used by the span experiments to distinguish `Θ(n)` from `Θ(n log n)` and
+/// `Θ(n log² n)` growth: a pure power law fits the former with exponent ≈ 1, while
+/// the latter produce a noticeably larger apparent exponent over a dyadic range.
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(
+        points.len() >= 2,
+        "need at least two points to fit a power law"
+    );
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - exponent * sx) / n;
+    (exponent, intercept.exp())
+}
+
+/// Measures how strongly doubling `x` grows `y/x` — a simple detector for
+/// logarithmic factors.  Returns the mean ratio `(y₂/x₂)/(y₁/x₁)` over consecutive
+/// dyadic points.  A value near 1.0 indicates `y = Θ(x)`; a value bounded away from
+/// 1 (≈ `log(2x)/log(x)` or more) indicates at least an extra `log` factor.
+pub fn dyadic_log_factor(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let mut ratios = Vec::new();
+    for w in points.windows(2) {
+        let (x1, y1) = w[0];
+        let (x2, y2) = w[1];
+        ratios.push((y2 / x2) / (y1 / x1));
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::AlgorithmDag;
+    use crate::spawn_tree::NodeId;
+
+    #[test]
+    fn work_span_of_simple_dag() {
+        let mut g = AlgorithmDag::new();
+        let a = g.add_strand(NodeId(0), 4, 1, None, String::new());
+        let b = g.add_strand(NodeId(1), 6, 1, None, String::new());
+        g.add_edge(a, b);
+        let ws = WorkSpan::of_dag(&g);
+        assert_eq!(ws.work, 10);
+        assert_eq!(ws.span, 10);
+        assert!((ws.parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_of_independent_strands() {
+        let mut g = AlgorithmDag::new();
+        for i in 0..8 {
+            g.add_strand(NodeId(i), 5, 1, None, String::new());
+        }
+        let ws = WorkSpan::of_dag(&g);
+        assert_eq!(ws.work, 40);
+        assert_eq!(ws.span, 5);
+        assert!((ws.parallelism() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_yields_zero_parallelism() {
+        let ws = WorkSpan { work: 0, span: 0 };
+        assert_eq!(ws.parallelism(), 0.0);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
+        let (e, c) = fit_power_law(&pts);
+        assert!((e - 1.5).abs() < 1e-9, "exponent {e}");
+        assert!((c - 3.0).abs() < 1e-6, "constant {c}");
+    }
+
+    #[test]
+    fn power_law_fit_detects_log_factor_as_larger_exponent() {
+        let linear: Vec<(f64, f64)> = (4..=12)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, 2.0 * x)
+            })
+            .collect();
+        let nlogn: Vec<(f64, f64)> = (4..=12)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, 2.0 * x * x.log2())
+            })
+            .collect();
+        let (e_lin, _) = fit_power_law(&linear);
+        let (e_log, _) = fit_power_law(&nlogn);
+        assert!((e_lin - 1.0).abs() < 1e-9);
+        assert!(e_log > 1.05, "n log n should fit with exponent > 1, got {e_log}");
+    }
+
+    #[test]
+    fn dyadic_log_factor_distinguishes_shapes() {
+        let linear: Vec<(f64, f64)> = (4..=12).map(|i| ((1 << i) as f64, 7.0 * (1 << i) as f64)).collect();
+        let nlogn: Vec<(f64, f64)> = (4..=12)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, x * x.log2())
+            })
+            .collect();
+        assert!((dyadic_log_factor(&linear) - 1.0).abs() < 1e-12);
+        assert!(dyadic_log_factor(&nlogn) > 1.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_requires_two_points() {
+        let _ = fit_power_law(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Floyd–Warshall kernels.
+//!
+//! Two problems from the paper:
+//!
+//! * **1-D Floyd–Warshall** (Section 3, Figure 10) — the synthetic dynamic program
+//!   `d(t, i) = d(t−1, i) ⊕ d(t−1, t−1)` over an `n × n` time/space table, introduced
+//!   in the cache-oblivious-wavefront work the paper cites.  We instantiate `⊕` as a
+//!   min-plus step with a deterministic per-cell cost so results are checkable.
+//! * **2-D Floyd–Warshall / APSP** — the classical all-pairs-shortest-paths
+//!   recurrence `d(i, j) = min(d(i, j), d(i, k) + d(k, j))`, together with the block
+//!   update kernel used by the recursive (Gaussian-elimination-paradigm) algorithm.
+
+use crate::matrix::{MatPtr, Matrix};
+
+/// The deterministic cost used by the synthetic 1-D Floyd–Warshall `⊕` operator.
+#[inline]
+pub fn fw1d_cost(t: usize, i: usize) -> f64 {
+    ((t.wrapping_mul(31).wrapping_add(i.wrapping_mul(17))) % 7) as f64 + 1.0
+}
+
+/// The 1-D Floyd–Warshall `⊕` operator: `d(t, i) = min(d(t−1, i), d(t−1, t−1) + c(t, i))`.
+#[inline]
+pub fn fw1d_op(prev_i: f64, prev_diag: f64, t: usize, i: usize) -> f64 {
+    prev_i.min(prev_diag + fw1d_cost(t, i))
+}
+
+/// Computes the full 1-D Floyd–Warshall table (safe reference implementation).
+///
+/// Row 0 of the returned `(n+1) × (n+1)` table is the given initial row `d(0, ·)`;
+/// rows `1..=n` are the time steps.  Column 0 is unused (kept so that indices match
+/// the paper's 1-based cells).
+pub fn fw1d_naive(initial: &[f64]) -> Matrix {
+    let n = initial.len() - 1; // initial[1..=n] are the given cells
+    let mut table = Matrix::zeros(n + 1, n + 1);
+    for i in 1..=n {
+        table[(0, i)] = initial[i];
+    }
+    for t in 1..=n {
+        // d(0, 0) (used when t = 1) is part of the given boundary and is 0.
+        let diag = table[(t - 1, t - 1)];
+        for i in 1..=n {
+            table[(t, i)] = fw1d_op(table[(t - 1, i)], diag, t, i);
+        }
+    }
+    table
+}
+
+/// Block kernel for the 1-D Floyd–Warshall: fills rows `t0..t1` and columns `i0..i1`
+/// of the table (1-based, exclusive upper bounds), reading the previous row and the
+/// previous diagonal cell from the same table.
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract and must only call this
+/// once every cell it *reads* — row `t0−1` over the column range and the diagonal
+/// cells `(t−1, t−1)` for `t0 ≤ t < t1` — has been computed.  The Nested Dataflow
+/// DAG provides exactly this ordering.
+pub unsafe fn fw1d_block(table: MatPtr, t0: usize, t1: usize, i0: usize, i1: usize) {
+    for t in t0..t1 {
+        let diag = table.get(t - 1, t - 1);
+        for i in i0..i1 {
+            let v = fw1d_op(table.get(t - 1, i), diag, t, i);
+            table.set(t, i, v);
+        }
+    }
+}
+
+/// In-place all-pairs-shortest-paths (safe reference implementation): standard
+/// Floyd–Warshall triple loop with min-plus updates.  `d[(i, j)]` holds the edge
+/// weight (or `f64::INFINITY` for "no edge") on entry and the shortest-path distance
+/// on return.
+pub fn floyd_warshall_naive(d: &mut Matrix) {
+    assert_eq!(d.rows(), d.cols(), "distance matrix must be square");
+    let n = d.rows();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + d[(k, j)];
+                if cand < d[(i, j)] {
+                    d[(i, j)] = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Block kernel for the recursive 2-D Floyd–Warshall (Gaussian-elimination
+/// paradigm): `X[i][j] = min(X[i][j], U[i][k] + V[k][j])` for all `k` in the block.
+/// The same kernel serves the A (X = U = V), B (X, V aliased), C (X, U aliased) and
+/// D (all distinct) cases of the recursion; the `k`-outer loop order makes the
+/// aliased cases compute the correct Floyd–Warshall result.
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract: exclusive access to `X`,
+/// and `U`/`V` must not be concurrently written (they may alias `X`).
+pub unsafe fn fw_update_block(x: MatPtr, u: MatPtr, v: MatPtr) {
+    let m = x.rows();
+    let n = x.cols();
+    let kk = u.cols();
+    debug_assert_eq!(u.rows(), m);
+    debug_assert_eq!(v.cols(), n);
+    debug_assert_eq!(v.rows(), kk);
+    for k in 0..kk {
+        for i in 0..m {
+            let uik = u.get(i, k);
+            if !uik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = uik + v.get(k, j);
+                if cand < x.get(i, j) {
+                    x.set(i, j, cand);
+                }
+            }
+        }
+    }
+}
+
+/// Generates a random strongly-connected-ish weighted digraph as a distance matrix:
+/// `d[(i, i)] = 0`, ring edges ensure connectivity, and extra random edges with
+/// weights in `[1, 10)`; missing edges are `INFINITY`.
+pub fn random_digraph(n: usize, extra_edges_per_node: usize, seed: u64) -> Matrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { f64::INFINITY });
+    for i in 0..n {
+        let j = (i + 1) % n;
+        d[(i, j)] = rng.gen_range(1.0..10.0);
+    }
+    for i in 0..n {
+        for _ in 0..extra_edges_per_node {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                let w = rng.gen_range(1.0..10.0);
+                if w < d[(i, j)] {
+                    d[(i, j)] = w;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fw1d_naive_respects_recurrence() {
+        let n = 16;
+        let initial: Vec<f64> = (0..=n).map(|i| (i % 5) as f64).collect();
+        let table = fw1d_naive(&initial);
+        for t in 1..=n {
+            for i in 1..=n {
+                let expected = fw1d_op(table[(t - 1, i)], table[(t - 1, t - 1)], t, i);
+                assert_eq!(table[(t, i)], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn fw1d_block_reproduces_naive_when_called_in_order() {
+        let n = 32;
+        let initial: Vec<f64> = (0..=n).map(|i| ((i * 3) % 11) as f64).collect();
+        let reference = fw1d_naive(&initial);
+        let mut table = Matrix::zeros(n + 1, n + 1);
+        for i in 1..=n {
+            table[(0, i)] = initial[i];
+        }
+        let view = table.as_ptr_view();
+        // Row-by-row blocks of height 1, in time order: a valid topological order.
+        for t in 1..=n {
+            unsafe {
+                fw1d_block(view, t, t + 1, 1, n + 1);
+            }
+        }
+        assert!(table.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn floyd_warshall_on_small_known_graph() {
+        // 0 →(1) 1 →(2) 2, plus 0 →(10) 2.
+        let inf = f64::INFINITY;
+        let mut d = Matrix::from_rows(
+            3,
+            3,
+            vec![0.0, 1.0, 10.0, inf, 0.0, 2.0, inf, inf, 0.0],
+        );
+        floyd_warshall_naive(&mut d);
+        assert_eq!(d[(0, 2)], 3.0);
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 2)], 2.0);
+        assert_eq!(d[(2, 0)], inf);
+    }
+
+    #[test]
+    fn fw_block_kernel_on_whole_matrix_equals_naive() {
+        let n = 24;
+        let d0 = random_digraph(n, 3, 7);
+        let mut d_ref = d0.clone();
+        floyd_warshall_naive(&mut d_ref);
+        let mut d_blk = d0.clone();
+        let v = d_blk.as_ptr_view();
+        unsafe {
+            fw_update_block(v, v, v);
+        }
+        assert!(d_ref.max_abs_diff(&d_blk) < 1e-12);
+    }
+
+    #[test]
+    fn random_digraph_has_zero_diagonal_and_ring() {
+        let d = random_digraph(10, 2, 3);
+        for i in 0..10 {
+            assert_eq!(d[(i, i)], 0.0);
+            assert!(d[(i, (i + 1) % 10)].is_finite());
+        }
+    }
+
+    #[test]
+    fn apsp_satisfies_triangle_inequality() {
+        let n = 20;
+        let mut d = random_digraph(n, 4, 9);
+        floyd_warshall_naive(&mut d);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(
+                        d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9,
+                        "triangle inequality violated"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! General matrix multiply kernels.
+//!
+//! The paper's algorithms use MM / MMS — cache-oblivious multiply(-subtract) —
+//! as the workhorse subtask (`C += A·B` and `C -= A·B`).  This module provides:
+//!
+//! * [`gemm_naive`]: a safe whole-matrix reference implementation,
+//! * [`gemm_block`] and [`gemm_nt_block`]: the raw-view block kernels used as
+//!   base-case strands by the parallel executors (the `nt` variant computes
+//!   `C += α·A·Bᵀ`, needed by Cholesky's trailing update `A₁₁ -= L₁₀·L₁₀ᵀ`),
+//! * [`gemm_recursive`]: the sequential 2-way divide-and-conquer multiply used by the
+//!   serial cache-complexity experiments (E13) — the same traversal order the
+//!   divide-and-conquer spawn tree induces.
+
+use crate::matrix::{MatPtr, Matrix};
+
+/// `C = β·C + α·A·B` (safe reference implementation).
+///
+/// # Panics
+/// Panics if the dimensions are inconsistent.
+pub fn gemm_naive(c: &mut Matrix, a: &Matrix, b: &Matrix, alpha: f64, beta: f64) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            c[(i, j)] *= beta;
+        }
+        for k in 0..a.cols() {
+            let aik = alpha * a[(i, k)];
+            for j in 0..c.cols() {
+                c[(i, j)] += aik * b[(k, j)];
+            }
+        }
+    }
+}
+
+/// Block kernel: `C += α·A·B` on raw views.
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract: the views must be live and
+/// no other thread may concurrently access any element of `C`, nor write any element
+/// of `A` or `B`, for the duration of the call.
+pub unsafe fn gemm_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    debug_assert_eq!(a.rows(), m);
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(b.cols(), n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = alpha * a.get(i, p);
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c.add_assign(i, j, aip * b.get(p, j));
+            }
+        }
+    }
+}
+
+/// Block kernel: `C += α·A·Bᵀ` on raw views.
+///
+/// # Safety
+/// Same contract as [`gemm_block`].
+pub unsafe fn gemm_nt_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    debug_assert_eq!(a.rows(), m);
+    debug_assert_eq!(b.cols(), k, "B must be n x k so that Bᵀ is k x n");
+    debug_assert_eq!(b.rows(), n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(j, p);
+            }
+            c.add_assign(i, j, alpha * acc);
+        }
+    }
+}
+
+/// Sequential 2-way divide-and-conquer `C += α·A·B` with base case `base`, following
+/// the recursion of Section 2 of the paper (split every matrix into quadrants, eight
+/// recursive multiplies, the two writers of each quadrant of `C` serialised).
+///
+/// # Safety
+/// Same contract as [`gemm_block`].
+pub unsafe fn gemm_recursive(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64, base: usize) {
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    if m <= base || n <= base || k <= base {
+        gemm_block(c, a, b, alpha);
+        return;
+    }
+    let (mh, nh, kh) = (m / 2, n / 2, k / 2);
+    let a00 = a.block(0, 0, mh, kh);
+    let a01 = a.block(0, kh, mh, k - kh);
+    let a10 = a.block(mh, 0, m - mh, kh);
+    let a11 = a.block(mh, kh, m - mh, k - kh);
+    let b00 = b.block(0, 0, kh, nh);
+    let b01 = b.block(0, nh, kh, n - nh);
+    let b10 = b.block(kh, 0, k - kh, nh);
+    let b11 = b.block(kh, nh, k - kh, n - nh);
+    let c00 = c.block(0, 0, mh, nh);
+    let c01 = c.block(0, nh, mh, n - nh);
+    let c10 = c.block(mh, 0, m - mh, nh);
+    let c11 = c.block(mh, nh, m - mh, n - nh);
+
+    gemm_recursive(c00, a00, b00, alpha, base);
+    gemm_recursive(c01, a00, b01, alpha, base);
+    gemm_recursive(c10, a10, b00, alpha, base);
+    gemm_recursive(c11, a10, b01, alpha, base);
+    gemm_recursive(c00, a01, b10, alpha, base);
+    gemm_recursive(c01, a01, b11, alpha, base);
+    gemm_recursive(c10, a11, b10, alpha, base);
+    gemm_recursive(c11, a11, b11, alpha, base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_gemm_matches_matmul() {
+        let a = Matrix::random(5, 7, 1);
+        let b = Matrix::random(7, 4, 2);
+        let mut c = Matrix::zeros(5, 4);
+        gemm_naive(&mut c, &a, &b, 1.0, 0.0);
+        assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-12);
+    }
+
+    #[test]
+    fn naive_gemm_accumulates_with_beta() {
+        let a = Matrix::random(3, 3, 1);
+        let b = Matrix::random(3, 3, 2);
+        let mut c = Matrix::identity(3);
+        gemm_naive(&mut c, &a, &b, 2.0, 1.0);
+        let mut expected = Matrix::identity(3);
+        let prod = a.matmul(&b);
+        for i in 0..3 {
+            for j in 0..3 {
+                expected[(i, j)] += 2.0 * prod[(i, j)];
+            }
+        }
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn block_gemm_matches_naive() {
+        let a = Matrix::random(6, 5, 3);
+        let b = Matrix::random(5, 8, 4);
+        let mut c1 = Matrix::random(6, 8, 5);
+        let mut c2 = c1.clone();
+        gemm_naive(&mut c1, &a, &b, -1.0, 1.0);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        unsafe {
+            gemm_block(c2.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), -1.0);
+        }
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn block_gemm_on_subblocks() {
+        // Multiply only the top-left quadrants.
+        let mut a = Matrix::random(8, 8, 6);
+        let mut b = Matrix::random(8, 8, 7);
+        let mut c = Matrix::zeros(8, 8);
+        unsafe {
+            let cv = c.as_ptr_view().block(0, 0, 4, 4);
+            let av = a.as_ptr_view().block(0, 0, 4, 4);
+            let bv = b.as_ptr_view().block(0, 0, 4, 4);
+            gemm_block(cv, av, bv, 1.0);
+        }
+        let expected = a.block(0, 0, 4, 4).matmul(&b.block(0, 0, 4, 4));
+        assert!(c.block(0, 0, 4, 4).max_abs_diff(&expected) < 1e-12);
+        // Everything outside the quadrant is untouched.
+        assert_eq!(c[(5, 5)], 0.0);
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Matrix::random(5, 6, 8);
+        let b = Matrix::random(4, 6, 9); // Bᵀ is 6x4
+        let mut c = Matrix::zeros(5, 4);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        unsafe {
+            gemm_nt_block(c.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), 1.0);
+        }
+        let expected = a.matmul(&b.transpose());
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn recursive_gemm_matches_naive_on_non_power_of_two() {
+        for n in [7usize, 16, 24, 33] {
+            let a = Matrix::random(n, n, 10 + n as u64);
+            let b = Matrix::random(n, n, 20 + n as u64);
+            let mut c1 = Matrix::zeros(n, n);
+            gemm_naive(&mut c1, &a, &b, 1.0, 0.0);
+            let mut c2 = Matrix::zeros(n, n);
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            unsafe {
+                gemm_recursive(
+                    c2.as_ptr_view(),
+                    am.as_ptr_view(),
+                    bm.as_ptr_view(),
+                    1.0,
+                    4,
+                );
+            }
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "n={n}");
+        }
+    }
+}

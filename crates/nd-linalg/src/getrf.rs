@@ -1,0 +1,269 @@
+//! LU factorization with partial pivoting.
+//!
+//! The paper obtains its LU result by parallelising Toledo's 2-way recursive
+//! algorithm and plugging in the ND TRS.  This module provides the sequential
+//! reference factorization and the block kernels (panel factorization, row swaps,
+//! unit-lower triangular solve) that the parallel blocked algorithm in
+//! `nd-algorithms` is built from.
+
+use crate::matrix::{MatPtr, Matrix};
+
+/// In-place LU factorization with partial pivoting (safe reference
+/// implementation).  On return `a` holds `L` (unit lower, below the diagonal) and
+/// `U` (upper, on and above the diagonal); the returned vector `piv` records the row
+/// interchanges: at step `k`, row `k` was swapped with row `piv[k] ≥ k`.
+///
+/// # Panics
+/// Panics if a zero pivot column is encountered (matrix numerically singular).
+pub fn getrf_naive(a: &mut Matrix) -> Vec<usize> {
+    let n = a.rows();
+    let m = a.cols();
+    let steps = n.min(m);
+    let mut piv = Vec::with_capacity(steps);
+    for k in 0..steps {
+        // Pivot search in column k.
+        let mut p = k;
+        let mut best = a[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = a[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        assert!(best > 0.0, "matrix is singular at column {k}");
+        piv.push(p);
+        if p != k {
+            for j in 0..m {
+                let tmp = a[(k, j)];
+                a[(k, j)] = a[(p, j)];
+                a[(p, j)] = tmp;
+            }
+        }
+        let pivot = a[(k, k)];
+        for i in (k + 1)..n {
+            let l = a[(i, k)] / pivot;
+            a[(i, k)] = l;
+            for j in (k + 1)..m {
+                a[(i, j)] -= l * a[(k, j)];
+            }
+        }
+    }
+    piv
+}
+
+/// Applies the row interchanges `piv` (as produced by [`getrf_naive`]) to a matrix.
+pub fn apply_pivots(a: &mut Matrix, piv: &[usize]) {
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            for j in 0..a.cols() {
+                let tmp = a[(k, j)];
+                a[(k, j)] = a[(p, j)];
+                a[(p, j)] = tmp;
+            }
+        }
+    }
+}
+
+/// Extracts the unit-lower factor `L` from a factored matrix.
+pub fn extract_l(lu: &Matrix) -> Matrix {
+    let n = lu.rows();
+    let k = n.min(lu.cols());
+    Matrix::from_fn(n, k, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            lu[(i, j)]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Extracts the upper factor `U` from a factored matrix.
+pub fn extract_u(lu: &Matrix) -> Matrix {
+    let m = lu.cols();
+    let k = lu.rows().min(m);
+    Matrix::from_fn(k, m, |i, j| if j >= i { lu[(i, j)] } else { 0.0 })
+}
+
+/// `‖P·A − L·U‖_F / ‖A‖_F` for a computed factorization (testing helper).
+pub fn lu_residual(lu: &Matrix, piv: &[usize], a: &Matrix) -> f64 {
+    let mut pa = a.clone();
+    apply_pivots(&mut pa, piv);
+    let l = extract_l(lu);
+    let u = extract_u(lu);
+    let mut res = l.matmul(&u);
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            res[(i, j)] -= pa[(i, j)];
+        }
+    }
+    res.frobenius_norm() / a.frobenius_norm()
+}
+
+/// Block kernel: in-place partially pivoted LU of a (tall) panel.  Returns the local
+/// pivot rows (relative to the panel).
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract: exclusive access to the
+/// panel for the duration of the call.
+pub unsafe fn getrf_panel_block(a: MatPtr) -> Vec<usize> {
+    let n = a.rows();
+    let m = a.cols();
+    let steps = n.min(m);
+    let mut piv = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let mut p = k;
+        let mut best = a.get(k, k).abs();
+        for i in (k + 1)..n {
+            let v = a.get(i, k).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        debug_assert!(best > 0.0, "panel is singular at column {k}");
+        piv.push(p);
+        if p != k {
+            for j in 0..m {
+                let tmp = a.get(k, j);
+                a.set(k, j, a.get(p, j));
+                a.set(p, j, tmp);
+            }
+        }
+        let pivot = a.get(k, k);
+        for i in (k + 1)..n {
+            let l = a.get(i, k) / pivot;
+            a.set(i, k, l);
+            for j in (k + 1)..m {
+                a.add_assign(i, j, -l * a.get(k, j));
+            }
+        }
+    }
+    piv
+}
+
+/// Block kernel: applies local row interchanges to a block (the trailing columns of
+/// the rows factored by [`getrf_panel_block`]).
+///
+/// # Safety
+/// Exclusive access to the block.
+pub unsafe fn swap_rows_block(a: MatPtr, piv: &[usize]) {
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            for j in 0..a.cols() {
+                let tmp = a.get(k, j);
+                a.set(k, j, a.get(p, j));
+                a.set(p, j, tmp);
+            }
+        }
+    }
+}
+
+/// Block kernel: solves `L·X = B` in place in `B` where `L` is **unit** lower
+/// triangular (diagonal implicitly 1), as produced by an LU panel factorization.
+///
+/// # Safety
+/// Exclusive access to `B`, shared read access to `L`.
+pub unsafe fn trsm_unit_lower_block(l: MatPtr, b: MatPtr) {
+    let n = l.rows();
+    debug_assert_eq!(l.cols(), n);
+    debug_assert_eq!(b.rows(), n);
+    let m = b.cols();
+    for j in 0..m {
+        for i in 0..n {
+            let mut acc = b.get(i, j);
+            for k in 0..i {
+                acc -= l.get(i, k) * b.get(k, j);
+            }
+            b.set(i, j, acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_reconstructs_pa() {
+        for n in [1usize, 3, 8, 17, 32] {
+            let a = Matrix::random(n, n, 100 + n as u64);
+            let mut lu = a.clone();
+            let piv = getrf_naive(&mut lu);
+            assert!(lu_residual(&lu, &piv, &a) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_lu_works() {
+        let a = Matrix::random(10, 6, 7);
+        let mut lu = a.clone();
+        let piv = getrf_naive(&mut lu);
+        assert_eq!(piv.len(), 6);
+        assert!(lu_residual(&lu, &piv, &a) < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_keeps_multipliers_bounded() {
+        let a = Matrix::random(24, 24, 11);
+        let mut lu = a.clone();
+        let _ = getrf_naive(&mut lu);
+        let l = extract_l(&lu);
+        for i in 0..24 {
+            for j in 0..i {
+                assert!(l[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_block_matches_naive() {
+        let a = Matrix::random(12, 4, 13);
+        let mut ref_lu = a.clone();
+        let ref_piv = getrf_naive(&mut ref_lu);
+        let mut blk = a.clone();
+        let piv = unsafe { getrf_panel_block(blk.as_ptr_view()) };
+        assert_eq!(piv, ref_piv);
+        assert!(ref_lu.max_abs_diff(&blk) < 1e-12);
+    }
+
+    #[test]
+    fn unit_lower_solve_matches_explicit_inverse() {
+        let n = 8;
+        let a = Matrix::random(n, n, 21);
+        let mut lu = a.clone();
+        let _ = getrf_naive(&mut lu);
+        let l = extract_l(&lu);
+        let x_true = Matrix::random(n, 5, 22);
+        let mut b = l.matmul(&x_true);
+        let mut lm = lu.clone();
+        unsafe {
+            trsm_unit_lower_block(lm.as_ptr_view(), b.as_ptr_view());
+        }
+        assert!(b.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn swap_rows_roundtrip() {
+        let a = Matrix::random(6, 6, 31);
+        let mut b = a.clone();
+        let piv = vec![2, 1, 4, 3, 4, 5];
+        unsafe {
+            swap_rows_block(b.as_ptr_view(), &piv);
+        }
+        // Applying the same interchanges through the safe helper must agree.
+        let mut c = a.clone();
+        apply_pivots(&mut c, &piv);
+        assert!(b.max_abs_diff(&c) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        let _ = getrf_naive(&mut a);
+    }
+}

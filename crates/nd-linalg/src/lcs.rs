@@ -1,0 +1,190 @@
+//! Longest common subsequence (LCS) kernels.
+//!
+//! The dynamic program of Eq. (16) of the paper: for sequences `S` and `T`,
+//!
+//! ```text
+//! X(i, j) = 0                                   if i = 0 or j = 0
+//!         = X(i−1, j−1) + 1                     if s_i = t_j
+//!         = max(X(i, j−1), X(i−1, j))           otherwise
+//! ```
+//!
+//! The table is stored as an `(m+1) × (n+1)` [`Matrix`] of small integers (exact in
+//! `f64`), so the block kernel can use the same [`MatPtr`] machinery as the linear
+//! algebra kernels.
+
+use crate::matrix::{MatPtr, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Computes the full LCS dynamic-programming table (safe reference implementation).
+/// Entry `(i, j)` is the LCS length of `s[..i]` and `t[..j]`.
+pub fn lcs_table_naive(s: &[u8], t: &[u8]) -> Matrix {
+    let m = s.len();
+    let n = t.len();
+    let mut x = Matrix::zeros(m + 1, n + 1);
+    for i in 1..=m {
+        for j in 1..=n {
+            x[(i, j)] = if s[i - 1] == t[j - 1] {
+                x[(i - 1, j - 1)] + 1.0
+            } else {
+                x[(i, j - 1)].max(x[(i - 1, j)])
+            };
+        }
+    }
+    x
+}
+
+/// The LCS length of two sequences (safe reference implementation, O(n) space).
+pub fn lcs_naive(s: &[u8], t: &[u8]) -> u64 {
+    let n = t.len();
+    let mut prev = vec![0u64; n + 1];
+    let mut cur = vec![0u64; n + 1];
+    for &si in s {
+        for j in 1..=n {
+            cur[j] = if si == t[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                cur[j - 1].max(prev[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Block kernel: fills rows `i0..i1` and columns `j0..j1` of the LCS table
+/// (1-based, exclusive upper bounds), reading the row above, the column to the left
+/// and the diagonal — all from the same table.
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract and must only call this
+/// once every cell the block reads (its top and left boundary) has been computed —
+/// the ordering the Nested Dataflow DAG of the LCS algorithm provides.
+pub unsafe fn lcs_block(
+    table: MatPtr,
+    s: &[u8],
+    t: &[u8],
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    for i in i0..i1 {
+        for j in j0..j1 {
+            let v = if s[i - 1] == t[j - 1] {
+                table.get(i - 1, j - 1) + 1.0
+            } else {
+                table.get(i, j - 1).max(table.get(i - 1, j))
+            };
+            table.set(i, j, v);
+        }
+    }
+}
+
+/// Generates a random DNA-like sequence (`A`, `C`, `G`, `T`), seeded.
+pub fn random_sequence(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alphabet = [b'A', b'C', b'G', b'T'];
+    (0..len).map(|_| alphabet[rng.gen_range(0..4)]).collect()
+}
+
+/// Recovers one longest common subsequence from a full table (testing helper).
+pub fn lcs_backtrack(table: &Matrix, s: &[u8], t: &[u8]) -> Vec<u8> {
+    let mut i = s.len();
+    let mut j = t.len();
+    let mut out = Vec::new();
+    while i > 0 && j > 0 {
+        if s[i - 1] == t[j - 1] {
+            out.push(s[i - 1]);
+            i -= 1;
+            j -= 1;
+        } else if table[(i - 1, j)] >= table[(i, j - 1)] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// `true` if `sub` is a subsequence of `seq` (testing helper).
+pub fn is_subsequence(sub: &[u8], seq: &[u8]) -> bool {
+    let mut it = seq.iter();
+    sub.iter().all(|c| it.any(|x| x == c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(lcs_naive(b"ABCBDAB", b"BDCABA"), 4);
+        assert_eq!(lcs_naive(b"", b"ANY"), 0);
+        assert_eq!(lcs_naive(b"SAME", b"SAME"), 4);
+        assert_eq!(lcs_naive(b"ABC", b"DEF"), 0);
+    }
+
+    #[test]
+    fn table_and_linear_space_versions_agree() {
+        let s = random_sequence(37, 1);
+        let t = random_sequence(53, 2);
+        let table = lcs_table_naive(&s, &t);
+        assert_eq!(table[(s.len(), t.len())] as u64, lcs_naive(&s, &t));
+    }
+
+    #[test]
+    fn block_kernel_reproduces_table_when_called_in_wavefront_order() {
+        let s = random_sequence(40, 3);
+        let t = random_sequence(40, 4);
+        let reference = lcs_table_naive(&s, &t);
+        let mut table = Matrix::zeros(s.len() + 1, t.len() + 1);
+        let view = table.as_ptr_view();
+        let block = 8;
+        let blocks = s.len() / block;
+        // Anti-diagonal wavefront order over 8x8 blocks: a valid topological order.
+        for wave in 0..(2 * blocks - 1) {
+            for bi in 0..blocks {
+                let bj = wave as isize - bi as isize;
+                if bj < 0 || bj >= blocks as isize {
+                    continue;
+                }
+                let bj = bj as usize;
+                unsafe {
+                    lcs_block(
+                        view,
+                        &s,
+                        &t,
+                        1 + bi * block,
+                        1 + (bi + 1) * block,
+                        1 + bj * block,
+                        1 + (bj + 1) * block,
+                    );
+                }
+            }
+        }
+        assert!(table.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn backtracked_sequence_is_a_common_subsequence_of_maximum_length() {
+        let s = random_sequence(60, 5);
+        let t = random_sequence(45, 6);
+        let table = lcs_table_naive(&s, &t);
+        let sub = lcs_backtrack(&table, &s, &t);
+        assert_eq!(sub.len() as u64, lcs_naive(&s, &t));
+        assert!(is_subsequence(&sub, &s));
+        assert!(is_subsequence(&sub, &t));
+    }
+
+    #[test]
+    fn lcs_length_is_symmetric_and_bounded() {
+        let s = random_sequence(30, 7);
+        let t = random_sequence(50, 8);
+        let a = lcs_naive(&s, &t);
+        let b = lcs_naive(&t, &s);
+        assert_eq!(a, b);
+        assert!(a <= 30);
+    }
+}

@@ -1,0 +1,38 @@
+//! # nd-linalg — dense linear algebra and dynamic-programming kernels
+//!
+//! The substrate crate for the Nested Dataflow reproduction: dense matrices, the
+//! sequential reference algorithms the paper's divide-and-conquer algorithms are
+//! checked against, and the small *block kernels* that become the base-case strands
+//! of the parallel spawn trees.
+//!
+//! Contents:
+//!
+//! * [`matrix`] — row-major [`Matrix`](matrix::Matrix), random/SPD generators, norms,
+//!   and the raw block view [`MatPtr`](matrix::MatPtr) used by parallel executors.
+//! * [`gemm`] — matrix multiply(-subtract) kernels (`C ± A·B`, `C ± A·Bᵀ`).
+//! * [`trsm`] — triangular solves (left lower, and right lower-transposed).
+//! * [`potrf`] — Cholesky factorization.
+//! * [`getrf`] — LU factorization with partial pivoting.
+//! * [`fw`] — Floyd–Warshall: the 1-D synthetic benchmark of the paper and the 2-D
+//!   all-pairs-shortest-paths kernels.
+//! * [`lcs`] — longest common subsequence dynamic program.
+//!
+//! Every module has a *naive* (triple-loop / textbook) reference implementation used
+//! by tests and by the benchmark harness as ground truth, plus block kernels on
+//! [`MatPtr`](matrix::MatPtr) views.  The block kernels are `unsafe fn`: they write
+//! through raw pointers and the caller must guarantee that concurrent invocations
+//! never overlap — the guarantee the Nested Dataflow algorithm DAG provides by
+//! construction.
+
+#![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
+
+pub mod fw;
+pub mod gemm;
+pub mod getrf;
+pub mod lcs;
+pub mod matrix;
+pub mod potrf;
+pub mod trsm;
+
+pub use matrix::{MatPtr, Matrix};

@@ -1,0 +1,468 @@
+//! Dense row-major matrices and raw block views.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major, heap-allocated matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { data, rows, cols }
+    }
+
+    /// A matrix with entries drawn uniformly from `[-1, 1)`, seeded for
+    /// reproducibility.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random symmetric positive-definite `n × n` matrix (`A·Aᵀ + n·I`), seeded.
+    pub fn random_spd(n: usize, seed: u64) -> Self {
+        let a = Matrix::random(n, n, seed);
+        let mut spd = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[(i, k)] * a[(j, k)];
+                }
+                spd[(i, j)] = acc;
+            }
+            spd[(i, i)] += n as f64;
+        }
+        spd
+    }
+
+    /// A random lower-triangular `n × n` matrix with diagonal entries bounded away
+    /// from zero (suitable as a well-conditioned triangular system), seeded.
+    pub fn random_lower_triangular(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |i, j| {
+            if j > i {
+                0.0
+            } else if i == j {
+                2.0 + rng.gen_range(0.0..1.0)
+            } else {
+                rng.gen_range(-1.0..1.0)
+            }
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Extracts a copy of the block with top-left corner `(r0, c0)` and shape
+    /// `rows × cols`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Copies `src` into the block with top-left corner `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols);
+        for i in 0..src.rows {
+            for j in 0..src.cols {
+                self[(r0 + i, c0 + j)] = src[(i, j)];
+            }
+        }
+    }
+
+    /// The naive matrix product `self · other` (reference implementation).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// The largest absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Zeros the strict upper triangle (useful after in-place factorizations that
+    /// leave stale data above the diagonal).
+    pub fn zero_upper_triangle(&mut self) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            for j in (i + 1)..self.cols {
+                self[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    /// A raw block view covering the whole matrix.  See [`MatPtr`] for the safety
+    /// contract of the view's accessors.
+    pub fn as_ptr_view(&mut self) -> MatPtr {
+        MatPtr {
+            ptr: self.data.as_mut_ptr(),
+            stride: self.cols,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A raw, copyable view of a rectangular block inside a [`Matrix`].
+///
+/// `MatPtr` is the currency of the parallel executors: the Nested Dataflow runtime
+/// hands disjoint (or properly ordered) blocks of the same matrix to different
+/// worker threads.  The Rust borrow checker cannot see that the algorithm DAG
+/// serialises every conflicting access, so the element accessors are `unsafe` and
+/// the view is `Send + Sync` by assertion.
+///
+/// # Safety contract
+///
+/// * The view must not outlive the matrix it was created from.
+/// * Two calls that touch the same element must not race; in this repository that is
+///   guaranteed by executing block kernels in the order of the algorithm DAG
+///   produced by the DAG Rewriting System (the property the paper's model exists to
+///   provide), and is additionally validated by the executor tests comparing
+///   parallel results against sequential ones.
+#[derive(Clone, Copy, Debug)]
+pub struct MatPtr {
+    ptr: *mut f64,
+    stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: MatPtr is a raw view; synchronisation is provided externally by the
+// algorithm DAG (see the type-level documentation).
+unsafe impl Send for MatPtr {}
+unsafe impl Sync for MatPtr {}
+
+impl MatPtr {
+    /// Number of rows of the view.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the view.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row stride (in elements) of the underlying matrix.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// A sub-view with top-left corner `(r0, c0)` and shape `rows × cols`.
+    ///
+    /// # Panics
+    /// Panics if the sub-view does not fit inside this view.
+    #[inline]
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatPtr {
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block ({r0},{c0}) {rows}x{cols} out of bounds for {}x{} view",
+            self.rows,
+            self.cols
+        );
+        MatPtr {
+            // SAFETY: the offset stays inside the allocation by the assert above.
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            stride: self.stride,
+            rows,
+            cols,
+        }
+    }
+
+    /// Reads element `(i, j)`.
+    ///
+    /// # Safety
+    /// The caller must uphold the [`MatPtr`] safety contract (no racing writes to
+    /// this element, view still valid) and `i < rows`, `j < cols`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j)
+    }
+
+    /// Writes element `(i, j)`.
+    ///
+    /// # Safety
+    /// Same as [`MatPtr::get`], plus no concurrent reads of this element.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j) = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    ///
+    /// # Safety
+    /// Same as [`MatPtr::set`].
+    #[inline]
+    pub unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i * self.stride + j) += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_identity_from_fn() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+
+        let f = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(f[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(4, 5);
+        m[(2, 3)] = 7.5;
+        assert_eq!(m[(2, 3)], 7.5);
+        assert_eq!(m.as_slice()[2 * 5 + 3], 7.5);
+    }
+
+    #[test]
+    fn transpose_and_matmul_agree_with_identity() {
+        let a = Matrix::random(4, 6, 1);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t[(5, 3)], a[(3, 5)]);
+        let i = Matrix::identity(6);
+        let prod = a.matmul(&i);
+        assert!(a.max_abs_diff(&prod) < 1e-15);
+    }
+
+    #[test]
+    fn block_and_set_block_round_trip() {
+        let a = Matrix::random(6, 6, 2);
+        let b = a.block(2, 1, 3, 4);
+        assert_eq!(b[(0, 0)], a[(2, 1)]);
+        let mut c = Matrix::zeros(6, 6);
+        c.set_block(2, 1, &b);
+        assert_eq!(c[(4, 4)], a[(4, 4)]);
+        assert_eq!(c[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_with_dominant_diagonal() {
+        let n = 8;
+        let a = Matrix::random_spd(n, 3);
+        for i in 0..n {
+            assert!(a[(i, i)] > 0.0);
+            for j in 0..n {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_triangular_generator() {
+        let t = Matrix::random_lower_triangular(6, 4);
+        for i in 0..6 {
+            assert!(t[(i, i)].abs() >= 2.0);
+            for j in (i + 1)..6 {
+                assert_eq!(t[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+    }
+
+    #[test]
+    fn ptr_view_reads_and_writes() {
+        let mut m = Matrix::zeros(4, 4);
+        let v = m.as_ptr_view();
+        unsafe {
+            v.set(1, 2, 5.0);
+            v.add_assign(1, 2, 1.5);
+            assert_eq!(v.get(1, 2), 6.5);
+        }
+        assert_eq!(m[(1, 2)], 6.5);
+    }
+
+    #[test]
+    fn ptr_view_blocks_share_storage() {
+        let mut m = Matrix::zeros(4, 4);
+        let v = m.as_ptr_view();
+        let tl = v.block(0, 0, 2, 2);
+        let br = v.block(2, 2, 2, 2);
+        unsafe {
+            tl.set(1, 1, 1.0);
+            br.set(0, 0, 2.0);
+        }
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(2, 2)], 2.0);
+        assert_eq!(tl.rows(), 2);
+        assert_eq!(v.stride(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ptr_view_block_bounds_checked() {
+        let mut m = Matrix::zeros(4, 4);
+        let v = m.as_ptr_view();
+        let _ = v.block(3, 3, 2, 2);
+    }
+
+    #[test]
+    fn zero_upper_triangle_works() {
+        let mut a = Matrix::random(4, 4, 9);
+        a.zero_upper_triangle();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(a[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let a = Matrix::random(20, 20, 5);
+        let s = format!("{a:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.len() < 4000);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cholesky factorization kernels.
+//!
+//! `CHO(A)` computes a lower-triangular `L` with `A = L·Lᵀ` for a symmetric
+//! positive-definite `A` (paper, Section 3).
+
+use crate::matrix::{MatPtr, Matrix};
+
+/// In-place Cholesky factorization (safe reference implementation): on return the
+/// lower triangle of `a` holds `L`; the strict upper triangle is zeroed.
+///
+/// # Panics
+/// Panics if `a` is not square or not (numerically) positive definite.
+pub fn potrf_naive(a: &mut Matrix) {
+    assert_eq!(a.rows(), a.cols(), "A must be square");
+    let n = a.rows();
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        assert!(d > 0.0, "matrix is not positive definite (pivot {j})");
+        let d = d.sqrt();
+        a[(j, j)] = d;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = v / d;
+        }
+    }
+    a.zero_upper_triangle();
+}
+
+/// Block kernel: in-place Cholesky of a small block (lower triangle overwritten with
+/// `L`, strict upper triangle left untouched).
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract: exclusive access to the
+/// block for the duration of the call.
+pub unsafe fn potrf_block(a: MatPtr) {
+    let n = a.rows();
+    debug_assert_eq!(a.cols(), n);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let v = a.get(j, k);
+            d -= v * v;
+        }
+        debug_assert!(d > 0.0, "matrix is not positive definite (pivot {j})");
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut v = a.get(i, j);
+            for k in 0..j {
+                v -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, v / d);
+        }
+    }
+}
+
+/// Checks `‖L·Lᵀ − A‖_F / ‖A‖_F` for a computed factor (testing helper).
+pub fn cholesky_residual(l: &Matrix, a: &Matrix) -> f64 {
+    let mut ll = l.matmul(&l.transpose());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            ll[(i, j)] -= a[(i, j)];
+        }
+    }
+    ll.frobenius_norm() / a.frobenius_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_reconstructs_the_matrix() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let a = Matrix::random_spd(n, n as u64);
+            let mut l = a.clone();
+            potrf_naive(&mut l);
+            assert!(
+                cholesky_residual(&l, &a) < 1e-10,
+                "residual too large for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = Matrix::random_spd(8, 1);
+        let mut l = a.clone();
+        potrf_naive(&mut l);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+        for i in 0..8 {
+            assert!(l[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn block_kernel_matches_naive_on_lower_triangle() {
+        let a = Matrix::random_spd(12, 2);
+        let mut l_ref = a.clone();
+        potrf_naive(&mut l_ref);
+        let mut l_blk = a.clone();
+        unsafe {
+            potrf_block(l_blk.as_ptr_view());
+        }
+        l_blk.zero_upper_triangle();
+        assert!(l_ref.max_abs_diff(&l_blk) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn indefinite_matrix_panics() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = -1.0;
+        potrf_naive(&mut a);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let mut a = Matrix::zeros(3, 4);
+        potrf_naive(&mut a);
+    }
+}

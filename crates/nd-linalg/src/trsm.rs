@@ -1,0 +1,164 @@
+//! Triangular solve kernels (the TRS algorithm's building blocks).
+//!
+//! `TRS(T, B)` in the paper takes a lower-triangular `n × n` matrix `T` and a right
+//! hand side `B` and overwrites `B` with `X` such that `T·X = B`.  The Cholesky
+//! algorithm additionally needs the "right-looking transposed" variant
+//! `X·Lᵀ = B` (the paper writes it as `TRS(L₀₀, A₁₀ᵀ)ᵀ`).
+
+use crate::matrix::{MatPtr, Matrix};
+
+/// Solves `T·X = B` for lower-triangular `T`, overwriting `B` with `X`
+/// (safe reference implementation, forward substitution).
+///
+/// # Panics
+/// Panics if `T` is not square or the dimensions are inconsistent.
+pub fn trsm_lower_naive(t: &Matrix, b: &mut Matrix) {
+    assert_eq!(t.rows(), t.cols(), "T must be square");
+    assert_eq!(t.rows(), b.rows());
+    let n = t.rows();
+    let m = b.cols();
+    for j in 0..m {
+        for i in 0..n {
+            let mut acc = b[(i, j)];
+            for k in 0..i {
+                acc -= t[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = acc / t[(i, i)];
+        }
+    }
+}
+
+/// Solves `X·Lᵀ = B` for lower-triangular `L`, overwriting `B` with `X`
+/// (safe reference implementation).  This is the update `L₁₀ ← A₁₀·L₀₀⁻ᵀ` used by
+/// Cholesky.
+pub fn trsm_right_lower_trans_naive(l: &Matrix, b: &mut Matrix) {
+    assert_eq!(l.rows(), l.cols(), "L must be square");
+    assert_eq!(l.rows(), b.cols());
+    let n = l.rows();
+    let m = b.rows();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = b[(i, j)];
+            for k in 0..j {
+                acc -= b[(i, k)] * l[(j, k)];
+            }
+            b[(i, j)] = acc / l[(j, j)];
+        }
+    }
+}
+
+/// Block kernel: solves `T·X = B` in place in `B` for lower-triangular `T`.
+///
+/// # Safety
+/// The caller must uphold the [`MatPtr`] safety contract: no concurrent access to
+/// `B` and no concurrent writes to `T` during the call.
+pub unsafe fn trsm_lower_block(t: MatPtr, b: MatPtr) {
+    let n = t.rows();
+    debug_assert_eq!(t.cols(), n);
+    debug_assert_eq!(b.rows(), n);
+    let m = b.cols();
+    for j in 0..m {
+        for i in 0..n {
+            let mut acc = b.get(i, j);
+            for k in 0..i {
+                acc -= t.get(i, k) * b.get(k, j);
+            }
+            b.set(i, j, acc / t.get(i, i));
+        }
+    }
+}
+
+/// Block kernel: solves `X·Lᵀ = B` in place in `B` for lower-triangular `L`.
+///
+/// # Safety
+/// Same contract as [`trsm_lower_block`].
+pub unsafe fn trsm_right_lower_trans_block(l: MatPtr, b: MatPtr) {
+    let n = l.rows();
+    debug_assert_eq!(l.cols(), n);
+    debug_assert_eq!(b.cols(), n);
+    let m = b.rows();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = b.get(i, j);
+            for k in 0..j {
+                acc -= b.get(i, k) * l.get(j, k);
+            }
+            b.set(i, j, acc / l.get(j, j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+
+    #[test]
+    fn forward_substitution_solves_lower_system() {
+        let n = 12;
+        let t = Matrix::random_lower_triangular(n, 1);
+        let x_true = Matrix::random(n, 5, 2);
+        let mut b = t.matmul(&x_true);
+        trsm_lower_naive(&t, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn right_transposed_solve_matches_definition() {
+        let n = 10;
+        let l = Matrix::random_lower_triangular(n, 3);
+        let x_true = Matrix::random(7, n, 4);
+        // B = X·Lᵀ
+        let mut b = x_true.matmul(&l.transpose());
+        trsm_right_lower_trans_naive(&l, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn block_kernels_match_naive() {
+        let n = 9;
+        let t = Matrix::random_lower_triangular(n, 5);
+        let b0 = Matrix::random(n, 6, 6);
+
+        let mut b_ref = b0.clone();
+        trsm_lower_naive(&t, &mut b_ref);
+
+        let mut tm = t.clone();
+        let mut b_blk = b0.clone();
+        unsafe {
+            trsm_lower_block(tm.as_ptr_view(), b_blk.as_ptr_view());
+        }
+        assert!(b_ref.max_abs_diff(&b_blk) < 1e-12);
+
+        // Right-transposed variant.
+        let b0 = Matrix::random(6, n, 7);
+        let mut b_ref = b0.clone();
+        trsm_right_lower_trans_naive(&t, &mut b_ref);
+        let mut b_blk = b0.clone();
+        unsafe {
+            trsm_right_lower_trans_block(tm.as_ptr_view(), b_blk.as_ptr_view());
+        }
+        assert!(b_ref.max_abs_diff(&b_blk) < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_solution_is_small() {
+        let n = 16;
+        let t = Matrix::random_lower_triangular(n, 8);
+        let b = Matrix::random(n, n, 9);
+        let mut x = b.clone();
+        trsm_lower_naive(&t, &mut x);
+        // residual T·X - B
+        let mut res = b.clone();
+        gemm_naive(&mut res, &t, &x, 1.0, -1.0);
+        assert!(res.frobenius_norm() / b.frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_t_panics() {
+        let t = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 2);
+        trsm_lower_naive(&t, &mut b);
+    }
+}

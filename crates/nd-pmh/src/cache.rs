@@ -1,0 +1,322 @@
+//! An ideal cache: fully associative, LRU replacement, configurable capacity and
+//! line size.  This is the cache model of Frigo et al.'s cache-oblivious framework,
+//! which the paper uses for its serial cache-complexity statements.
+
+use std::collections::HashMap;
+
+/// A fully-associative LRU cache over an abstract word-addressed memory.
+#[derive(Clone, Debug)]
+pub struct IdealCache {
+    /// Capacity in words.
+    capacity_words: u64,
+    /// Line size in words.
+    line_words: u64,
+    /// Maximum number of resident lines.
+    max_lines: usize,
+    /// line tag -> slot index in the intrusive LRU list.
+    map: HashMap<u64, usize>,
+    /// Intrusive doubly-linked LRU list over slots.
+    slots: Vec<Slot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    len: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tag: u64,
+    prev: usize,
+    next: usize,
+    occupied: bool,
+}
+
+const NIL: usize = usize::MAX;
+
+impl IdealCache {
+    /// Creates a cache of `capacity_words` words with `line_words`-word lines.
+    ///
+    /// # Panics
+    /// Panics if the capacity is smaller than one line or the line size is zero.
+    pub fn new(capacity_words: u64, line_words: u64) -> Self {
+        assert!(line_words >= 1, "line size must be positive");
+        assert!(
+            capacity_words >= line_words,
+            "capacity must hold at least one line"
+        );
+        let max_lines = (capacity_words / line_words) as usize;
+        IdealCache {
+            capacity_words,
+            line_words,
+            max_lines,
+            map: HashMap::with_capacity(max_lines * 2),
+            slots: Vec::with_capacity(max_lines),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity_words
+    }
+
+    /// Line size in words.
+    pub fn line_words(&self) -> u64 {
+        self.line_words
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.len
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resets the statistics but keeps the resident lines.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
+    /// Empties the cache and resets the statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        self.reset_stats();
+    }
+
+    /// Accesses a word address; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let tag = addr / self.line_words;
+        if let Some(&slot) = self.map.get(&tag) {
+            self.hits += 1;
+            self.touch(slot);
+            true
+        } else {
+            self.misses += 1;
+            self.insert(tag);
+            false
+        }
+    }
+
+    /// Accesses a run of `len` consecutive word addresses; returns the number of
+    /// misses incurred.
+    pub fn access_range(&mut self, start: u64, len: u64) -> u64 {
+        let mut misses = 0;
+        let mut addr = start;
+        let end = start + len;
+        while addr < end {
+            if !self.access(addr) {
+                misses += 1;
+            }
+            // Skip to the next line boundary: the rest of this line now hits.
+            let next_line = (addr / self.line_words + 1) * self.line_words;
+            if next_line >= end {
+                // Count the remaining same-line accesses as hits.
+                self.hits += end - addr - 1;
+                break;
+            }
+            self.hits += next_line - addr - 1;
+            addr = next_line;
+        }
+        misses
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.push_front(slot);
+    }
+
+    fn insert(&mut self, tag: u64) {
+        let slot = if self.len < self.max_lines {
+            // Allocate a fresh slot.
+            let slot = self.slots.len();
+            self.slots.push(Slot {
+                tag,
+                prev: NIL,
+                next: NIL,
+                occupied: true,
+            });
+            self.len += 1;
+            slot
+        } else {
+            // Evict the LRU line and reuse its slot.
+            let victim = self.tail;
+            debug_assert!(victim != NIL);
+            let old_tag = self.slots[victim].tag;
+            self.map.remove(&old_tag);
+            self.evictions += 1;
+            self.detach(victim);
+            self.slots[victim].tag = tag;
+            self.slots[victim].occupied = true;
+            victim
+        };
+        self.map.insert(tag, slot);
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut c = IdealCache::new(16, 1);
+        for a in 0..8u64 {
+            assert!(!c.access(a));
+        }
+        for a in 0..8u64 {
+            assert!(c.access(a));
+        }
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.hits(), 8);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.resident_lines(), 8);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = IdealCache::new(3, 1);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        // Touch 1 so that 2 becomes the LRU victim.
+        c.access(1);
+        c.access(4); // evicts 2
+        assert!(c.access(1));
+        assert!(c.access(3));
+        assert!(c.access(4));
+        assert!(!c.access(2)); // was evicted
+        assert_eq!(c.evictions(), 2); // 2 evicted, then one more for re-inserting 2
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = IdealCache::new(4, 1);
+        for a in 0..100u64 {
+            c.access(a);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        assert_eq!(c.misses(), 100);
+        assert_eq!(c.evictions(), 96);
+    }
+
+    #[test]
+    fn line_granularity_gives_spatial_locality() {
+        let mut c = IdealCache::new(64, 8);
+        // 64 consecutive words = 8 lines -> 8 misses.
+        for a in 0..64u64 {
+            c.access(a);
+        }
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.hits(), 56);
+    }
+
+    #[test]
+    fn access_range_counts_misses_per_line() {
+        let mut c = IdealCache::new(1024, 8);
+        let misses = c.access_range(3, 64); // spans lines 0..=8 partially
+        assert_eq!(misses, 9);
+        // Re-access: all hits.
+        assert_eq!(c.access_range(3, 64), 0);
+    }
+
+    #[test]
+    fn scan_larger_than_cache_misses_every_line_on_second_pass() {
+        // Classic LRU behaviour: a repeated scan of a working set larger than the
+        // cache gets no reuse at all.
+        let mut c = IdealCache::new(32, 1);
+        for a in 0..64u64 {
+            c.access(a);
+        }
+        c.reset_stats();
+        for a in 0..64u64 {
+            c.access(a);
+        }
+        assert_eq!(c.misses(), 64);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn working_set_within_cache_is_fully_reused() {
+        let mut c = IdealCache::new(128, 1);
+        for _ in 0..10 {
+            for a in 0..100u64 {
+                c.access(a);
+            }
+        }
+        assert_eq!(c.misses(), 100);
+        assert_eq!(c.hits(), 900);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut c = IdealCache::new(8, 1);
+        c.access(1);
+        c.access(2);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn too_small_capacity_panics() {
+        let _ = IdealCache::new(4, 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! PMH machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// One cache level of a PMH, from the point of view of a single cache at that level.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevelSpec {
+    /// Cache size `M_i` in words.
+    pub size: u64,
+    /// Fan-out `f_i`: the number of level-(i−1) units (caches, or processors for
+    /// the first level) attached below each cache at this level.
+    pub fanout: usize,
+    /// Cost `C_i` of servicing a miss at this level from the level above.
+    pub miss_cost: u64,
+    /// Cache line size `B_i` in words (the paper sets `B = 1` for its analysis; the
+    /// serial cache simulator supports larger lines).
+    pub line: u64,
+}
+
+impl CacheLevelSpec {
+    /// A level with line size 1 (the paper's simplification).
+    pub fn new(size: u64, fanout: usize, miss_cost: u64) -> Self {
+        CacheLevelSpec {
+            size,
+            fanout,
+            miss_cost,
+            line: 1,
+        }
+    }
+}
+
+/// A Parallel Memory Hierarchy description.
+///
+/// `levels[0]` is the level-1 cache (closest to the processors) and
+/// `levels.last()` is the level-(h−1) cache (the largest cache, directly below the
+/// infinite root memory).  `root_fanout` is `f_h`: the number of level-(h−1) caches
+/// attached to the root memory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PmhConfig {
+    /// Cache levels from level 1 (smallest) to level h−1 (largest).
+    pub levels: Vec<CacheLevelSpec>,
+    /// Fan-out of the root memory (`f_h`).
+    pub root_fanout: usize,
+}
+
+impl PmhConfig {
+    /// Creates a configuration after validating it (sizes strictly increasing,
+    /// positive fan-outs).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(levels: Vec<CacheLevelSpec>, root_fanout: usize) -> Self {
+        assert!(!levels.is_empty(), "a PMH needs at least one cache level");
+        assert!(root_fanout >= 1, "root fan-out must be at least 1");
+        for l in &levels {
+            assert!(l.size > 0 && l.fanout >= 1 && l.line >= 1);
+        }
+        for w in levels.windows(2) {
+            assert!(
+                w[1].size > w[0].size,
+                "cache sizes must strictly increase with level: {w:?}"
+            );
+        }
+        PmhConfig {
+            levels,
+            root_fanout,
+        }
+    }
+
+    /// The number of cache levels (h − 1); the hierarchy height `h` counts the root
+    /// memory as one more level.
+    pub fn cache_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The hierarchy height `h` (cache levels plus the root memory).
+    pub fn height(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Size `M_i` of a level-`i` cache (1-based level index).
+    pub fn size(&self, level: usize) -> u64 {
+        self.levels[level - 1].size
+    }
+
+    /// Miss cost `C_i` of a level-`i` cache (1-based level index).
+    pub fn miss_cost(&self, level: usize) -> u64 {
+        self.levels[level - 1].miss_cost
+    }
+
+    /// Fan-out `f_i` below a level-`i` cache (1-based).  `f_h` (below the root) is
+    /// returned for `level == height()`.
+    pub fn fanout(&self, level: usize) -> usize {
+        if level == self.height() {
+            self.root_fanout
+        } else {
+            self.levels[level - 1].fanout
+        }
+    }
+
+    /// Total number of processors `p_h = Π f_i`.
+    pub fn num_processors(&self) -> usize {
+        self.levels.iter().map(|l| l.fanout).product::<usize>() * self.root_fanout
+    }
+
+    /// Number of cache instances at a given level (1-based).
+    pub fn caches_at_level(&self, level: usize) -> usize {
+        assert!(level >= 1 && level <= self.cache_levels());
+        let mut count = self.root_fanout;
+        for l in (level..self.cache_levels()).rev() {
+            count *= self.levels[l].fanout;
+        }
+        count
+    }
+
+    /// Processors attached below one level-`i` cache: `Π_{j ≤ i} f_j`.
+    pub fn processors_per_cache(&self, level: usize) -> usize {
+        self.levels[..level].iter().map(|l| l.fanout).product()
+    }
+
+    /// A single-level "flat" machine: `p` processors sharing one cache of size `m`.
+    pub fn flat(p: usize, m: u64, miss_cost: u64) -> Self {
+        PmhConfig::new(vec![CacheLevelSpec::new(m, p, miss_cost)], 1)
+    }
+
+    /// A small desktop-like 3-level hierarchy: private 32 K-word L1s, L2s shared by
+    /// two cores, L3s shared by four L2s, and `sockets` level-3 caches under memory.
+    pub fn multicore(sockets: usize) -> Self {
+        PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 12, 1, 4),  // L1: 4 Ki words, 1 core each
+                CacheLevelSpec::new(1 << 16, 2, 16), // L2: 64 Ki words, 2 L1s
+                CacheLevelSpec::new(1 << 21, 4, 64), // L3: 2 Mi words, 4 L2s
+            ],
+            sockets,
+        )
+    }
+
+    /// The machine used throughout the scheduler experiments: parameterised by the
+    /// number of level-(h−1) subclusters so that processor counts can be swept while
+    /// the per-cluster shape stays fixed.
+    pub fn experiment_machine(subclusters: usize) -> Self {
+        PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 4),  // L1: 1 Ki words, 2 cores
+                CacheLevelSpec::new(1 << 14, 4, 16), // L2: 16 Ki words, 4 L1s
+                CacheLevelSpec::new(1 << 18, 4, 64), // L3: 256 Ki words, 4 L2s
+            ],
+            subclusters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_and_cache_counts() {
+        let c = PmhConfig::multicore(2);
+        assert_eq!(c.cache_levels(), 3);
+        assert_eq!(c.height(), 4);
+        // p = 1 * 2 * 4 * 2
+        assert_eq!(c.num_processors(), 16);
+        assert_eq!(c.caches_at_level(3), 2);
+        assert_eq!(c.caches_at_level(2), 8);
+        assert_eq!(c.caches_at_level(1), 16);
+        assert_eq!(c.processors_per_cache(1), 1);
+        assert_eq!(c.processors_per_cache(2), 2);
+        assert_eq!(c.processors_per_cache(3), 8);
+    }
+
+    #[test]
+    fn accessors_match_spec() {
+        let c = PmhConfig::multicore(1);
+        assert_eq!(c.size(1), 1 << 12);
+        assert_eq!(c.size(3), 1 << 21);
+        assert_eq!(c.miss_cost(2), 16);
+        assert_eq!(c.fanout(1), 1);
+        assert_eq!(c.fanout(4), 1); // root fanout
+    }
+
+    #[test]
+    fn flat_machine() {
+        let c = PmhConfig::flat(8, 1024, 10);
+        assert_eq!(c.num_processors(), 8);
+        assert_eq!(c.cache_levels(), 1);
+        assert_eq!(c.caches_at_level(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_sizes_panic() {
+        let _ = PmhConfig::new(
+            vec![CacheLevelSpec::new(1024, 2, 1), CacheLevelSpec::new(512, 2, 1)],
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache level")]
+    fn empty_levels_panic() {
+        let _ = PmhConfig::new(vec![], 1);
+    }
+
+    #[test]
+    fn experiment_machine_scales_with_subclusters() {
+        let small = PmhConfig::experiment_machine(1);
+        let large = PmhConfig::experiment_machine(8);
+        assert_eq!(large.num_processors(), 8 * small.num_processors());
+    }
+}

@@ -1,0 +1,180 @@
+//! A serial multi-level inclusive cache hierarchy simulator.
+//!
+//! Used by the serial cache-complexity experiments (E13): replay the address trace
+//! of a depth-first (sequential) execution through a stack of ideal caches and count
+//! the misses at each level, to compare against the `O(n³/(B√M))`-style bounds the
+//! paper quotes for its divide-and-conquer kernels.
+
+use crate::cache::IdealCache;
+use crate::config::PmhConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-level miss/hit statistics of a hierarchy replay.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Misses at each level, from level 1 upwards.
+    pub misses: Vec<u64>,
+    /// Hits at each level, from level 1 upwards.
+    pub hits: Vec<u64>,
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Total miss cost: `Σ_i misses_i · C_i`.
+    pub total_cost: u64,
+}
+
+/// A stack of ideal caches, one per PMH level, accessed serially (a single
+/// processor's view of the hierarchy).
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    levels: Vec<IdealCache>,
+    miss_costs: Vec<u64>,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from a machine configuration (one cache per level).
+    pub fn from_config(config: &PmhConfig) -> Self {
+        let levels: Vec<IdealCache> = config
+            .levels
+            .iter()
+            .map(|l| IdealCache::new(l.size, l.line))
+            .collect();
+        let miss_costs = config.levels.iter().map(|l| l.miss_cost).collect();
+        let n = levels.len();
+        CacheHierarchy {
+            levels,
+            miss_costs,
+            stats: HierarchyStats {
+                misses: vec![0; n],
+                hits: vec![0; n],
+                accesses: 0,
+                total_cost: 0,
+            },
+        }
+    }
+
+    /// Builds a single-level hierarchy with an explicit cache size and line size.
+    pub fn single_level(capacity_words: u64, line_words: u64, miss_cost: u64) -> Self {
+        CacheHierarchy {
+            levels: vec![IdealCache::new(capacity_words, line_words)],
+            miss_costs: vec![miss_cost],
+            stats: HierarchyStats {
+                misses: vec![0],
+                hits: vec![0],
+                accesses: 0,
+                total_cost: 0,
+            },
+        }
+    }
+
+    /// Accesses a word address through the hierarchy (inclusive: a miss at level `i`
+    /// is forwarded to level `i+1`).
+    pub fn access(&mut self, addr: u64) {
+        self.stats.accesses += 1;
+        for (i, cache) in self.levels.iter_mut().enumerate() {
+            if cache.access(addr) {
+                self.stats.hits[i] += 1;
+                return;
+            }
+            self.stats.misses[i] += 1;
+            self.stats.total_cost += self.miss_costs[i];
+        }
+    }
+
+    /// Replays a whole trace.
+    pub fn replay(&mut self, trace: &[u64]) {
+        for &a in trace {
+            self.access(a);
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Misses at a (1-based) level.
+    pub fn misses_at(&self, level: usize) -> u64 {
+        self.stats.misses[level - 1]
+    }
+
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheLevelSpec, PmhConfig};
+
+    fn two_level() -> CacheHierarchy {
+        let cfg = PmhConfig::new(
+            vec![CacheLevelSpec::new(8, 1, 1), CacheLevelSpec::new(64, 1, 10)],
+            1,
+        );
+        CacheHierarchy::from_config(&cfg)
+    }
+
+    #[test]
+    fn misses_filter_up_the_hierarchy() {
+        let mut h = two_level();
+        // Working set of 32 words: misses in L1 on every pass, but fits in L2.
+        for _ in 0..3 {
+            for a in 0..32u64 {
+                h.access(a);
+            }
+        }
+        assert_eq!(h.misses_at(2), 32); // only cold misses reach L2
+        assert!(h.misses_at(1) >= 32 * 3 - 8); // L1 thrashes
+        assert_eq!(h.stats().accesses, 96);
+    }
+
+    #[test]
+    fn small_working_set_hits_in_l1_after_warmup() {
+        let mut h = two_level();
+        for _ in 0..4 {
+            for a in 0..8u64 {
+                h.access(a);
+            }
+        }
+        assert_eq!(h.misses_at(1), 8);
+        assert_eq!(h.misses_at(2), 8);
+        assert_eq!(h.stats().hits[0], 24);
+    }
+
+    #[test]
+    fn total_cost_weights_levels() {
+        let mut h = two_level();
+        for a in 0..8u64 {
+            h.access(a);
+        }
+        // 8 misses at both levels: 8·1 + 8·10.
+        assert_eq!(h.stats().total_cost, 88);
+    }
+
+    #[test]
+    fn replay_matches_manual_access() {
+        let trace: Vec<u64> = (0..100).map(|i| (i * 7) % 40).collect();
+        let mut h1 = two_level();
+        let mut h2 = two_level();
+        h1.replay(&trace);
+        for &a in &trace {
+            h2.access(a);
+        }
+        assert_eq!(h1.stats().misses, h2.stats().misses);
+        assert_eq!(h1.stats().hits, h2.stats().hits);
+    }
+
+    #[test]
+    fn single_level_constructor() {
+        let mut h = CacheHierarchy::single_level(16, 1, 5);
+        assert_eq!(h.level_count(), 1);
+        for a in 0..20u64 {
+            h.access(a);
+        }
+        assert_eq!(h.misses_at(1), 20);
+        assert_eq!(h.stats().total_cost, 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nd-pmh — the Parallel Memory Hierarchy machine model
+//!
+//! The paper analyses its schedulers on the **Parallel Memory Hierarchy (PMH)**
+//! model of Alpern, Carter and Ferrante: a symmetric tree rooted at an
+//! infinite main memory, whose internal nodes are caches (size `M_i`, fan-out `f_i`,
+//! miss cost `C_i`) and whose leaves are processors (Figure 2 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`config`] — machine descriptions ([`PmhConfig`](config::PmhConfig)) and presets,
+//! * [`machine`] — the instantiated cache/processor tree
+//!   ([`MachineTree`](machine::MachineTree)) that the schedulers in `nd-sched`
+//!   allocate anchors and subclusters on,
+//! * [`cache`] — an ideal (fully-associative, LRU) cache simulator,
+//! * [`hierarchy`] — a serial multi-level inclusive cache simulator,
+//! * [`trace`] — address-trace recording and replay utilities used by the serial
+//!   cache-complexity experiments (experiment E13).
+//!
+//! The PMH is the paper's *evaluation substrate*: the authors' results are
+//! statements about this model, so reproducing them means measuring miss counts and
+//! completion times on a faithful simulation of it rather than on raw hardware.
+
+#![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod machine;
+pub mod trace;
+
+pub use cache::IdealCache;
+pub use config::{CacheLevelSpec, PmhConfig};
+pub use hierarchy::CacheHierarchy;
+pub use machine::MachineTree;
+pub use trace::TraceRecorder;

@@ -1,0 +1,219 @@
+//! The instantiated PMH tree: concrete cache instances and processors.
+//!
+//! [`MachineTree`] expands a [`PmhConfig`](crate::config::PmhConfig) into the actual
+//! symmetric tree of Figure 2 of the paper: one node per cache instance, one leaf
+//! per processor.  The space-bounded scheduler in `nd-sched` anchors tasks to these
+//! cache instances and allocates subclusters (subtrees) below them.
+
+use crate::config::PmhConfig;
+use serde::{Deserialize, Serialize};
+
+/// Index of a cache instance in a [`MachineTree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct CacheId(pub u32);
+
+/// Index of a processor in a [`MachineTree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+/// One cache instance.
+#[derive(Clone, Debug)]
+pub struct CacheNode {
+    /// 1-based level of this cache (level 1 is closest to the processors).
+    pub level: usize,
+    /// Parent cache (`None` for level-(h−1) caches, whose parent is the root memory).
+    pub parent: Option<CacheId>,
+    /// Child caches (empty at level 1).
+    pub children: Vec<CacheId>,
+    /// Processors in the subtree of this cache.
+    pub processors: Vec<ProcId>,
+}
+
+/// The instantiated machine: all cache instances plus processors.
+#[derive(Clone, Debug)]
+pub struct MachineTree {
+    config: PmhConfig,
+    caches: Vec<CacheNode>,
+    /// The level-(h−1) caches directly below the root memory.
+    top_caches: Vec<CacheId>,
+    /// For every processor, the path of caches from level 1 up to level h−1.
+    proc_path: Vec<Vec<CacheId>>,
+}
+
+impl MachineTree {
+    /// Instantiates the tree described by a configuration.
+    pub fn build(config: &PmhConfig) -> Self {
+        let mut tree = MachineTree {
+            config: config.clone(),
+            caches: Vec::new(),
+            top_caches: Vec::new(),
+            proc_path: Vec::new(),
+        };
+        let top_level = config.cache_levels();
+        for _ in 0..config.root_fanout {
+            let id = tree.build_subtree(top_level, None);
+            tree.top_caches.push(id);
+        }
+        tree
+    }
+
+    fn build_subtree(&mut self, level: usize, parent: Option<CacheId>) -> CacheId {
+        let id = CacheId(self.caches.len() as u32);
+        self.caches.push(CacheNode {
+            level,
+            parent,
+            children: Vec::new(),
+            processors: Vec::new(),
+        });
+        let fanout = self.config.fanout(level);
+        if level == 1 {
+            for _ in 0..fanout {
+                let p = ProcId(self.proc_path.len() as u32);
+                self.proc_path.push(Vec::new());
+                self.caches[id.0 as usize].processors.push(p);
+            }
+        } else {
+            for _ in 0..fanout {
+                let child = self.build_subtree(level - 1, Some(id));
+                self.caches[id.0 as usize].children.push(child);
+                let grand: Vec<ProcId> = self.caches[child.0 as usize].processors.clone();
+                self.caches[id.0 as usize].processors.extend(grand);
+            }
+        }
+        // Record this cache on the path of every processor below it.
+        for p in self.caches[id.0 as usize].processors.clone() {
+            self.proc_path[p.0 as usize].push(id);
+        }
+        id
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &PmhConfig {
+        &self.config
+    }
+
+    /// Number of cache instances.
+    pub fn cache_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.proc_path.len()
+    }
+
+    /// Access a cache node.
+    pub fn cache(&self, id: CacheId) -> &CacheNode {
+        &self.caches[id.0 as usize]
+    }
+
+    /// All cache ids at a given (1-based) level.
+    pub fn caches_at_level(&self, level: usize) -> Vec<CacheId> {
+        (0..self.caches.len() as u32)
+            .map(CacheId)
+            .filter(|&c| self.caches[c.0 as usize].level == level)
+            .collect()
+    }
+
+    /// The level-(h−1) caches directly below the root memory.
+    pub fn top_caches(&self) -> &[CacheId] {
+        &self.top_caches
+    }
+
+    /// The caches on the path from a processor's level-1 cache up to its
+    /// level-(h−1) cache, in increasing level order.
+    pub fn path_of(&self, p: ProcId) -> &[CacheId] {
+        &self.proc_path[p.0 as usize]
+    }
+
+    /// Iterates all cache ids.
+    pub fn cache_ids(&self) -> impl Iterator<Item = CacheId> {
+        (0..self.caches.len() as u32).map(CacheId)
+    }
+
+    /// `true` if `descendant` lies in the subtree of `ancestor` (a cache is its own
+    /// ancestor).
+    pub fn is_descendant(&self, descendant: CacheId, ancestor: CacheId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.cache(c).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmhConfig;
+
+    #[test]
+    fn multicore_tree_shape() {
+        let cfg = PmhConfig::multicore(2);
+        let m = MachineTree::build(&cfg);
+        assert_eq!(m.processor_count(), cfg.num_processors());
+        assert_eq!(m.caches_at_level(3).len(), 2);
+        assert_eq!(m.caches_at_level(2).len(), 8);
+        assert_eq!(m.caches_at_level(1).len(), 16);
+        assert_eq!(m.cache_count(), 2 + 8 + 16);
+        assert_eq!(m.top_caches().len(), 2);
+    }
+
+    #[test]
+    fn processor_paths_walk_up_the_levels() {
+        let cfg = PmhConfig::multicore(1);
+        let m = MachineTree::build(&cfg);
+        for p in 0..m.processor_count() {
+            let path = m.path_of(ProcId(p as u32));
+            assert_eq!(path.len(), 3);
+            assert_eq!(m.cache(path[0]).level, 1);
+            assert_eq!(m.cache(path[1]).level, 2);
+            assert_eq!(m.cache(path[2]).level, 3);
+            // Each cache on the path contains the processor.
+            for &c in path {
+                assert!(m.cache(c).processors.contains(&ProcId(p as u32)));
+            }
+            // And each is a descendant of the next.
+            assert!(m.is_descendant(path[0], path[2]));
+        }
+    }
+
+    #[test]
+    fn processor_partition_per_level() {
+        // Every processor belongs to exactly one cache per level.
+        let cfg = PmhConfig::experiment_machine(3);
+        let m = MachineTree::build(&cfg);
+        for level in 1..=cfg.cache_levels() {
+            let mut count = 0usize;
+            for c in m.caches_at_level(level) {
+                count += m.cache(c).processors.len();
+            }
+            assert_eq!(count, m.processor_count());
+        }
+    }
+
+    #[test]
+    fn flat_machine_has_single_cache() {
+        let cfg = PmhConfig::flat(4, 256, 10);
+        let m = MachineTree::build(&cfg);
+        assert_eq!(m.cache_count(), 1);
+        assert_eq!(m.processor_count(), 4);
+        assert_eq!(m.cache(CacheId(0)).processors.len(), 4);
+        assert!(m.cache(CacheId(0)).children.is_empty());
+    }
+
+    #[test]
+    fn descendant_relation() {
+        let cfg = PmhConfig::multicore(1);
+        let m = MachineTree::build(&cfg);
+        let top = m.top_caches()[0];
+        for c in m.cache_ids() {
+            assert!(m.is_descendant(c, top));
+        }
+        let l1 = m.caches_at_level(1)[0];
+        assert!(!m.is_descendant(top, l1));
+    }
+}

@@ -1,0 +1,272 @@
+//! Address-trace recording and replay.
+//!
+//! The serial cache-complexity experiments (E13) measure the cache misses `Q₁` of
+//! the *depth-first traversal* of the divide-and-conquer algorithms — the quantity
+//! the paper's cache-oblivious claims are about.  This module provides a recorder
+//! for abstract word addresses, a tiny address-space allocator for laying out named
+//! 2-D arrays, and reference trace generators for matrix multiplication in both the
+//! cache-oblivious (recursive) and the row-major (loop) order, which the tests use
+//! to confirm that the simulator reproduces the classic separation between the two.
+
+use crate::cache::IdealCache;
+use crate::hierarchy::CacheHierarchy;
+
+/// A recorded sequence of word-granularity memory accesses.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    accesses: Vec<u64>,
+}
+
+impl TraceRecorder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access.
+    #[inline]
+    pub fn touch(&mut self, addr: u64) {
+        self.accesses.push(addr);
+    }
+
+    /// Records accesses to `len` consecutive words starting at `start`.
+    pub fn touch_range(&mut self, start: u64, len: u64) {
+        for a in start..start + len {
+            self.accesses.push(a);
+        }
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The recorded addresses.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Replays the trace through a single ideal cache and returns the miss count.
+    pub fn misses_in(&self, capacity_words: u64, line_words: u64) -> u64 {
+        let mut cache = IdealCache::new(capacity_words, line_words);
+        for &a in &self.accesses {
+            cache.access(a);
+        }
+        cache.misses()
+    }
+
+    /// Replays the trace through a multi-level hierarchy, returning it for
+    /// inspection.
+    pub fn replay_hierarchy(&self, mut hierarchy: CacheHierarchy) -> CacheHierarchy {
+        hierarchy.replay(&self.accesses);
+        hierarchy
+    }
+}
+
+/// Lays out named 2-D row-major arrays in a flat abstract address space.
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+/// A 2-D row-major array placed in an [`AddressSpace`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayHandle {
+    base: u64,
+    cols: u64,
+}
+
+impl AddressSpace {
+    /// An empty address space starting at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a `rows × cols` array and returns its handle.
+    pub fn alloc(&mut self, rows: u64, cols: u64) -> ArrayHandle {
+        let h = ArrayHandle {
+            base: self.next,
+            cols,
+        };
+        self.next += rows * cols;
+        h
+    }
+
+    /// Total words allocated so far.
+    pub fn words(&self) -> u64 {
+        self.next
+    }
+}
+
+impl ArrayHandle {
+    /// The address of element `(i, j)`.
+    #[inline]
+    pub fn addr(&self, i: u64, j: u64) -> u64 {
+        self.base + i * self.cols + j
+    }
+}
+
+/// Records the trace of the classic row-major triple-loop matrix multiplication
+/// `C += A·B` for `n × n` matrices (the cache-*unfriendly* baseline).
+pub fn trace_loop_mm(n: u64) -> TraceRecorder {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(n, n);
+    let b = space.alloc(n, n);
+    let c = space.alloc(n, n);
+    let mut t = TraceRecorder::new();
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                t.touch(a.addr(i, k));
+                t.touch(b.addr(k, j));
+                t.touch(c.addr(i, j));
+            }
+        }
+    }
+    t
+}
+
+/// Records the trace of the cache-oblivious 2-way divide-and-conquer matrix
+/// multiplication `C += A·B` for `n × n` matrices with the given base-case size —
+/// the depth-first traversal order of the paper's MM spawn tree.
+pub fn trace_recursive_mm(n: u64, base: u64) -> TraceRecorder {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(n, n);
+    let b = space.alloc(n, n);
+    let c = space.alloc(n, n);
+    let mut t = TraceRecorder::new();
+    rec_mm(
+        &mut t,
+        &a,
+        &b,
+        &c,
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        n,
+        base.max(1),
+    );
+    t
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_mm(
+    t: &mut TraceRecorder,
+    a: &ArrayHandle,
+    b: &ArrayHandle,
+    c: &ArrayHandle,
+    ao: (u64, u64),
+    bo: (u64, u64),
+    co: (u64, u64),
+    n: u64,
+    base: u64,
+) {
+    if n <= base {
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    t.touch(a.addr(ao.0 + i, ao.1 + k));
+                    t.touch(b.addr(bo.0 + k, bo.1 + j));
+                    t.touch(c.addr(co.0 + i, co.1 + j));
+                }
+            }
+        }
+        return;
+    }
+    let h = n / 2;
+    // Eight recursive multiplies in the order of Section 2 of the paper.
+    for (ai, bi, ci) in [
+        ((0, 0), (0, 0), (0, 0)),
+        ((0, 0), (0, 1), (0, 1)),
+        ((1, 0), (0, 0), (1, 0)),
+        ((1, 0), (0, 1), (1, 1)),
+        ((0, 1), (1, 0), (0, 0)),
+        ((0, 1), (1, 1), (0, 1)),
+        ((1, 1), (1, 0), (1, 0)),
+        ((1, 1), (1, 1), (1, 1)),
+    ] {
+        rec_mm(
+            t,
+            a,
+            b,
+            c,
+            (ao.0 + ai.0 * h, ao.1 + ai.1 * h),
+            (bo.0 + bi.0 * h, bo.1 + bi.1 * h),
+            (co.0 + ci.0 * h, co.1 + ci.1 * h),
+            h,
+            base,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_basics() {
+        let mut t = TraceRecorder::new();
+        assert!(t.is_empty());
+        t.touch(5);
+        t.touch_range(10, 3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.as_slice(), &[5, 10, 11, 12]);
+    }
+
+    #[test]
+    fn address_space_is_disjoint() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc(4, 4);
+        let b = s.alloc(4, 4);
+        assert_eq!(a.addr(3, 3), 15);
+        assert_eq!(b.addr(0, 0), 16);
+        assert_eq!(s.words(), 32);
+    }
+
+    #[test]
+    fn both_mm_traces_have_the_same_length() {
+        let n = 16;
+        let loops = trace_loop_mm(n);
+        let rec = trace_recursive_mm(n, 4);
+        assert_eq!(loops.len(), rec.len());
+        assert_eq!(loops.len() as u64, 3 * n * n * n);
+    }
+
+    #[test]
+    fn recursive_order_beats_loop_order_in_a_small_cache() {
+        // The textbook cache-oblivious result: with a cache much smaller than the
+        // matrices, the recursive order incurs Θ(n³/(B√M)) misses versus Θ(n³) (at
+        // B = 1) for the i-j-k loop order.
+        let n = 32;
+        let cache_words = 3 * 8 * 8; // fits three 8x8 blocks
+        let loop_misses = trace_loop_mm(n).misses_in(cache_words, 1);
+        let rec_misses = trace_recursive_mm(n, 4).misses_in(cache_words, 1);
+        assert!(
+            (rec_misses as f64) < 0.5 * loop_misses as f64,
+            "recursive {rec_misses} vs loop {loop_misses}"
+        );
+    }
+
+    #[test]
+    fn whole_problem_in_cache_incurs_only_cold_misses() {
+        let n = 8;
+        let t = trace_recursive_mm(n, 2);
+        let misses = t.misses_in(3 * n * n, 1);
+        assert_eq!(misses, 3 * n * n);
+    }
+
+    #[test]
+    fn replay_hierarchy_accumulates_per_level() {
+        let n = 16;
+        let t = trace_recursive_mm(n, 4);
+        let h = CacheHierarchy::single_level(64, 1, 3);
+        let h = t.replay_hierarchy(h);
+        assert!(h.misses_at(1) > 0);
+        assert_eq!(h.stats().accesses as usize, t.len());
+    }
+}

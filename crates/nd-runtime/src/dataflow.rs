@@ -1,0 +1,368 @@
+//! The dataflow (ND) executor: static task graphs with dependency counters.
+//!
+//! An ND program's algorithm DAG — strands plus the dependency edges produced by the
+//! DAG Rewriting System — is materialised as a [`TaskGraph`] whose nodes carry
+//! closures.  Execution follows the dataflow discipline the paper advocates for
+//! inter-processor work: a task becomes *ready* when its last predecessor finishes,
+//! and ready tasks are pushed onto the finishing worker's own deque, so that chains
+//! of dependent tasks tend to stay on one core (the locality-preserving, depth-first
+//! intra-processor order) while idle workers steal across chains for load balance.
+
+use crate::latch::CountLatch;
+use crate::pool::{ThreadPool, WorkerCtx};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier of a task in a [`TaskGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+struct TaskSpec {
+    closure: Option<Box<dyn FnOnce() + Send + 'static>>,
+    succs: Vec<u32>,
+    preds: u32,
+}
+
+/// A static task graph: closures plus dependency edges.
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: Vec<TaskSpec>,
+    edges: usize,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with room for `n` tasks.
+    pub fn with_capacity(n: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::with_capacity(n),
+            edges: 0,
+        }
+    }
+
+    /// Adds a task executing `f` and returns its id.
+    pub fn add_task(&mut self, f: impl FnOnce() + Send + 'static) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskSpec {
+            closure: Some(Box::new(f)),
+            succs: Vec::new(),
+            preds: 0,
+        });
+        id
+    }
+
+    /// Adds a no-op task (useful for barrier/join points) and returns its id.
+    pub fn add_empty_task(&mut self) -> TaskId {
+        self.add_task(|| {})
+    }
+
+    /// Declares that `to` cannot start before `from` has finished.
+    ///
+    /// # Panics
+    /// Panics on a self-dependency.
+    pub fn add_dependency(&mut self, from: TaskId, to: TaskId) {
+        assert_ne!(from, to, "a task cannot depend on itself");
+        self.tasks[from.0 as usize].succs.push(to.0);
+        self.tasks[to.0 as usize].preds += 1;
+        self.edges += 1;
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// `true` if the dependency graph is acyclic (checked by Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.tasks.len();
+        let mut indeg: Vec<u32> = self.tasks.iter().map(|t| t.preds).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &s in &self.tasks[i].succs {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s as usize);
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+/// Statistics of one graph execution.
+#[derive(Clone, Debug)]
+pub struct ExecStats {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Tasks executed by each worker.
+    pub tasks_per_worker: Vec<u64>,
+    /// Successful steals performed by the pool during the execution (includes any
+    /// concurrent activity on the same pool).
+    pub steals: u64,
+}
+
+struct RunSlot {
+    closure: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    pending: AtomicU32,
+    succs: Vec<u32>,
+}
+
+struct RunState {
+    slots: Vec<RunSlot>,
+    latch: CountLatch,
+    per_worker: Vec<AtomicU64>,
+}
+
+fn run_task(state: &Arc<RunState>, id: u32, ctx: &WorkerCtx<'_>) {
+    let slot = &state.slots[id as usize];
+    let closure = slot
+        .closure
+        .lock()
+        .take()
+        .expect("task scheduled twice — dependency counters corrupted");
+    closure();
+    state.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
+    for &s in &slot.succs {
+        let prev = state.slots[s as usize]
+            .pending
+            .fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "dependency counter underflow");
+        if prev == 1 {
+            let st = Arc::clone(state);
+            ctx.spawn_local(Box::new(move |ctx| run_task(&st, s, ctx)));
+        }
+    }
+    state.latch.count_down();
+}
+
+/// Executes a task graph on a pool, blocking until every task has run.
+///
+/// # Panics
+/// Panics if the graph contains a dependency cycle (which could never complete).
+pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
+    assert!(
+        graph.is_acyclic(),
+        "task graph contains a dependency cycle"
+    );
+    let n = graph.tasks.len();
+    if n == 0 {
+        return ExecStats {
+            tasks: 0,
+            elapsed: Duration::ZERO,
+            tasks_per_worker: vec![0; pool.num_threads()],
+            steals: 0,
+        };
+    }
+    let steals_before = pool.steals();
+    let mut roots = Vec::new();
+    let slots: Vec<RunSlot> = graph
+        .tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if t.preds == 0 {
+                roots.push(i as u32);
+            }
+            RunSlot {
+                closure: Mutex::new(t.closure),
+                pending: AtomicU32::new(t.preds),
+                succs: t.succs,
+            }
+        })
+        .collect();
+    let state = Arc::new(RunState {
+        slots,
+        latch: CountLatch::new(n),
+        per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    let start = Instant::now();
+    for r in roots {
+        let st = Arc::clone(&state);
+        pool.spawn(Box::new(move |ctx| run_task(&st, r, ctx)));
+    }
+    state.latch.wait();
+    let elapsed = start.elapsed();
+
+    ExecStats {
+        tasks: n,
+        elapsed,
+        tasks_per_worker: state
+            .per_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        steals: pool.steals() - steals_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn empty_graph_returns_immediately() {
+        let p = pool();
+        let stats = execute_graph(&p, TaskGraph::new());
+        assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let p = pool();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let mk = |name: &'static str, order: &Arc<Mutex<Vec<&'static str>>>| {
+            let o = Arc::clone(order);
+            move || o.lock().push(name)
+        };
+        let a = g.add_task(mk("a", &order));
+        let b = g.add_task(mk("b", &order));
+        let c = g.add_task(mk("c", &order));
+        let d = g.add_task(mk("d", &order));
+        g.add_dependency(a, b);
+        g.add_dependency(a, c);
+        g.add_dependency(b, d);
+        g.add_dependency(c, d);
+        let stats = execute_graph(&p, g);
+        assert_eq!(stats.tasks, 4);
+        let order = order.lock();
+        let pos = |x: &str| order.iter().position(|&o| o == x).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("a") < pos("c"));
+        assert!(pos("b") < pos("d"));
+        assert!(pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let p = pool();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::with_capacity(500);
+        let ids: Vec<TaskId> = (0..500)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                g.add_task(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Layered random-ish dependencies: task i depends on a few earlier tasks.
+        for i in 1..ids.len() {
+            for k in 1..=3usize {
+                if i >= k * 7 {
+                    g.add_dependency(ids[i - k * 7], ids[i]);
+                }
+            }
+        }
+        assert!(g.is_acyclic());
+        let stats = execute_graph(&p, g);
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+        assert_eq!(stats.tasks, 500);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn serial_chain_executes_in_order() {
+        let p = ThreadPool::new(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let n = 50;
+        let mut prev: Option<TaskId> = None;
+        for i in 0..n {
+            let l = Arc::clone(&log);
+            let id = g.add_task(move || l.lock().push(i));
+            if let Some(pv) = prev {
+                g.add_dependency(pv, id);
+            }
+            prev = Some(id);
+        }
+        execute_graph(&p, g);
+        let log = log.lock();
+        assert_eq!(*log, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn independent_tasks_use_multiple_workers() {
+        let p = ThreadPool::new(4);
+        let mut g = TaskGraph::new();
+        for _ in 0..64 {
+            g.add_task(|| {
+                let mut x = 0u64;
+                for i in 0..300_000u64 {
+                    x = x.wrapping_mul(31).wrapping_add(i);
+                }
+                std::hint::black_box(x);
+            });
+        }
+        let stats = execute_graph(&p, g);
+        let busy_workers = stats.tasks_per_worker.iter().filter(|&&c| c > 0).count();
+        assert!(
+            busy_workers >= 2,
+            "expected at least two workers to run tasks, got {:?}",
+            stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_graph_is_rejected() {
+        let p = pool();
+        let mut g = TaskGraph::new();
+        let a = g.add_task(|| {});
+        let b = g.add_task(|| {});
+        g.add_dependency(a, b);
+        g.add_dependency(b, a);
+        let _ = execute_graph(&p, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot depend on itself")]
+    fn self_dependency_is_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(|| {});
+        g.add_dependency(a, a);
+    }
+
+    #[test]
+    fn graph_reuse_of_pool_across_executions() {
+        let p = pool();
+        for round in 0..5 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut g = TaskGraph::new();
+            let prev_ids: Vec<TaskId> = (0..20)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    g.add_task(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for w in prev_ids.windows(2) {
+                g.add_dependency(w[0], w[1]);
+            }
+            execute_graph(&p, g);
+            assert_eq!(counter.load(Ordering::SeqCst), 20, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Counting latches for completion detection.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A latch that starts at a given count and releases waiters when it reaches zero.
+///
+/// Decrements use release ordering and the final decrement wakes all waiters, so a
+/// thread returning from [`CountLatch::wait`] observes all writes performed by the
+/// threads that called [`CountLatch::count_down`].
+#[derive(Debug)]
+pub struct CountLatch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch with the given initial count.
+    pub fn new(count: usize) -> Self {
+        CountLatch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// The current count.
+    pub fn count(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Decrements the count by one; when it reaches zero all waiters are woken.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the latch is decremented below zero.
+    pub fn count_down(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CountLatch decremented below zero");
+        if prev == 1 {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self) {
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.mutex.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.condvar.wait(&mut guard);
+        }
+    }
+
+    /// `true` if the latch has reached zero.
+    pub fn is_released(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_count_down() {
+        let latch = CountLatch::new(3);
+        assert_eq!(latch.count(), 3);
+        assert!(!latch.is_released());
+        latch.count_down();
+        latch.count_down();
+        latch.count_down();
+        assert!(latch.is_released());
+        latch.wait(); // does not block
+    }
+
+    #[test]
+    fn wait_blocks_until_other_threads_finish() {
+        let latch = Arc::new(CountLatch::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&latch);
+            let c = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        // All increments must be visible after wait().
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_count_is_immediately_released() {
+        let latch = CountLatch::new(0);
+        assert!(latch.is_released());
+        latch.wait();
+    }
+}

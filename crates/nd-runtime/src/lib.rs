@@ -1,0 +1,36 @@
+//! # nd-runtime — a real multithreaded runtime for NP and ND programs
+//!
+//! The paper proposes the ND model so that *runtime schedulers can execute
+//! inter-processor work like a dataflow model, while retaining the locality
+//! advantages of the nested parallel model* for intra-processor execution.  This
+//! crate is the real-machine counterpart of the simulated schedulers in `nd-sched`:
+//! a from-scratch work-stealing thread pool plus a dependency-counting **dataflow
+//! executor** that runs an algorithm DAG (produced by the DAG Rewriting System in
+//! `nd-core`) on actual threads.
+//!
+//! * [`pool`] — the work-stealing thread pool (crossbeam Chase–Lev deques, a global
+//!   injector, parking/unparking of idle workers).
+//! * [`latch`] — counting latches used for completion detection.
+//! * [`dataflow`] — the static task-graph executor: tasks with dependency counters;
+//!   a finished task decrements its successors and pushes newly-ready ones onto the
+//!   finishing worker's own deque (depth-first-ish execution for locality, stealing
+//!   for load balance — the NP-style intra-processor order the paper advocates).
+//! * [`join`] — a minimal fork-join façade built on the same pool, used by examples
+//!   and by the NP wall-clock baselines.
+//!
+//! Executing an *NP* program and an *ND* program through the same executor differs
+//! only in the DAG: the NP DAG contains the artificial dependencies the serial
+//! construct introduces, the ND DAG does not.  That makes the wall-clock comparison
+//! of experiment E12 an apples-to-apples measurement of the model, not of two
+//! different runtimes.
+
+#![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
+
+pub mod dataflow;
+pub mod join;
+pub mod latch;
+pub mod pool;
+
+pub use dataflow::{ExecStats, TaskGraph, TaskId};
+pub use pool::ThreadPool;

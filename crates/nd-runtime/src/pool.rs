@@ -1,0 +1,323 @@
+//! The work-stealing thread pool.
+//!
+//! A classic Chase–Lev design built on `crossbeam-deque`: every worker owns a LIFO
+//! deque; work it spawns goes onto its own deque (preserving the depth-first order
+//! that gives nested-parallel programs their locality), and idle workers steal from
+//! the top of other workers' deques or from a global FIFO injector.  Idle workers
+//! park on a condvar with a short timeout, so wake-ups cannot be lost.
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work: a closure executed on a worker thread.  It receives a
+/// [`WorkerCtx`] through which it may spawn further jobs onto the *local* deque.
+pub type Job = Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'static>;
+
+/// Per-invocation context handed to every job: identifies the executing worker and
+/// lets the job spawn follow-up work locally.
+pub struct WorkerCtx<'a> {
+    /// Index of the executing worker thread.
+    pub worker_index: usize,
+    local: &'a Deque<Job>,
+    shared: &'a Shared,
+}
+
+impl WorkerCtx<'_> {
+    /// Spawns a job onto the executing worker's own deque (LIFO: it will typically
+    /// be the next thing this worker runs, unless someone steals it).
+    pub fn spawn_local(&self, job: Job) {
+        self.local.push(job);
+        self.shared.notify_one();
+    }
+
+    /// Spawns a job onto the global injector (FIFO), visible to every worker.
+    pub fn spawn_global(&self, job: Job) {
+        self.shared.injector.push(job);
+        self.shared.notify_one();
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_threads(&self) -> usize {
+        self.shared.stealers.len()
+    }
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    sleep_mutex: Mutex<()>,
+    sleep_condvar: Condvar,
+    /// Total jobs executed (for statistics / tests).
+    executed: AtomicU64,
+    /// Total successful steals from another worker's deque.
+    steals: AtomicU64,
+}
+
+impl Shared {
+    fn notify_one(&self) {
+        // Cheap notification; parked workers also wake on a short timeout, so a
+        // missed notification only costs a millisecond of latency, never progress.
+        self.sleep_condvar.notify_one();
+    }
+
+    fn notify_all(&self) {
+        self.sleep_condvar.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "a thread pool needs at least one thread");
+        let deques: Vec<Deque<Job>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_condvar: Condvar::new(),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nd-worker-{index}"))
+                    .spawn(move || worker_loop(index, deque, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            num_threads,
+        }
+    }
+
+    /// A pool sized to the number of available hardware threads.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ThreadPool::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Submits a job from outside the pool (goes to the global injector).
+    pub fn spawn(&self, job: Job) {
+        self.shared.injector.push(job);
+        self.shared.notify_one();
+    }
+
+    /// Total jobs executed by the pool so far.
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Total successful steals from other workers' deques so far.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, bool)> {
+    // 1. Own deque (LIFO → depth-first order).
+    if let Some(job) = local.pop() {
+        return Some((job, false));
+    }
+    // 2. Global injector (batch-steal into the local deque).
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(job) => return Some((job, false)),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    // 3. Steal from another worker, starting just after ourselves to spread load.
+    let n = shared.stealers.len();
+    for k in 1..n {
+        let victim = (index + k) % n;
+        loop {
+            match shared.stealers[victim].steal() {
+                crossbeam::deque::Steal::Success(job) => return Some((job, true)),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(index: usize, local: Deque<Job>, shared: Arc<Shared>) {
+    loop {
+        match find_work(index, &local, &shared) {
+            Some((job, stolen)) => {
+                if stolen {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                let ctx = WorkerCtx {
+                    worker_index: index,
+                    local: &local,
+                    shared: &shared,
+                };
+                // Count the job before running it so that anyone released by a latch
+                // the job signals observes an up-to-date counter.
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+                job(&ctx);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park briefly; the timeout makes lost wake-ups harmless.
+                let mut guard = shared.sleep_mutex.lock();
+                shared
+                    .sleep_condvar
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::CountLatch;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(CountLatch::new(100));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            let l = Arc::clone(&latch);
+            pool.spawn(Box::new(move |_ctx| {
+                c.fetch_add(1, Ordering::SeqCst);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert!(pool.jobs_executed() >= 100);
+    }
+
+    #[test]
+    fn jobs_can_spawn_more_jobs_locally() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Binary fan-out: each job spawns two children down to depth 6 → 2^7 - 1 jobs.
+        let total = (1 << 7) - 1;
+        let latch = Arc::new(CountLatch::new(total));
+        fn fan_out(
+            depth: usize,
+            counter: Arc<AtomicUsize>,
+            latch: Arc<CountLatch>,
+            ctx: &WorkerCtx<'_>,
+        ) {
+            counter.fetch_add(1, Ordering::SeqCst);
+            latch.count_down();
+            if depth == 0 {
+                return;
+            }
+            for _ in 0..2 {
+                let c = Arc::clone(&counter);
+                let l = Arc::clone(&latch);
+                ctx.spawn_local(Box::new(move |ctx| fan_out(depth - 1, c, l, ctx)));
+            }
+        }
+        let c = Arc::clone(&counter);
+        let l = Arc::clone(&latch);
+        pool.spawn(Box::new(move |ctx| fan_out(6, c, l, ctx)));
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), total);
+    }
+
+    #[test]
+    fn work_is_distributed_across_workers() {
+        let pool = ThreadPool::new(4);
+        let latch = Arc::new(CountLatch::new(64));
+        for _ in 0..64 {
+            let l = Arc::clone(&latch);
+            pool.spawn(Box::new(move |_| {
+                // Enough work that a single worker cannot finish before others wake.
+                let mut x = 0u64;
+                for i in 0..200_000u64 {
+                    x = x.wrapping_add(i).rotate_left(3);
+                }
+                std::hint::black_box(x);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert!(pool.jobs_executed() >= 64);
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes() {
+        let pool = ThreadPool::new(1);
+        let latch = Arc::new(CountLatch::new(10));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let l = Arc::clone(&latch);
+            let c = Arc::clone(&counter);
+            pool.spawn(Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let pool = ThreadPool::new(2);
+        let latch = Arc::new(CountLatch::new(1));
+        let l = Arc::clone(&latch);
+        pool.spawn(Box::new(move |_| l.count_down()));
+        latch.wait();
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,36 @@
+//! # nd-sched — provably efficient schedulers, simulated on the PMH
+//!
+//! Section 4 of the paper extends **space-bounded (SB) schedulers** to the Nested
+//! Dataflow model and proves two results on the Parallel Memory Hierarchy:
+//!
+//! * **Theorem 1** — for a task anchored at a level-`i` cache, the total misses at
+//!   every level `j ≤ i` are at most `Q*(t; σ·M_j)`;
+//! * **Theorem 3** — when the machine parallelism is below the algorithm's
+//!   parallelizability `α_max`, the running time is within a constant factor of the
+//!   perfectly load-balanced bound `Σ_j Q*(t; σ·M_j)·C_j / p`.
+//!
+//! The authors' evaluation substrate is the PMH model itself, so this crate
+//! reproduces the results by *simulating* the schedulers on the machine trees of
+//! `nd-pmh`:
+//!
+//! * [`space_bounded`] — a discrete-event SB scheduler with the paper's anchoring,
+//!   boundedness (σ-dilation) and allocation (`g_i(S)`) rules, driven by the
+//!   dataflow readiness of the algorithm DAG (so it works for both NP and ND
+//!   programs — the NP program is simply a DAG with more dependencies);
+//! * [`work_stealing`] — a cache-oblivious greedy scheduler baseline;
+//! * [`cost`] — the per-strand cost model (work plus per-level miss charges) shared
+//!   by both simulators;
+//! * [`stats`] — per-level miss counts, completion times and utilisation.
+
+#![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod space_bounded;
+pub mod stats;
+pub mod work_stealing;
+
+pub use cost::{MissModel, StrandCosts};
+pub use space_bounded::{simulate_space_bounded, SbConfig};
+pub use stats::SchedStats;
+pub use work_stealing::simulate_work_stealing;

@@ -1,0 +1,522 @@
+//! The space-bounded (SB) scheduler for ND programs, simulated on a PMH.
+//!
+//! The simulator implements the scheduler of Section 4 of the paper:
+//!
+//! * **Anchoring** — every `σ·M_i`-maximal task is *anchored* to a level-`i` cache
+//!   before any of its strands run, and all of its strands execute on processors in
+//!   the subcluster of that cache.
+//! * **Boundedness** — the tasks anchored to a cache never exceed `σ·M_i` words in
+//!   total (`σ` is the dilation parameter).
+//! * **Allocation** — a task of size `S` anchored at a level-`i` cache is allocated
+//!   `g_i(S) = min{f_i, max{1, ⌊f_i·(3S/M_i)^{α'}⌋}}` of the level-(`i`−1)
+//!   subclusters below it; its subtasks may only anchor inside that allocation.
+//! * **Dataflow readiness** — a task is anchored only when *fully ready*: every
+//!   dependency arrow entering its subtree from outside has been satisfied (for ND
+//!   programs this is the partial-dependency readiness of Figure 12; for NP
+//!   programs it degenerates to the serial-construct readiness).
+//!
+//! Misses are charged per the anchored cost model of [`crate::cost`], so the
+//! per-level totals reported in the statistics are exactly the quantity bounded by
+//! Theorem 1 (`Q*(t; σ·M_j)`), and the completion time can be compared against the
+//! perfectly-balanced bound of Eq. (22) (Theorem 3).
+
+use crate::cost::{MissModel, StrandCosts};
+use crate::stats::SchedStats;
+use nd_core::dag::{AlgorithmDag, DagVertexId};
+use nd_core::spawn_tree::{NodeId, SpawnTree};
+use nd_pmh::machine::{CacheId, MachineTree, ProcId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Tunable parameters of the space-bounded scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct SbConfig {
+    /// The dilation parameter `σ ∈ (0, 1)`: tasks anchored to a level-`i` cache
+    /// occupy at most `σ·M_i` words.
+    pub sigma: f64,
+    /// The allocation exponent `α′ = min(α_max, 1)` used by `g_i(S)`.
+    pub alpha_prime: f64,
+}
+
+impl Default for SbConfig {
+    fn default() -> Self {
+        SbConfig {
+            sigma: 1.0 / 3.0,
+            alpha_prime: 1.0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DState {
+    Waiting,
+    Anchored(CacheId),
+    Done,
+}
+
+struct DTask {
+    level: usize,
+    size: u64,
+    parent: Option<usize>,
+    external_pending: u32,
+    remaining_strands: u32,
+    state: DState,
+    /// Subclusters (child caches) this task's subtasks may anchor to.
+    allocation: Vec<CacheId>,
+    /// Dataflow-ready strands waiting for this (level-1) task to be anchored.
+    waiting_strands: Vec<u32>,
+}
+
+/// Simulates the space-bounded scheduler and returns its statistics.
+///
+/// `tree` and `dag` must describe the same program (the DAG produced by the DAG
+/// Rewriting System on the tree); `machine` is the PMH instance to schedule on.
+pub fn simulate_space_bounded(
+    tree: &SpawnTree,
+    dag: &AlgorithmDag,
+    machine: &MachineTree,
+    cfg: &SbConfig,
+) -> SchedStats {
+    let config = machine.config();
+    let levels = config.cache_levels();
+    let costs = StrandCosts::compute(tree, dag, config, cfg.sigma, MissModel::Anchored);
+    let n = dag.vertex_count();
+
+    // ---------------------------------------------------------------- dtasks ----
+    let mut dtasks: Vec<DTask> = Vec::new();
+    let mut dindex: HashMap<(usize, u32), usize> = HashMap::new();
+    // vertex -> dtask index per level (level index 0 = cache level 1).
+    let mut vertex_dtask: Vec<Vec<Option<usize>>> = vec![vec![None; n]; levels];
+    let mut representative: Vec<DagVertexId> = Vec::new();
+    for li in 0..levels {
+        for v in dag.vertex_ids() {
+            if let Some(node) = costs.maximal_of[li][v.index()] {
+                let idx = *dindex.entry((li + 1, node.0)).or_insert_with(|| {
+                    dtasks.push(DTask {
+                        level: li + 1,
+                        size: tree_size(tree, node),
+                        parent: None,
+                        external_pending: 0,
+                        remaining_strands: 0,
+                        state: DState::Waiting,
+                        allocation: Vec::new(),
+                        waiting_strands: Vec::new(),
+                    });
+                    representative.push(v);
+                    dtasks.len() - 1
+                });
+                vertex_dtask[li][v.index()] = Some(idx);
+                if dag.vertex(v).is_strand() {
+                    dtasks[idx].remaining_strands += 1;
+                }
+            }
+        }
+    }
+    // Parent links: the enclosing task one level up (None at the top level, whose
+    // parent is the root memory).
+    for d in 0..dtasks.len() {
+        let level = dtasks[d].level;
+        if level < levels {
+            let rep = representative[d];
+            dtasks[d].parent = vertex_dtask[level][rep.index()];
+        }
+    }
+    // External readiness counters.
+    for v in dag.vertex_ids() {
+        for s in dag.successors(v) {
+            for li in 0..levels {
+                let dv = vertex_dtask[li][s.index()];
+                if let Some(dv) = dv {
+                    if vertex_dtask[li][v.index()] != Some(dv) {
+                        dtasks[dv].external_pending += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- machine ----
+    let mut space_left: Vec<f64> = machine
+        .cache_ids()
+        .map(|c| cfg.sigma * config.size(machine.cache(c).level) as f64)
+        .collect();
+    let num_procs = machine.processor_count();
+    let mut proc_busy = vec![false; num_procs];
+    let mut run_queue: Vec<VecDeque<u32>> = (0..machine.cache_count()).map(|_| VecDeque::new()).collect();
+
+    // -------------------------------------------------------------- dataflow ----
+    let mut pending: Vec<u32> = dag.vertex_ids().map(|v| dag.in_degree(v) as u32).collect();
+    let mut anchors_per_level = vec![0u64; levels];
+    let mut overflow_events = 0u64;
+    let mut ready_unanchored: Vec<usize> = Vec::new();
+    for (d, t) in dtasks.iter().enumerate() {
+        if t.external_pending == 0 {
+            ready_unanchored.push(d);
+        }
+    }
+
+    // Completion bookkeeping.
+    let mut completed = 0usize;
+    let mut busy_time = 0.0f64;
+    let mut strands_run = 0usize;
+    let mut now = 0.0f64;
+    // (finish-time bits, processor, vertex)
+    let mut running: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+
+    // A queue of vertices that complete without a processor (barriers).
+    let mut instant: VecDeque<u32> = VecDeque::new();
+
+    // Helper: a vertex has finished (strand after execution, barrier instantly).
+    macro_rules! complete_vertex {
+        ($v:expr) => {{
+            let v: u32 = $v;
+            completed += 1;
+            // Readiness of dependent decomposition tasks.
+            for s in dag.successors(DagVertexId(v)) {
+                for li in 0..levels {
+                    if let Some(dv) = vertex_dtask[li][s.index()] {
+                        if vertex_dtask[li][v as usize] != Some(dv) {
+                            dtasks[dv].external_pending -= 1;
+                            if dtasks[dv].external_pending == 0 {
+                                ready_unanchored.push(dv);
+                            }
+                        }
+                    }
+                }
+                pending[s.index()] -= 1;
+                if pending[s.index()] == 0 {
+                    vertex_ready!(s.0);
+                }
+            }
+            // Space release when an anchored task finishes all its strands.
+            if dag.vertex(DagVertexId(v)).is_strand() {
+                for li in 0..levels {
+                    if let Some(d) = vertex_dtask[li][v as usize] {
+                        dtasks[d].remaining_strands -= 1;
+                        if dtasks[d].remaining_strands == 0 {
+                            if let DState::Anchored(c) = dtasks[d].state {
+                                space_left[c.0 as usize] += dtasks[d].size as f64;
+                            }
+                            dtasks[d].state = DState::Done;
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    // Helper: a vertex became dataflow-ready.
+    macro_rules! vertex_ready {
+        ($v:expr) => {{
+            let v: u32 = $v;
+            if dag.vertex(DagVertexId(v)).is_strand() {
+                let d1 = vertex_dtask[0][v as usize].expect("every strand has a level-1 task");
+                match dtasks[d1].state {
+                    DState::Anchored(c) => run_queue[c.0 as usize].push_back(v),
+                    _ => dtasks[d1].waiting_strands.push(v),
+                }
+            } else {
+                // Barriers complete instantly once ready.
+                instant.push_back(v);
+            }
+        }};
+    }
+
+    // Initial dataflow-ready vertices.
+    for v in dag.vertex_ids() {
+        if pending[v.index()] == 0 {
+            vertex_ready!(v.0);
+        }
+    }
+    while let Some(v) = instant.pop_front() {
+        complete_vertex!(v);
+    }
+
+    // Allocation function g_i(S).
+    let g_alloc = |size: u64, level: usize| -> usize {
+        let f = config.fanout(level);
+        let m = config.size(level) as f64;
+        let g = (f as f64 * (3.0 * size as f64 / m).powf(cfg.alpha_prime)).floor() as usize;
+        g.clamp(1, f)
+    };
+
+    // Anchoring pass over the ready-unanchored frontier.
+    macro_rules! try_anchor_all {
+        ($emergency:expr) => {{
+            loop {
+                let mut progress = false;
+                let mut still_waiting = Vec::new();
+                let frontier = std::mem::take(&mut ready_unanchored);
+                for d in frontier {
+                    if dtasks[d].state != DState::Waiting {
+                        continue;
+                    }
+                    let level = dtasks[d].level;
+                    // Candidate caches: under the parent's allocation, or the top
+                    // caches when the parent is the root memory.
+                    let candidates: Vec<CacheId> = match dtasks[d].parent {
+                        None => machine.top_caches().to_vec(),
+                        Some(p) => match dtasks[p].state {
+                            DState::Anchored(_) | DState::Done => dtasks[p].allocation.clone(),
+                            DState::Waiting => {
+                                still_waiting.push(d);
+                                continue;
+                            }
+                        },
+                    };
+                    // Pick the candidate with the most free space.
+                    let best = candidates
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| {
+                            space_left[a.0 as usize]
+                                .partial_cmp(&space_left[b.0 as usize])
+                                .unwrap()
+                        });
+                    let Some(best) = best else {
+                        still_waiting.push(d);
+                        continue;
+                    };
+                    let size = dtasks[d].size as f64;
+                    if space_left[best.0 as usize] >= size || $emergency {
+                        if space_left[best.0 as usize] < size {
+                            overflow_events += 1;
+                        }
+                        space_left[best.0 as usize] -= size;
+                        dtasks[d].state = DState::Anchored(best);
+                        anchors_per_level[level - 1] += 1;
+                        // Allocate g_i(S) subclusters (children caches) below.
+                        if level > 1 {
+                            let g = g_alloc(dtasks[d].size, level);
+                            let mut children = machine.cache(best).children.clone();
+                            children.sort_by(|a, b| {
+                                space_left[b.0 as usize]
+                                    .partial_cmp(&space_left[a.0 as usize])
+                                    .unwrap()
+                            });
+                            children.truncate(g);
+                            dtasks[d].allocation = children;
+                        }
+                        // Release any strands that were waiting for the anchor.
+                        if level == 1 {
+                            let waiting = std::mem::take(&mut dtasks[d].waiting_strands);
+                            for v in waiting {
+                                run_queue[best.0 as usize].push_back(v);
+                            }
+                        }
+                        progress = true;
+                    } else {
+                        still_waiting.push(d);
+                    }
+                }
+                ready_unanchored.extend(still_waiting);
+                if !progress {
+                    break;
+                }
+            }
+        }};
+    }
+
+    // Dispatch ready strands to free processors (each processor only serves its own
+    // level-1 cache's queue — the anchoring property).
+    macro_rules! dispatch {
+        () => {{
+            for p in 0..num_procs {
+                if proc_busy[p] {
+                    continue;
+                }
+                let l1 = machine.path_of(ProcId(p as u32))[0];
+                if let Some(v) = run_queue[l1.0 as usize].pop_front() {
+                    let c = costs.cost[v as usize];
+                    busy_time += c;
+                    strands_run += 1;
+                    proc_busy[p] = true;
+                    running.push(Reverse(((now + c).to_bits(), p as u32, v)));
+                }
+            }
+        }};
+    }
+
+    try_anchor_all!(false);
+    dispatch!();
+
+    // ------------------------------------------------------------- event loop ----
+    while completed < n {
+        if running.is_empty() {
+            // No strand is running: either anchoring is space-blocked (emergency
+            // anchoring resolves it) or the simulation is genuinely stuck.
+            let before = completed;
+            try_anchor_all!(true);
+            dispatch!();
+            while let Some(v) = instant.pop_front() {
+                complete_vertex!(v);
+            }
+            if running.is_empty() && completed == before && completed < n {
+                panic!(
+                    "space-bounded simulation stalled: {completed}/{n} vertices done"
+                );
+            }
+            continue;
+        }
+        let Reverse((tbits, p, v)) = running.pop().unwrap();
+        now = f64::from_bits(tbits);
+        proc_busy[p as usize] = false;
+        complete_vertex!(v);
+        while let Some(b) = instant.pop_front() {
+            complete_vertex!(b);
+        }
+        try_anchor_all!(false);
+        dispatch!();
+    }
+
+    SchedStats {
+        scheduler: "sb".into(),
+        processors: num_procs,
+        completion_time: now,
+        misses_per_level: costs.total_misses.clone(),
+        busy_time,
+        utilisation: if now > 0.0 {
+            busy_time / (now * num_procs as f64)
+        } else {
+            0.0
+        },
+        anchors_per_level,
+        overflow_events,
+        strands: strands_run,
+    }
+}
+
+fn tree_size(tree: &SpawnTree, node: NodeId) -> u64 {
+    tree.effective_size(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::drs::DagRewriter;
+    use nd_core::fire::FireTable;
+    use nd_core::pcc::pcc;
+    use nd_core::program::{Composition, Expansion, NdProgram};
+    use nd_pmh::config::{CacheLevelSpec, PmhConfig};
+
+    /// Quad-tree divide and conquer with selectable composition, sized so that
+    /// level-k tasks have size 4^k.
+    struct Quad {
+        fires: FireTable,
+        serial: bool,
+    }
+    #[derive(Clone)]
+    struct T {
+        level: u32,
+    }
+    impl NdProgram for Quad {
+        type Task = T;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn task_size(&self, t: &T) -> u64 {
+            4u64.pow(t.level)
+        }
+        fn expand(&self, t: &T) -> Expansion<T> {
+            if t.level == 0 {
+                return Expansion::strand(16, 1);
+            }
+            let sub = || Composition::task(T { level: t.level - 1 });
+            let c = vec![sub(), sub(), sub(), sub()];
+            Expansion::compose(if self.serial {
+                Composition::Seq(c)
+            } else {
+                Composition::Par(c)
+            })
+        }
+    }
+
+    fn build(serial: bool, levels: u32) -> (SpawnTree, AlgorithmDag) {
+        let p = Quad {
+            fires: FireTable::new().resolved(),
+            serial,
+        };
+        let tree = SpawnTree::unfold(&p, T { level: levels });
+        let dag = DagRewriter::new(&tree, p.fire_table()).build();
+        (tree, dag)
+    }
+
+    fn machine() -> MachineTree {
+        // Two cache levels: 64-word L1s (2 procs each), 512-word L2s (2 L1s), 2 L2s.
+        let cfg = PmhConfig::new(
+            vec![CacheLevelSpec::new(64, 2, 10), CacheLevelSpec::new(512, 2, 100)],
+            2,
+        );
+        MachineTree::build(&cfg)
+    }
+
+    #[test]
+    fn all_strands_execute_exactly_once() {
+        let (tree, dag) = build(false, 5); // 1024 strands
+        let m = machine();
+        let stats = simulate_space_bounded(&tree, &dag, &m, &SbConfig::default());
+        assert_eq!(stats.strands, dag.strand_count());
+        assert_eq!(stats.processors, 8);
+        assert!(stats.completion_time > 0.0);
+    }
+
+    #[test]
+    fn theorem1_miss_bound_holds() {
+        let (tree, dag) = build(false, 5);
+        let m = machine();
+        let cfg = SbConfig::default();
+        let stats = simulate_space_bounded(&tree, &dag, &m, &cfg);
+        for (li, charged) in stats.misses_per_level.iter().enumerate() {
+            let threshold = (cfg.sigma * m.config().size(li + 1) as f64) as u64;
+            let bound = pcc(&tree, tree.root(), threshold) as f64;
+            assert!(
+                *charged <= bound + 1e-6,
+                "level {}: misses {} exceed Q* bound {}",
+                li + 1,
+                charged,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_program_beats_serial_program() {
+        let m = machine();
+        let (tree_p, dag_p) = build(false, 5);
+        let (tree_s, dag_s) = build(true, 5);
+        let sp = simulate_space_bounded(&tree_p, &dag_p, &m, &SbConfig::default());
+        let ss = simulate_space_bounded(&tree_s, &dag_s, &m, &SbConfig::default());
+        assert!(
+            sp.completion_time < ss.completion_time / 2.0,
+            "parallel {} vs serial {}",
+            sp.completion_time,
+            ss.completion_time
+        );
+        assert!(sp.utilisation > ss.utilisation);
+    }
+
+    #[test]
+    fn more_processors_do_not_slow_it_down() {
+        let (tree, dag) = build(false, 5);
+        let small = MachineTree::build(&PmhConfig::new(
+            vec![CacheLevelSpec::new(64, 1, 10), CacheLevelSpec::new(512, 2, 100)],
+            1,
+        ));
+        let large = machine();
+        let t_small = simulate_space_bounded(&tree, &dag, &small, &SbConfig::default());
+        let t_large = simulate_space_bounded(&tree, &dag, &large, &SbConfig::default());
+        assert!(t_large.completion_time <= t_small.completion_time * 1.01);
+        assert!(t_large.processors > t_small.processors);
+    }
+
+    #[test]
+    fn anchors_are_counted_per_level() {
+        let (tree, dag) = build(false, 5);
+        let m = machine();
+        let stats = simulate_space_bounded(&tree, &dag, &m, &SbConfig::default());
+        assert_eq!(stats.anchors_per_level.len(), 2);
+        assert!(stats.anchors_per_level[0] > 0);
+        assert!(stats.anchors_per_level[1] > 0);
+        assert_eq!(stats.overflow_events, 0);
+    }
+}

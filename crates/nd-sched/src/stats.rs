@@ -1,0 +1,79 @@
+//! Scheduler simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one scheduler simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Which scheduler produced these statistics (`"sb"`, `"ws"`, …).
+    pub scheduler: String,
+    /// Number of processors simulated.
+    pub processors: usize,
+    /// Simulated completion time (work + miss-cost units).
+    pub completion_time: f64,
+    /// Cache misses charged at each level (level 1 first).
+    pub misses_per_level: Vec<f64>,
+    /// Total busy processor-time.
+    pub busy_time: f64,
+    /// Utilisation: busy time / (completion time × processors).
+    pub utilisation: f64,
+    /// Number of task anchorings performed at each cache level (SB only).
+    pub anchors_per_level: Vec<u64>,
+    /// Times the simulator had to bypass the space bound to guarantee progress
+    /// (should be zero; reported for transparency).
+    pub overflow_events: u64,
+    /// Number of strands executed.
+    pub strands: usize,
+}
+
+impl SchedStats {
+    /// The perfectly load-balanced reference time of Eq. (22):
+    /// `Σ_j misses_j · C_j / p` plus the work term `W / p`.
+    pub fn speedup_vs(&self, serial_time: f64) -> f64 {
+        if self.completion_time > 0.0 {
+            serial_time / self.completion_time
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The perfectly load-balanced lower-bound time of Eq. (22) of the paper:
+/// `(W + Σ_j Q*_j · C_j) / p`.
+pub fn perfect_balance_time(work: f64, misses_per_level: &[f64], costs: &[u64], p: usize) -> f64 {
+    let miss_cost: f64 = misses_per_level
+        .iter()
+        .zip(costs.iter())
+        .map(|(m, &c)| m * c as f64)
+        .sum();
+    (work + miss_cost) / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_divides_by_p() {
+        let t1 = perfect_balance_time(1000.0, &[100.0, 10.0], &[10, 100], 1);
+        let t4 = perfect_balance_time(1000.0, &[100.0, 10.0], &[10, 100], 4);
+        assert!((t1 - 3000.0).abs() < 1e-9);
+        assert!((t4 - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_serial() {
+        let s = SchedStats {
+            scheduler: "sb".into(),
+            processors: 4,
+            completion_time: 250.0,
+            misses_per_level: vec![],
+            busy_time: 900.0,
+            utilisation: 0.9,
+            anchors_per_level: vec![],
+            overflow_events: 0,
+            strands: 10,
+        };
+        assert!((s.speedup_vs(1000.0) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! A cache-oblivious greedy ("work-stealing style") scheduler simulation.
+//!
+//! The baseline the paper compares space-bounded schedulers against: `p` identical
+//! processors greedily execute ready strands with no regard for cache placement.
+//! The load balance of such a scheduler is excellent (it is exactly Graham list
+//! scheduling, within 2× of optimal), but its locality depends on the chosen
+//! [`MissModel`]: with [`MissModel::PerStrand`] every strand reloads its footprint
+//! at every level (the pessimistic behaviour the paper's experimental citations
+//! report for shared caches), with [`MissModel::Anchored`] it is granted the same
+//! locality as the space-bounded scheduler (isolating pure load-balance effects).
+
+use crate::cost::{MissModel, StrandCosts};
+use crate::stats::SchedStats;
+use nd_core::dag::AlgorithmDag;
+use nd_core::spawn_tree::SpawnTree;
+use nd_pmh::config::PmhConfig;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulates greedy list scheduling of the DAG on `p` processors with the given
+/// per-strand cost model and returns the statistics.
+pub fn simulate_work_stealing(
+    tree: &SpawnTree,
+    dag: &AlgorithmDag,
+    config: &PmhConfig,
+    p: usize,
+    sigma: f64,
+    model: MissModel,
+) -> SchedStats {
+    assert!(p > 0, "need at least one processor");
+    let costs = StrandCosts::compute(tree, dag, config, sigma, model);
+    let n = dag.vertex_count();
+    let mut pending: Vec<u32> = dag.vertex_ids().map(|v| dag.in_degree(v) as u32).collect();
+    let mut ready: VecDeque<u32> = dag
+        .vertex_ids()
+        .filter(|&v| pending[v.index()] == 0)
+        .map(|v| v.0)
+        .collect();
+
+    // Min-heap of (finish_time_bits, vertex).
+    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let key = |t: f64| t.to_bits(); // times are non-negative, so bit order == value order
+    let mut now = 0.0f64;
+    let mut busy = 0usize;
+    let mut done = 0usize;
+    let mut busy_time = 0.0f64;
+    let mut strands = 0usize;
+
+    while done < n {
+        while busy < p {
+            match ready.pop_front() {
+                Some(v) => {
+                    let c = costs.cost[v as usize];
+                    if dag.vertex(nd_core::dag::DagVertexId(v)).is_strand() {
+                        strands += 1;
+                        busy_time += c;
+                    }
+                    running.push(Reverse((key(now + c), v)));
+                    busy += 1;
+                }
+                None => break,
+            }
+        }
+        let Reverse((tbits, v)) = running.pop().expect("deadlock in greedy simulation");
+        now = f64::from_bits(tbits);
+        busy -= 1;
+        done += 1;
+        for s in dag.successors(nd_core::dag::DagVertexId(v)) {
+            pending[s.index()] -= 1;
+            if pending[s.index()] == 0 {
+                ready.push_back(s.0);
+            }
+        }
+    }
+
+    SchedStats {
+        scheduler: format!("ws-{model:?}").to_lowercase(),
+        processors: p,
+        completion_time: now,
+        misses_per_level: costs.total_misses.clone(),
+        busy_time,
+        utilisation: if now > 0.0 {
+            busy_time / (now * p as f64)
+        } else {
+            0.0
+        },
+        anchors_per_level: vec![0; config.cache_levels()],
+        overflow_events: 0,
+        strands,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_core::drs::DagRewriter;
+    use nd_core::fire::FireTable;
+    use nd_core::program::{Composition, Expansion, NdProgram};
+    use nd_pmh::config::{CacheLevelSpec, PmhConfig};
+
+    struct Quad {
+        fires: FireTable,
+        serial: bool,
+    }
+    #[derive(Clone)]
+    struct T {
+        level: u32,
+    }
+    impl NdProgram for Quad {
+        type Task = T;
+        fn fire_table(&self) -> &FireTable {
+            &self.fires
+        }
+        fn task_size(&self, t: &T) -> u64 {
+            4u64.pow(t.level)
+        }
+        fn expand(&self, t: &T) -> Expansion<T> {
+            if t.level == 0 {
+                return Expansion::strand(10, 1);
+            }
+            let sub = || Composition::task(T { level: t.level - 1 });
+            let c = vec![sub(), sub(), sub(), sub()];
+            Expansion::compose(if self.serial {
+                Composition::Seq(c)
+            } else {
+                Composition::Par(c)
+            })
+        }
+    }
+
+    fn build(serial: bool) -> (SpawnTree, AlgorithmDag) {
+        let p = Quad {
+            fires: FireTable::new().resolved(),
+            serial,
+        };
+        let tree = SpawnTree::unfold(&p, T { level: 3 });
+        let dag = DagRewriter::new(&tree, p.fire_table()).build();
+        (tree, dag)
+    }
+
+    fn config() -> PmhConfig {
+        PmhConfig::new(vec![CacheLevelSpec::new(16, 4, 10)], 4)
+    }
+
+    #[test]
+    fn parallel_program_scales_with_processors() {
+        let (tree, dag) = build(false);
+        let cfg = config();
+        let t1 = simulate_work_stealing(&tree, &dag, &cfg, 1, 1.0, MissModel::Anchored);
+        let t4 = simulate_work_stealing(&tree, &dag, &cfg, 4, 1.0, MissModel::Anchored);
+        let t16 = simulate_work_stealing(&tree, &dag, &cfg, 16, 1.0, MissModel::Anchored);
+        assert!(t4.completion_time < t1.completion_time / 3.0);
+        assert!(t16.completion_time < t4.completion_time / 3.0);
+        assert!((t1.completion_time - t1.busy_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_program_does_not_scale() {
+        let (tree, dag) = build(true);
+        let cfg = config();
+        let t1 = simulate_work_stealing(&tree, &dag, &cfg, 1, 1.0, MissModel::Anchored);
+        let t8 = simulate_work_stealing(&tree, &dag, &cfg, 8, 1.0, MissModel::Anchored);
+        assert!((t8.completion_time - t1.completion_time).abs() < 1e-9);
+        assert!(t8.utilisation < 0.2);
+    }
+
+    #[test]
+    fn per_strand_model_is_slower() {
+        let (tree, dag) = build(false);
+        let cfg = config();
+        let anchored = simulate_work_stealing(&tree, &dag, &cfg, 4, 1.0, MissModel::Anchored);
+        let per_strand = simulate_work_stealing(&tree, &dag, &cfg, 4, 1.0, MissModel::PerStrand);
+        assert!(per_strand.completion_time >= anchored.completion_time - 1e-9);
+    }
+
+    #[test]
+    fn all_strands_are_executed() {
+        let (tree, dag) = build(false);
+        let cfg = config();
+        let s = simulate_work_stealing(&tree, &dag, &cfg, 3, 1.0, MissModel::Anchored);
+        assert_eq!(s.strands, dag.strand_count());
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulate the space-bounded scheduler and a work-stealing baseline on a 3-level
+//! Parallel Memory Hierarchy for the TRS algorithm, in both the NP and ND models —
+//! a miniature of experiments E10 and E11.
+//!
+//! Run with `cargo run --release --example scheduler_sim`.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::trs::build_trs;
+use nd_core::pcc::pcc;
+use nd_pmh::config::PmhConfig;
+use nd_pmh::machine::MachineTree;
+use nd_sched::cost::MissModel;
+use nd_sched::space_bounded::{simulate_space_bounded, SbConfig};
+use nd_sched::stats::perfect_balance_time;
+use nd_sched::work_stealing::simulate_work_stealing;
+
+fn main() {
+    let n = 256;
+    let base = 8;
+    let config = PmhConfig::experiment_machine(4);
+    let machine = MachineTree::build(&config);
+    let sb_cfg = SbConfig::default();
+    println!(
+        "TRS(n = {n}, base = {base}) on a PMH with {} processors ({} cache levels)\n",
+        config.num_processors(),
+        config.cache_levels()
+    );
+
+    for mode in [Mode::Np, Mode::Nd] {
+        let built = build_trs(n, base, mode);
+        let sb = simulate_space_bounded(&built.tree, &built.dag, &machine, &sb_cfg);
+        let ws = simulate_work_stealing(
+            &built.tree,
+            &built.dag,
+            &config,
+            config.num_processors(),
+            sb_cfg.sigma,
+            MissModel::PerStrand,
+        );
+        let costs: Vec<u64> = (1..=config.cache_levels()).map(|l| config.miss_cost(l)).collect();
+        let ideal = perfect_balance_time(
+            sb.busy_time - sb.misses_per_level.iter().zip(&costs).map(|(m, &c)| m * c as f64).sum::<f64>(),
+            &sb.misses_per_level,
+            &costs,
+            config.num_processors(),
+        );
+
+        println!("== {} model ==", mode.name());
+        println!("  space-bounded:  time {:>12.0}   utilisation {:>5.1}%   (perfect balance: {:.0})",
+            sb.completion_time, 100.0 * sb.utilisation, ideal);
+        println!("  work-stealing:  time {:>12.0}   utilisation {:>5.1}%", ws.completion_time, 100.0 * ws.utilisation);
+        println!("  Theorem 1 check (misses ≤ Q*(t; σ·M_j)):");
+        for (li, m) in sb.misses_per_level.iter().enumerate() {
+            let threshold = (sb_cfg.sigma * config.size(li + 1) as f64) as u64;
+            let bound = pcc(&built.tree, built.tree.root(), threshold);
+            println!(
+                "    level {}: misses {:>12.0}  ≤  Q* bound {:>12}   {}",
+                li + 1,
+                m,
+                bound,
+                if *m <= bound as f64 + 1e-6 { "✓" } else { "✗" }
+            );
+        }
+        println!();
+    }
+    println!("The ND model keeps the space-bounded scheduler busy on more of the machine");
+    println!("(higher utilisation at the same locality bounds) — Theorem 3's message.");
+}

@@ -1,0 +1,39 @@
+//! # Nested Dataflow
+//!
+//! Facade crate re-exporting the public API of every workspace member of the
+//! Nested Dataflow (ND) model reproduction:
+//!
+//! * [`core`] — the ND programming model: pedigrees, fire rules, spawn trees, the
+//!   DAG rewriting system, and the analysis metrics (work/span, `Q*`, `Q̂_α`,
+//!   parallelizability).
+//! * [`pmh`] — the Parallel Memory Hierarchy machine model and cache simulators.
+//! * [`sched`] — space-bounded and work-stealing schedulers simulated on a PMH.
+//! * [`runtime`] — a real multithreaded work-stealing runtime with fork-join (NP)
+//!   and dataflow (ND) execution modes.
+//! * [`linalg`] — the dense linear-algebra and dynamic-programming kernel substrate.
+//! * [`algorithms`] — the paper's algorithms (MM, TRS, Cholesky, LU, Floyd–Warshall,
+//!   LCS) expressed in both the NP and ND models.
+
+pub use nd_algorithms as algorithms;
+pub use nd_core as core;
+pub use nd_linalg as linalg;
+pub use nd_pmh as pmh;
+pub use nd_runtime as runtime;
+pub use nd_sched as sched;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use nd_algorithms::common::{BlockOp, BuiltAlgorithm, Mode, Rect};
+    pub use nd_core::dag::AlgorithmDag;
+    pub use nd_core::drs::DagRewriter;
+    pub use nd_core::fire::{FireRule, FireRuleSpec, FireTable, FireType};
+    pub use nd_core::pedigree::Pedigree;
+    pub use nd_core::program::{Composition, Expansion, NdProgram};
+    pub use nd_core::spawn_tree::{NodeId, SpawnTree};
+    pub use nd_core::work_span::WorkSpan;
+    pub use nd_pmh::config::PmhConfig;
+    pub use nd_pmh::machine::MachineTree;
+    pub use nd_runtime::pool::ThreadPool;
+    pub use nd_sched::space_bounded::{simulate_space_bounded, SbConfig};
+    pub use nd_sched::work_stealing::simulate_work_stealing;
+}

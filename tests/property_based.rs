@@ -1,0 +1,96 @@
+//! Property-based integration tests (proptest): random programs, random inputs and
+//! random machine shapes exercising the invariants the repository relies on.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::fw2d::apsp_parallel;
+use nd_algorithms::lcs::lcs_parallel;
+use nd_algorithms::lu::lu_parallel;
+use nd_algorithms::mm::build_mm;
+use nd_algorithms::trs::{build_trs, solve_parallel};
+use nd_core::work_span::WorkSpan;
+use nd_linalg::fw::{floyd_warshall_naive, random_digraph};
+use nd_linalg::getrf::lu_residual;
+use nd_linalg::lcs::{lcs_naive, random_sequence};
+use nd_linalg::Matrix;
+use nd_runtime::ThreadPool;
+use proptest::prelude::*;
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The DRS always produces an acyclic DAG whose work is independent of the model
+    /// and whose ND span never exceeds the NP span, for random sizes and base cases.
+    #[test]
+    fn drs_invariants_hold_for_random_shapes(size_exp in 4usize..7, base_exp in 1usize..3) {
+        let n = 1 << size_exp;
+        let base = 1 << base_exp;
+        prop_assume!(base < n);
+        fn mm_builder(n: usize, b: usize, m: Mode) -> nd_algorithms::BuiltAlgorithm {
+            build_mm(n, b, m, 1.0)
+        }
+        let builders: [fn(usize, usize, Mode) -> nd_algorithms::BuiltAlgorithm; 2] =
+            [build_trs, mm_builder];
+        for build in builders {
+            let np = build(n, base, Mode::Np);
+            let nd = build(n, base, Mode::Nd);
+            prop_assert!(np.dag.is_acyclic());
+            prop_assert!(nd.dag.is_acyclic());
+            let wnp = WorkSpan::of_dag(&np.dag);
+            let wnd = WorkSpan::of_dag(&nd.dag);
+            prop_assert_eq!(wnp.work, wnd.work);
+            prop_assert!(wnd.span <= wnp.span);
+        }
+    }
+
+    /// Parallel ND triangular solves agree with the ground truth for random systems.
+    #[test]
+    fn parallel_trs_is_correct_on_random_systems(seed in 0u64..1000, base_exp in 2usize..5) {
+        let n = 64;
+        let base = 1 << base_exp;
+        let t = Matrix::random_lower_triangular(n, seed);
+        let x_true = Matrix::random(n, n, seed + 1);
+        let b = t.matmul(&x_true);
+        let mut x = b.clone();
+        solve_parallel(&pool(), &t, &mut x, Mode::Nd, base);
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-7);
+    }
+
+    /// Parallel LCS agrees with the sequential DP for random sequences in both models.
+    #[test]
+    fn parallel_lcs_is_correct_on_random_sequences(seed in 0u64..1000) {
+        let n = 64;
+        let s = random_sequence(n, seed);
+        let t = random_sequence(n, seed + 7);
+        let expected = lcs_naive(&s, &t);
+        for mode in [Mode::Np, Mode::Nd] {
+            let (got, _) = lcs_parallel(&pool(), &s, &t, mode, 8);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Parallel blocked LU keeps the factorization residual small for random matrices.
+    #[test]
+    fn parallel_lu_residual_is_small(seed in 0u64..1000) {
+        let n = 64;
+        let a = Matrix::random(n, n, seed);
+        let mut lu = a.clone();
+        let piv = lu_parallel(&pool(), &mut lu, Mode::Nd, 16);
+        prop_assert!(lu_residual(&lu, &piv, &a) < 1e-9);
+    }
+
+    /// Parallel APSP never disagrees with the sequential Floyd–Warshall.
+    #[test]
+    fn parallel_apsp_is_correct(seed in 0u64..1000) {
+        let n = 64;
+        let d0 = random_digraph(n, 3, seed);
+        let mut expected = d0.clone();
+        floyd_warshall_naive(&mut expected);
+        let mut d = d0.clone();
+        apsp_parallel(&pool(), &mut d, Mode::Nd, 16);
+        prop_assert!(d.max_abs_diff(&expected) < 1e-12);
+    }
+}

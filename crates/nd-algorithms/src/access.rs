@@ -48,9 +48,13 @@ impl AccessDagBuilder {
         reads: &[u64],
         writes: &[u64],
     ) -> DagVertexId {
-        let v = self
-            .dag
-            .add_strand(NodeId(self.dag.vertex_count() as u32), work, size, op, label.into());
+        let v = self.dag.add_strand(
+            NodeId(self.dag.vertex_count() as u32),
+            work,
+            size,
+            op,
+            label.into(),
+        );
         for f in self.barrier_frontier.clone() {
             self.add_edge(f, v);
         }
@@ -156,7 +160,9 @@ mod tests {
     #[test]
     fn chains_of_writes_are_fully_ordered() {
         let mut b = AccessDagBuilder::new();
-        let ids: Vec<_> = (0..10).map(|i| b.add_task(2, 1, None, format!("t{i}"), &[], &[7])).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| b.add_task(2, 1, None, format!("t{i}"), &[], &[7]))
+            .collect();
         let dag = b.finish();
         assert_eq!(dag.span(), 20);
         for w in ids.windows(2) {

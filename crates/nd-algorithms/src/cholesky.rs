@@ -336,11 +336,9 @@ impl CholeskyProgram {
         };
         match self.mode {
             Mode::Np => Expansion::compose(Composition::seq2(group(0), group(1))),
-            Mode::Nd => Expansion::compose(Composition::fire(
-                group(0),
-                self.fires.id("SYG"),
-                group(1),
-            )),
+            Mode::Nd => {
+                Expansion::compose(Composition::fire(group(0), self.fires.id("SYG"), group(1)))
+            }
         }
     }
 
@@ -373,11 +371,9 @@ impl CholeskyProgram {
         };
         match self.mode {
             Mode::Np => Expansion::compose(Composition::seq2(group(0), group(1))),
-            Mode::Nd => Expansion::compose(Composition::fire(
-                group(0),
-                self.fires.id("MMG"),
-                group(1),
-            )),
+            Mode::Nd => {
+                Expansion::compose(Composition::fire(group(0), self.fires.id("MMG"), group(1)))
+            }
         }
     }
 }
@@ -486,7 +482,10 @@ mod tests {
         let (e_nd, _) = fit_power_law(&nd);
         // NP carries a log² factor, ND is close to linear.
         assert!(e_nd < e_np - 0.1, "nd {e_nd} vs np {e_np}");
-        assert!(e_nd < 1.35, "nd Cholesky span should be near-linear, got {e_nd}");
+        assert!(
+            e_nd < 1.35,
+            "nd Cholesky span should be near-linear, got {e_nd}"
+        );
     }
 
     #[test]

@@ -181,7 +181,10 @@ impl BuiltAlgorithm {
 /// Asserts that `n` is a power of two times `base` (the quadrant recursions in this
 /// crate split evenly all the way down to the base case).
 pub fn check_power_of_two_ratio(n: usize, base: usize) {
-    assert!(base >= 1 && n >= base, "need n ≥ base ≥ 1, got n={n}, base={base}");
+    assert!(
+        base >= 1 && n >= base,
+        "need n ≥ base ≥ 1, got n={n}, base={base}"
+    );
     let ratio = n / base;
     assert_eq!(
         n % base,

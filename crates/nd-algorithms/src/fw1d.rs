@@ -206,7 +206,15 @@ impl NdProgram for Fw1dProgram {
         }
         let tm = t.t0 + t.rows() / 2;
         let im = t.i0 + t.cols() / 2;
-        let block = |kind, t0, t1, i0, i1| Composition::task(Fw1dTask { kind, t0, t1, i0, i1 });
+        let block = |kind, t0, t1, i0, i1| {
+            Composition::task(Fw1dTask {
+                kind,
+                t0,
+                t1,
+                i0,
+                i1,
+            })
+        };
         match t.kind {
             FwKind::A => {
                 let a00 = block(FwKind::A, t.t0, tm, t.i0, im);
@@ -277,12 +285,7 @@ pub fn build_fw1d(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
 
 /// Runs the 1-D Floyd–Warshall in parallel from the given initial row
 /// (`initial[1..=n]` are the `d(0, ·)` values) and returns the full table.
-pub fn fw1d_parallel(
-    pool: &ThreadPool,
-    initial: &[f64],
-    mode: Mode,
-    base: usize,
-) -> Matrix {
+pub fn fw1d_parallel(pool: &ThreadPool, initial: &[f64], mode: Mode, base: usize) -> Matrix {
     let n = initial.len() - 1;
     let built = build_fw1d(n, base, mode);
     let mut table = Matrix::zeros(n + 1, n + 1);
@@ -331,7 +334,10 @@ mod tests {
         let (e_nd, _) = fit_power_law(&nd);
         assert!(e_nd < e_np, "nd exponent {e_nd} vs np {e_np}");
         assert!(e_nd < 1.25, "nd 1-D FW span should be ~linear, got {e_nd}");
-        assert!(e_np > 1.2, "np 1-D FW span should carry a log factor, got {e_np}");
+        assert!(
+            e_np > 1.2,
+            "np 1-D FW span should carry a log factor, got {e_np}"
+        );
     }
 
     #[test]

@@ -52,10 +52,10 @@ pub fn build_fw2d(n: usize, base: usize, mode: Mode) -> BlockedBuilt {
     let mut ops = Vec::new();
     let mut builder = AccessDagBuilder::new();
     let add = |builder: &mut AccessDagBuilder,
-                   ops: &mut Vec<BlockOp>,
-                   x: (usize, usize),
-                   u: (usize, usize),
-                   v: (usize, usize)| {
+               ops: &mut Vec<BlockOp>,
+               x: (usize, usize),
+               u: (usize, usize),
+               v: (usize, usize)| {
         let idx = ops.len() as u64;
         ops.push(BlockOp::FwUpdate {
             x: blk(x.0, x.1),
@@ -167,10 +167,7 @@ mod tests {
         for mode in [Mode::Np, Mode::Nd] {
             let mut d = d0.clone();
             apsp_parallel(&pool, &mut d, mode, 16);
-            assert!(
-                d.max_abs_diff(&reference) < 1e-12,
-                "{mode:?} APSP diverged"
-            );
+            assert!(d.max_abs_diff(&reference) < 1e-12, "{mode:?} APSP diverged");
         }
     }
 

@@ -210,7 +210,11 @@ pub fn lcs_parallel(
     mode: Mode,
     base: usize,
 ) -> (u64, ExecStats) {
-    assert_eq!(s.len(), t.len(), "this driver expects equal-length sequences");
+    assert_eq!(
+        s.len(),
+        t.len(),
+        "this driver expects equal-length sequences"
+    );
     let n = s.len();
     let built = build_lcs(n, base, mode);
     let mut table = Matrix::zeros(n + 1, n + 1);
@@ -256,8 +260,14 @@ mod tests {
         let (e_np, _) = fit_power_law(&np);
         let (e_nd, _) = fit_power_law(&nd);
         assert!(e_nd < e_np);
-        assert!(e_nd < 1.2, "nd LCS span should be ~linear, got exponent {e_nd}");
-        assert!(e_np > 1.2, "np LCS span should carry a log factor, got {e_np}");
+        assert!(
+            e_nd < 1.2,
+            "nd LCS span should be ~linear, got exponent {e_nd}"
+        );
+        assert!(
+            e_np > 1.2,
+            "np LCS span should carry a log factor, got {e_np}"
+        );
     }
 
     #[test]

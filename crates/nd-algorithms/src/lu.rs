@@ -25,8 +25,8 @@ use crate::access::AccessDagBuilder;
 use crate::common::{check_power_of_two_ratio, Mode};
 use nd_core::dag::{AlgorithmDag, DagVertex};
 use nd_core::work_span::WorkSpan;
-use nd_linalg::getrf::{getrf_panel_block, swap_rows_block, trsm_unit_lower_block};
 use nd_linalg::gemm::gemm_block;
+use nd_linalg::getrf::{getrf_panel_block, swap_rows_block, trsm_unit_lower_block};
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::{execute_graph, TaskGraph, TaskId};
 use nd_runtime::ThreadPool;

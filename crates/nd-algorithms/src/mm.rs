@@ -177,7 +177,12 @@ impl NdProgram for MmProgram {
     }
 
     fn task_label(&self, t: &MmTask) -> Option<String> {
-        Some(format!("MM{}({}x{})", if self.alpha < 0.0 { "S" } else { "" }, t.c.rows, t.c.cols))
+        Some(format!(
+            "MM{}({}x{})",
+            if self.alpha < 0.0 { "S" } else { "" },
+            t.c.rows,
+            t.c.cols
+        ))
     }
 }
 

@@ -29,13 +29,17 @@ fn bench_trs(c: &mut Criterion) {
     let b = Matrix::random(n, n, 2);
     let mut group = c.benchmark_group("wallclock_trs_n512");
     for mode in [Mode::Np, Mode::Nd] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |bench, &mode| {
-            bench.iter(|| {
-                let mut x = b.clone();
-                trs::solve_parallel(&pool, &t, &mut x, mode, base);
-                x
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |bench, &mode| {
+                bench.iter(|| {
+                    let mut x = b.clone();
+                    trs::solve_parallel(&pool, &t, &mut x, mode, base);
+                    x
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -47,13 +51,17 @@ fn bench_cholesky(c: &mut Criterion) {
     let a = Matrix::random_spd(n, 3);
     let mut group = c.benchmark_group("wallclock_cholesky_n512");
     for mode in [Mode::Np, Mode::Nd] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |bench, &mode| {
-            bench.iter(|| {
-                let mut l = a.clone();
-                cholesky::cholesky_parallel(&pool, &mut l, mode, base);
-                l
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |bench, &mode| {
+                bench.iter(|| {
+                    let mut l = a.clone();
+                    cholesky::cholesky_parallel(&pool, &mut l, mode, base);
+                    l
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -66,9 +74,13 @@ fn bench_lcs(c: &mut Criterion) {
     let t = random_sequence(n, 5);
     let mut group = c.benchmark_group("wallclock_lcs_n2048");
     for mode in [Mode::Np, Mode::Nd] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |bench, &mode| {
-            bench.iter(|| lcs::lcs_parallel(&pool, &s, &t, mode, base).0);
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |bench, &mode| {
+                bench.iter(|| lcs::lcs_parallel(&pool, &s, &t, mode, base).0);
+            },
+        );
     }
     group.finish();
 }
@@ -81,13 +93,17 @@ fn bench_mm(c: &mut Criterion) {
     let b = Matrix::random(n, n, 7);
     let mut group = c.benchmark_group("wallclock_mm_n256");
     for mode in [Mode::Np, Mode::Nd] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |bench, &mode| {
-            bench.iter(|| {
-                let mut cmat = Matrix::zeros(n, n);
-                mm::multiply_parallel(&pool, &a, &b, &mut cmat, mode, base);
-                cmat
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &mode,
+            |bench, &mode| {
+                bench.iter(|| {
+                    let mut cmat = Matrix::zeros(n, n);
+                    mm::multiply_parallel(&pool, &a, &b, &mut cmat, mode, base);
+                    cmat
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,200 @@
+//! E14: real wall-clock execution — flat work stealing versus the
+//! hierarchy-aware space-bounded executor of `nd-exec`, on MM and Cholesky.
+//!
+//! Both executors run the *same* deterministic ND task graph; only the
+//! scheduling differs: the flat baseline steals blindly in ring order (but its
+//! pool carries the machine's distance matrix, so its cross-cluster steals are
+//! *measured*, not assumed), while the `nd-exec` pool routes every strand to
+//! the subcluster its `σ·M_i`-maximal task was anchored to and steals
+//! nearest-cluster-first.  Each executor gets its own pool, constructed and
+//! dropped around its own measurement so idle workers of one never perturb the
+//! other's timings.  Results are checked bit-for-bit against each other before
+//! timing, and one JSON object per (algorithm, executor) measurement is
+//! emitted on stdout.
+//!
+//! Usage: `cargo run --release --bin exp_exec -- [n] [reps]` (default 256, 3).
+
+use nd_algorithms::cholesky::cholesky_parallel;
+use nd_algorithms::common::Mode;
+use nd_algorithms::mm::multiply_parallel;
+use nd_exec::execute::{cholesky_anchored, multiply_anchored};
+use nd_exec::pool::flat_topology_with_distances;
+use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+use nd_linalg::Matrix;
+use nd_pmh::machine::MachineTree;
+use nd_pmh::topology::detect_host;
+use nd_runtime::ThreadPool;
+use std::time::Instant;
+
+struct Measurement {
+    best_seconds: f64,
+    mean_seconds: f64,
+    cross_cluster_steals: u64,
+    total_steals: u64,
+}
+
+fn print_json(algorithm: &str, executor: &str, layout: &str, workers: usize, m: &Measurement) {
+    println!(
+        "{{\"experiment\":\"exp_exec\",\"algorithm\":\"{}\",\"executor\":\"{}\",\
+\"layout\":\"{}\",\"workers\":{},\"best_seconds\":{:.6},\"mean_seconds\":{:.6},\
+\"cross_cluster_steals\":{},\"total_steals\":{}}}",
+        algorithm,
+        executor,
+        layout,
+        workers,
+        m.best_seconds,
+        m.mean_seconds,
+        m.cross_cluster_steals,
+        m.total_steals
+    );
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let dt = start.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    (best, total / reps as f64)
+}
+
+/// Steals that crossed a level-1 cluster boundary (distance class ≥ 1).
+fn cross_steals(by_distance: &[u64]) -> u64 {
+    by_distance.iter().skip(1).sum()
+}
+
+/// Measures `work` on a freshly built flat (ring-stealing) pool, classifying
+/// its steals by the machine's distance matrix.  The pool is dropped before
+/// returning, so the next measurement starts with no idle workers around.
+fn measure_flat(
+    machine: &MachineTree,
+    reps: usize,
+    mut work: impl FnMut(&ThreadPool),
+) -> Measurement {
+    let pool = ThreadPool::with_topology(flat_topology_with_distances(machine));
+    let before = pool.steals_by_distance();
+    let (best_seconds, mean_seconds) = time_reps(reps, || work(&pool));
+    let after = pool.steals_by_distance();
+    let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    Measurement {
+        best_seconds,
+        mean_seconds,
+        cross_cluster_steals: cross_steals(&delta),
+        total_steals: delta.iter().sum(),
+    }
+}
+
+/// Measures `work` on a freshly built anchored (nearest-cluster-first) pool.
+fn measure_anchored(
+    machine: &MachineTree,
+    reps: usize,
+    mut work: impl FnMut(&HierarchicalPool),
+) -> Measurement {
+    let pool = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+    let before = pool.steals_by_distance();
+    let (best_seconds, mean_seconds) = time_reps(reps, || work(&pool));
+    let after = pool.steals_by_distance();
+    let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    Measurement {
+        best_seconds,
+        mean_seconds,
+        cross_cluster_steals: cross_steals(&delta),
+        total_steals: delta.iter().sum(),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let base = 32.min(n);
+    let cfg = AnchorConfig::default();
+
+    let host = detect_host();
+    let machine = host.machine();
+    let workers = machine.processor_count();
+    let layout = format!(
+        "{:?}:{}L/{}p",
+        host.source,
+        host.config.cache_levels(),
+        workers
+    );
+    eprintln!("exp_exec: n = {n}, base = {base}, reps = {reps}, host layout {layout}");
+
+    // ------------------------------------------------------------------ MM ----
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+
+    // Correctness cross-check first, each executor on its own short-lived pool.
+    let mut c_flat = Matrix::zeros(n, n);
+    {
+        let pool = ThreadPool::new(workers);
+        multiply_parallel(&pool, &a, &b, &mut c_flat, Mode::Nd, base);
+    }
+    {
+        let pool = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+        let mut c_hier = Matrix::zeros(n, n);
+        multiply_anchored(&pool, &a, &b, &mut c_hier, base, &cfg);
+        assert_eq!(
+            c_flat.max_abs_diff(&c_hier),
+            0.0,
+            "executors disagree on MM — scheduling must not change results"
+        );
+    }
+
+    let m = measure_flat(&machine, reps, |pool| {
+        let mut c = Matrix::zeros(n, n);
+        multiply_parallel(pool, &a, &b, &mut c, Mode::Nd, base);
+        std::hint::black_box(&c);
+    });
+    print_json("mm", "flat-ws", &layout, workers, &m);
+
+    let m = measure_anchored(&machine, reps, |pool| {
+        let mut c = Matrix::zeros(n, n);
+        multiply_anchored(pool, &a, &b, &mut c, base, &cfg);
+        std::hint::black_box(&c);
+    });
+    print_json("mm", "nd-exec", &layout, workers, &m);
+
+    // ------------------------------------------------------------ Cholesky ----
+    let spd = Matrix::random_spd(n, 3);
+
+    let mut l_flat = spd.clone();
+    {
+        let pool = ThreadPool::new(workers);
+        cholesky_parallel(&pool, &mut l_flat, Mode::Nd, base);
+    }
+    {
+        let pool = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+        let mut l_hier = spd.clone();
+        cholesky_anchored(&pool, &mut l_hier, base, &cfg);
+        assert_eq!(
+            l_flat.max_abs_diff(&l_hier),
+            0.0,
+            "executors disagree on Cholesky — scheduling must not change results"
+        );
+    }
+
+    let m = measure_flat(&machine, reps, |pool| {
+        let mut l = spd.clone();
+        cholesky_parallel(pool, &mut l, Mode::Nd, base);
+        std::hint::black_box(&l);
+    });
+    print_json("cholesky", "flat-ws", &layout, workers, &m);
+
+    let m = measure_anchored(&machine, reps, |pool| {
+        let mut l = spd.clone();
+        cholesky_anchored(pool, &mut l, base, &cfg);
+        std::hint::black_box(&l);
+    });
+    print_json("cholesky", "nd-exec", &layout, workers, &m);
+}

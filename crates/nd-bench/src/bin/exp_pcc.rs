@@ -30,7 +30,12 @@ fn main() {
             "O(N^1.5/M^0.5)",
             -0.5,
         ),
-        ("trs", |n, b, m| trs::build_trs(n, b, m), "O(N^1.5/M^0.5)", -0.5),
+        (
+            "trs",
+            |n, b, m| trs::build_trs(n, b, m),
+            "O(N^1.5/M^0.5)",
+            -0.5,
+        ),
         (
             "cholesky",
             |n, b, m| cholesky::build_cholesky(n, b, m),

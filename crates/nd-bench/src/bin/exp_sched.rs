@@ -47,7 +47,11 @@ fn main() {
                 misses,
                 bound,
                 misses / bound as f64,
-                if *misses <= bound as f64 + 1e-6 { "OK" } else { "VIOLATION" }
+                if *misses <= bound as f64 + 1e-6 {
+                    "OK"
+                } else {
+                    "VIOLATION"
+                }
             );
         }
     }

@@ -21,17 +21,41 @@ fn main() {
 
     type Builder = fn(usize, usize, Mode) -> nd_core::dag::AlgorithmDag;
     let fire_algos: Vec<(&str, Builder, &str)> = vec![
-        ("mm", |n, b, m| mm::build_mm(n, b, m, 1.0).dag, "Θ(n) -> Θ(n)"),
-        ("trs", |n, b, m| trs::build_trs(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
+        (
+            "mm",
+            |n, b, m| mm::build_mm(n, b, m, 1.0).dag,
+            "Θ(n) -> Θ(n)",
+        ),
+        (
+            "trs",
+            |n, b, m| trs::build_trs(n, b, m).dag,
+            "Θ(n log n) -> Θ(n)",
+        ),
         (
             "cholesky",
             |n, b, m| cholesky::build_cholesky(n, b, m).dag,
             "Θ(n log² n) -> Θ(n)",
         ),
-        ("lcs", |n, b, m| lcs::build_lcs(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
-        ("fw1d", |n, b, m| fw1d::build_fw1d(n, b, m).dag, "Θ(n log n) -> Θ(n)"),
-        ("fw2d", |n, b, m| fw2d::build_fw2d(n, b, m).dag, "blocked dataflow"),
-        ("lu", |n, b, m| lu::build_lu(n, b, m).dag, "blocked dataflow"),
+        (
+            "lcs",
+            |n, b, m| lcs::build_lcs(n, b, m).dag,
+            "Θ(n log n) -> Θ(n)",
+        ),
+        (
+            "fw1d",
+            |n, b, m| fw1d::build_fw1d(n, b, m).dag,
+            "Θ(n log n) -> Θ(n)",
+        ),
+        (
+            "fw2d",
+            |n, b, m| fw2d::build_fw2d(n, b, m).dag,
+            "blocked dataflow",
+        ),
+        (
+            "lu",
+            |n, b, m| lu::build_lu(n, b, m).dag,
+            "blocked dataflow",
+        ),
     ];
 
     for (name, build, paper) in &fire_algos {
@@ -62,9 +86,7 @@ fn main() {
     }
 
     println!("\nGreedy makespans on 16 processors (blocked algorithms, shows the ND lookahead):");
-    for (name, build) in [
-        ("lu", lu::build_lu as fn(usize, usize, Mode) -> lu::LuBuilt),
-    ] {
+    for (name, build) in [("lu", lu::build_lu as fn(usize, usize, Mode) -> lu::LuBuilt)] {
         for &n in &[128usize, 256] {
             let np = build(n, 16, Mode::Np).dag.greedy_makespan(16);
             let nd = build(n, 16, Mode::Nd).dag.greedy_makespan(16);

@@ -11,6 +11,9 @@
 //!   and completion-time scaling versus work stealing and the perfect-balance bound.
 //! * `exp_cache_q1` — E13: serial (depth-first) cache misses of the cache-oblivious
 //!   recursive order versus the loop order.
+//! * `exp_exec` — E14: real wall-clock comparison of flat work stealing versus the
+//!   hierarchy-aware space-bounded executor (`nd-exec`) on MM and Cholesky, with
+//!   cross-cluster steal counts, emitted as JSON.
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

@@ -188,12 +188,16 @@ impl AlgorithmDag {
 
     /// Vertices with no predecessors.
     pub fn sources(&self) -> Vec<DagVertexId> {
-        self.vertex_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.vertex_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Vertices with no successors.
     pub fn sinks(&self) -> Vec<DagVertexId> {
-        self.vertex_ids().filter(|&v| self.out_degree(v) == 0).collect()
+        self.vertex_ids()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// A topological order of the vertices, or `None` if the graph has a cycle.

@@ -81,9 +81,7 @@ impl<'a> DagRewriter<'a> {
             let node = self.tree.node(id);
             if let NodeKind::Strand { work, op } = node.kind {
                 let size = self.tree.effective_size(id);
-                let v = self
-                    .dag
-                    .add_strand(id, work, size, op, node.label.clone());
+                let v = self.dag.add_strand(id, work, size, op, node.label.clone());
                 self.leaf_vertex[id.index()] = Some(v);
                 self.ordered_leaves.push(v);
             }

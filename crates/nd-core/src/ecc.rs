@@ -163,9 +163,8 @@ pub fn effective_cache_complexity_with(
             0.0
         }
     };
-    let mut queue: std::collections::VecDeque<usize> = (0..n_groups)
-        .filter(|&g| indeg[g] == 0)
-        .collect();
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n_groups).filter(|&g| indeg[g] == 0).collect();
     let mut dist = vec![0.0f64; n_groups];
     let mut processed = 0usize;
     let mut depth_term: f64 = 0.0;
@@ -192,8 +191,8 @@ pub fn effective_cache_complexity_with(
         // paper's chain definition assumes this does not happen (and it does not for
         // any algorithm in this repository); if it does, fall back to the
         // conservative bound that chains the remaining groups serially.
-        for g in 0..n_groups {
-            if indeg[g] > 0 {
+        for (g, &deg) in indeg.iter().enumerate().take(n_groups) {
+            if deg > 0 {
                 depth_term += weight(g);
             }
         }
@@ -389,10 +388,8 @@ mod tests {
         };
         let (tree_nd, dag_nd) = build(true);
         let (tree_np, dag_np) = build(false);
-        let r_nd =
-            effective_cache_complexity(&tree_nd, &dag_nd, tree_nd.root(), 16, 0.9);
-        let r_np =
-            effective_cache_complexity(&tree_np, &dag_np, tree_np.root(), 16, 0.9);
+        let r_nd = effective_cache_complexity(&tree_nd, &dag_nd, tree_nd.root(), 16, 0.9);
+        let r_np = effective_cache_complexity(&tree_np, &dag_np, tree_np.root(), 16, 0.9);
         assert!(
             r_nd.depth_term <= r_np.depth_term,
             "ND depth term {} should not exceed NP depth term {}",

@@ -149,14 +149,30 @@ mod tests {
         let (t1, d1) = build(false, 3);
         let (t2, d2) = build(false, 4);
         let par_instances = [
-            Instance { tree: &t1, dag: &d1, root: t1.root() },
-            Instance { tree: &t2, dag: &d2, root: t2.root() },
+            Instance {
+                tree: &t1,
+                dag: &d1,
+                root: t1.root(),
+            },
+            Instance {
+                tree: &t2,
+                dag: &d2,
+                root: t2.root(),
+            },
         ];
         let (s1, e1) = build(true, 3);
         let (s2, e2) = build(true, 4);
         let ser_instances = [
-            Instance { tree: &s1, dag: &e1, root: s1.root() },
-            Instance { tree: &s2, dag: &e2, root: s2.root() },
+            Instance {
+                tree: &s1,
+                dag: &e1,
+                root: s1.root(),
+            },
+            Instance {
+                tree: &s2,
+                dag: &e2,
+                root: s2.root(),
+            },
         ];
         let par = estimate_alpha_max(&par_instances, 16, &alphas, 4.0);
         let ser = estimate_alpha_max(&ser_instances, 16, &alphas, 4.0);
@@ -176,7 +192,11 @@ mod tests {
         // asserted, not per-step monotonicity.
         let alphas = default_alpha_grid();
         let (t, d) = build(true, 4);
-        let inst = [Instance { tree: &t, dag: &d, root: t.root() }];
+        let inst = [Instance {
+            tree: &t,
+            dag: &d,
+            root: t.root(),
+        }];
         let est = estimate_alpha_max(&inst, 16, &alphas, 2.0);
         assert!(est.worst_ratios.last().unwrap() > &(est.worst_ratios[0] + 1.0));
         assert_eq!(est.curve().len(), alphas.len());

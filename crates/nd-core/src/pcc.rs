@@ -74,11 +74,7 @@ pub fn pcc(tree: &SpawnTree, root: NodeId, m: u64) -> u64 {
 
 /// `Q*` computed from an existing decomposition (avoids recomputing it).
 pub fn pcc_of_decomposition(tree: &SpawnTree, d: &Decomposition) -> u64 {
-    let maximal_sum: u64 = d
-        .maximal
-        .iter()
-        .map(|&id| tree.effective_size(id))
-        .sum();
+    let maximal_sum: u64 = d.maximal.iter().map(|&id| tree.effective_size(id)).sum();
     maximal_sum + d.glue.len() as u64
 }
 
@@ -170,10 +166,7 @@ mod tests {
         let root = t.root();
         let d = decompose(&t, root, 1);
         assert_eq!(d.maximal_count(), 16); // all strands
-        assert!(d
-            .maximal
-            .iter()
-            .all(|&id| t.node(id).is_strand()));
+        assert!(d.maximal.iter().all(|&id| t.node(id).is_strand()));
     }
 
     #[test]

@@ -12,9 +12,7 @@ use crate::program::{Composition, ExpansionKind, NdProgram};
 use serde::{Deserialize, Serialize};
 
 /// Index of a node in a [`SpawnTree`] arena.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -402,10 +400,7 @@ impl SpawnTree {
         } else {
             format!("  {}", node.label)
         };
-        let size = node
-            .size
-            .map(|s| format!(" s={s}"))
-            .unwrap_or_default();
+        let size = node.size.map(|s| format!(" s={s}")).unwrap_or_default();
         out.push_str(&format!("{indent}{desc}{size}{label}\n"));
         for &c in &node.children {
             self.render_node(c, depth + 1, max_depth, out);

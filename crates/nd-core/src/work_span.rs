@@ -145,12 +145,17 @@ mod tests {
         let (e_lin, _) = fit_power_law(&linear);
         let (e_log, _) = fit_power_law(&nlogn);
         assert!((e_lin - 1.0).abs() < 1e-9);
-        assert!(e_log > 1.05, "n log n should fit with exponent > 1, got {e_log}");
+        assert!(
+            e_log > 1.05,
+            "n log n should fit with exponent > 1, got {e_log}"
+        );
     }
 
     #[test]
     fn dyadic_log_factor_distinguishes_shapes() {
-        let linear: Vec<(f64, f64)> = (4..=12).map(|i| ((1 << i) as f64, 7.0 * (1 << i) as f64)).collect();
+        let linear: Vec<(f64, f64)> = (4..=12)
+            .map(|i| ((1 << i) as f64, 7.0 * (1 << i) as f64))
+            .collect();
         let nlogn: Vec<(f64, f64)> = (4..=12)
             .map(|i| {
                 let x = (1u64 << i) as f64;

@@ -1,0 +1,293 @@
+//! Static anchoring: pinning `σ·M_i`-maximal task subtrees to subclusters.
+//!
+//! The space-bounded scheduler of the paper anchors every `σ·M_i`-maximal task
+//! to a level-`i` cache and confines its strands to that cache's subcluster.
+//! This module computes the same assignment for *real* execution, reusing the
+//! maximal-task decomposition `nd-sched` already derives for its cost model
+//! ([`StrandCosts::maximal_of`]) and the paper's allocation function `g_i(S)`
+//! ([`allocation_fanout`]):
+//!
+//! * tasks are anchored level by level from the top of the hierarchy down,
+//!   each to the candidate cache with the most remaining `σ·M_i` budget —
+//!   greedy, like the simulator, but ahead of time rather than at readiness
+//!   (real execution cannot afford a global scheduler lock per task);
+//! * a task anchored at level `i` is allocated `g_i(S)` of the child caches
+//!   below its anchor, and its subtasks may only anchor inside that
+//!   allocation — so anchors nest exactly as in Section 4;
+//! * every strand inherits the level-1 anchor of its enclosing maximal task
+//!   as a [`Placement`] for the topology-aware pool.
+//!
+//! Because the assignment is static, `σ·M_i` budgets are charged for the whole
+//! run instead of per-residency; when a level's tasks exceed its budget the
+//! anchoring degrades to balanced partitioning (tracked in
+//! [`Anchoring::overflow_events`], the analogue of the simulator's emergency
+//! anchoring).
+
+use nd_core::dag::AlgorithmDag;
+use nd_core::spawn_tree::SpawnTree;
+use nd_pmh::machine::{CacheId, MachineTree};
+use nd_runtime::dataflow::Placement;
+use nd_sched::cost::{MissModel, StrandCosts};
+use nd_sched::space_bounded::{allocation_fanout, TaskDecomposition};
+use std::collections::HashMap;
+
+/// Parameters of the anchoring discipline (mirrors
+/// [`SbConfig`](nd_sched::space_bounded::SbConfig)).
+#[derive(Clone, Copy, Debug)]
+pub struct AnchorConfig {
+    /// The dilation parameter `σ ∈ (0, 1)`: tasks anchored to a level-`i`
+    /// cache occupy at most `σ·M_i` words of its budget.
+    pub sigma: f64,
+    /// The allocation exponent `α′` used by `g_i(S)`.
+    pub alpha_prime: f64,
+}
+
+impl Default for AnchorConfig {
+    fn default() -> Self {
+        AnchorConfig {
+            sigma: 1.0 / 3.0,
+            alpha_prime: 1.0,
+        }
+    }
+}
+
+/// The computed anchoring of one algorithm DAG onto one machine tree.
+#[derive(Clone, Debug)]
+pub struct Anchoring {
+    /// Per-DAG-vertex placement: strands are pinned to the queue group of the
+    /// level-1 cache their maximal task was anchored to; barriers run anywhere.
+    pub placement: Vec<Placement>,
+    /// Number of tasks anchored at each cache level (level 1 first).
+    pub anchors_per_level: Vec<u64>,
+    /// Tasks anchored past a full cache's `σ·M_i` budget (static analogue of
+    /// the simulator's emergency anchoring; zero when everything fits).
+    pub overflow_events: u64,
+    /// The `σ·M_i` thresholds used per level.
+    pub thresholds: Vec<u64>,
+    /// For every level-1 cache, the total anchored footprint in words (used by
+    /// tests and the experiment binaries to inspect balance).
+    pub level1_footprint: Vec<u64>,
+}
+
+/// Computes the static anchoring of `dag` (with spawn tree `tree`) onto
+/// `machine`.
+///
+/// `tree` and `dag` must describe the same program, as for
+/// [`simulate_space_bounded`](nd_sched::space_bounded::simulate_space_bounded).
+pub fn compute_anchoring(
+    tree: &SpawnTree,
+    dag: &AlgorithmDag,
+    machine: &MachineTree,
+    cfg: &AnchorConfig,
+) -> Anchoring {
+    let config = machine.config();
+    let levels = config.cache_levels();
+    let costs = StrandCosts::compute(tree, dag, config, cfg.sigma, MissModel::Anchored);
+    let n = dag.vertex_count();
+
+    // ---- the decomposition tasks, shared with the simulator ----
+    let tasks = TaskDecomposition::compute(tree, dag, &costs);
+    let vertex_dtask = &tasks.vertex_task;
+
+    // ---- greedy top-down anchoring under the σ·M_i budgets ----
+    let mut space_left: Vec<f64> = machine
+        .cache_ids()
+        .map(|c| cfg.sigma * config.size(machine.cache(c).level) as f64)
+        .collect();
+    let mut anchor: Vec<Option<CacheId>> = vec![None; tasks.task_count()];
+    let mut allocation: Vec<Vec<CacheId>> = vec![Vec::new(); tasks.task_count()];
+    let mut anchors_per_level = vec![0u64; levels];
+    let mut overflow_events = 0u64;
+
+    let mut order: Vec<usize> = (0..tasks.task_count()).collect();
+    order.sort_by_key(|&d| (std::cmp::Reverse(tasks.level[d]), d));
+    for d in order {
+        let level = tasks.level[d];
+        let candidates: Vec<CacheId> = match tasks.parent[d] {
+            None => machine.top_caches().to_vec(),
+            Some(p) => {
+                debug_assert!(anchor[p].is_some(), "parents are anchored first");
+                if allocation[p].is_empty() {
+                    // Defensive: fall back to every child of the parent's anchor.
+                    anchor[p]
+                        .map(|c| machine.cache(c).children.clone())
+                        .unwrap_or_else(|| machine.top_caches().to_vec())
+                } else {
+                    allocation[p].clone()
+                }
+            }
+        };
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                space_left[a.0 as usize]
+                    .partial_cmp(&space_left[b.0 as usize])
+                    .unwrap()
+            })
+            .expect("every task has at least one candidate cache");
+        let size = tasks.size[d] as f64;
+        if space_left[best.0 as usize] < size {
+            overflow_events += 1;
+        }
+        space_left[best.0 as usize] -= size;
+        anchor[d] = Some(best);
+        anchors_per_level[level - 1] += 1;
+        if level > 1 {
+            let g = allocation_fanout(tasks.size[d], level, config, cfg.alpha_prime);
+            let mut children = machine.cache(best).children.clone();
+            children.sort_by(|a, b| {
+                space_left[b.0 as usize]
+                    .partial_cmp(&space_left[a.0 as usize])
+                    .unwrap()
+            });
+            children.truncate(g);
+            allocation[d] = children;
+        }
+    }
+
+    // ---- strand placements from the level-1 anchors ----
+    let mut placement = vec![Placement::Anywhere; n];
+    let mut level1_footprint = vec![0u64; machine.caches_at_level(1).len()];
+    let level1_index: HashMap<u32, usize> = machine
+        .caches_at_level(1)
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.0, i))
+        .collect();
+    for v in dag.vertex_ids() {
+        if !dag.vertex(v).is_strand() {
+            continue;
+        }
+        if let Some(d) = vertex_dtask[0][v.index()] {
+            if let Some(c) = anchor[d] {
+                placement[v.index()] = Placement::Group(c.0);
+            }
+        }
+    }
+    for (d, &task_anchor) in anchor.iter().enumerate() {
+        if tasks.level[d] == 1 {
+            if let Some(c) = task_anchor {
+                level1_footprint[level1_index[&c.0]] += tasks.size[d];
+            }
+        }
+    }
+
+    Anchoring {
+        placement,
+        anchors_per_level,
+        overflow_events,
+        thresholds: costs.thresholds,
+        level1_footprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_algorithms::common::Mode;
+    use nd_algorithms::mm::build_mm;
+    use nd_algorithms::trs::build_trs;
+    use nd_pmh::config::{CacheLevelSpec, PmhConfig};
+
+    fn machine() -> MachineTree {
+        MachineTree::build(&PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 10),
+                CacheLevelSpec::new(1 << 14, 2, 100),
+            ],
+            2,
+        ))
+    }
+
+    #[test]
+    fn every_strand_is_pinned_to_a_level1_cluster() {
+        let built = build_mm(32, 8, Mode::Nd, 1.0);
+        let m = machine();
+        let anchoring = compute_anchoring(&built.tree, &built.dag, &m, &AnchorConfig::default());
+        let level1: Vec<u32> = m.caches_at_level(1).iter().map(|c| c.0).collect();
+        let mut pinned = 0usize;
+        for v in built.dag.vertex_ids() {
+            match anchoring.placement[v.index()] {
+                Placement::Group(g) => {
+                    assert!(built.dag.vertex(v).is_strand());
+                    assert!(level1.contains(&g), "strands anchor at level 1");
+                    pinned += 1;
+                }
+                Placement::Anywhere => {
+                    assert!(!built.dag.vertex(v).is_strand(), "strands must be pinned");
+                }
+            }
+        }
+        assert_eq!(pinned, built.dag.strand_count());
+    }
+
+    #[test]
+    fn anchors_nest_along_the_machine_tree() {
+        // A strand's level-1 anchor must sit inside the subtree of the cache
+        // its level-2 task was anchored to — the paper's allocation property.
+        let built = build_trs(64, 8, Mode::Nd);
+        let m = machine();
+        let cfg = AnchorConfig::default();
+        let config = m.config();
+        let costs = StrandCosts::compute(
+            &built.tree,
+            &built.dag,
+            config,
+            cfg.sigma,
+            MissModel::Anchored,
+        );
+        let anchoring = compute_anchoring(&built.tree, &built.dag, &m, &cfg);
+
+        // Recover the level-2 anchor of each level-2 maximal node by re-running
+        // the public API at level-2 granularity: instead, check the weaker but
+        // sufficient property directly — all strands of one level-2 maximal
+        // task use level-1 caches under a single level-2 cache.
+        let mut l2_to_l1: HashMap<u32, Vec<u32>> = HashMap::new();
+        for v in built.dag.vertex_ids() {
+            if !built.dag.vertex(v).is_strand() {
+                continue;
+            }
+            let Some(l2node) = costs.maximal_of[1][v.index()] else {
+                continue;
+            };
+            if let Placement::Group(g) = anchoring.placement[v.index()] {
+                l2_to_l1.entry(l2node.0).or_default().push(g);
+            }
+        }
+        assert!(!l2_to_l1.is_empty());
+        for (l2node, l1s) in l2_to_l1 {
+            let parents: std::collections::HashSet<u32> = l1s
+                .iter()
+                .map(|&g| m.cache(CacheId(g)).parent.expect("L1 has a parent").0)
+                .collect();
+            assert_eq!(
+                parents.len(),
+                1,
+                "level-2 task {l2node} scattered over level-2 caches {parents:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn footprints_are_balanced_across_level1_caches() {
+        let built = build_mm(64, 8, Mode::Nd, 1.0);
+        let m = machine();
+        let anchoring = compute_anchoring(&built.tree, &built.dag, &m, &AnchorConfig::default());
+        let total: u64 = anchoring.level1_footprint.iter().sum();
+        assert!(total > 0);
+        let used = anchoring
+            .level1_footprint
+            .iter()
+            .filter(|&&f| f > 0)
+            .count();
+        assert!(
+            used >= 2,
+            "greedy anchoring should spread load over clusters: {:?}",
+            anchoring.level1_footprint
+        );
+        assert_eq!(anchoring.anchors_per_level.len(), 2);
+        assert!(anchoring.anchors_per_level[0] > 0);
+        assert!(anchoring.anchors_per_level[1] > 0);
+    }
+}

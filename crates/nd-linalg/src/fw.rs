@@ -185,11 +185,7 @@ mod tests {
     fn floyd_warshall_on_small_known_graph() {
         // 0 →(1) 1 →(2) 2, plus 0 →(10) 2.
         let inf = f64::INFINITY;
-        let mut d = Matrix::from_rows(
-            3,
-            3,
-            vec![0.0, 1.0, 10.0, inf, 0.0, 2.0, inf, inf, 0.0],
-        );
+        let mut d = Matrix::from_rows(3, 3, vec![0.0, 1.0, 10.0, inf, 0.0, 2.0, inf, inf, 0.0]);
         floyd_warshall_naive(&mut d);
         assert_eq!(d[(0, 2)], 3.0);
         assert_eq!(d[(0, 1)], 1.0);

@@ -201,13 +201,7 @@ mod tests {
             let mut am = a.clone();
             let mut bm = b.clone();
             unsafe {
-                gemm_recursive(
-                    c2.as_ptr_view(),
-                    am.as_ptr_view(),
-                    bm.as_ptr_view(),
-                    1.0,
-                    4,
-                );
+                gemm_recursive(c2.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), 1.0, 4);
             }
             assert!(c1.max_abs_diff(&c2) < 1e-10, "n={n}");
         }

@@ -192,7 +192,10 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn non_increasing_sizes_panic() {
         let _ = PmhConfig::new(
-            vec![CacheLevelSpec::new(1024, 2, 1), CacheLevelSpec::new(512, 2, 1)],
+            vec![
+                CacheLevelSpec::new(1024, 2, 1),
+                CacheLevelSpec::new(512, 2, 1),
+            ],
             1,
         );
     }

@@ -14,7 +14,10 @@
 //! * [`cache`] — an ideal (fully-associative, LRU) cache simulator,
 //! * [`hierarchy`] — a serial multi-level inclusive cache simulator,
 //! * [`trace`] — address-trace recording and replay utilities used by the serial
-//!   cache-complexity experiments (experiment E13).
+//!   cache-complexity experiments (experiment E13),
+//! * [`topology`] — host-topology detection: the PMH of the machine the process
+//!   is running on (Linux sysfs, with a synthesized portable fallback), used by
+//!   the real hierarchy-aware executor in `nd-exec`.
 //!
 //! The PMH is the paper's *evaluation substrate*: the authors' results are
 //! statements about this model, so reproducing them means measuring miss counts and
@@ -27,10 +30,12 @@ pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod machine;
+pub mod topology;
 pub mod trace;
 
 pub use cache::IdealCache;
 pub use config::{CacheLevelSpec, PmhConfig};
 pub use hierarchy::CacheHierarchy;
 pub use machine::MachineTree;
+pub use topology::{detect_host, HostTopology, TopologySource};
 pub use trace::TraceRecorder;

@@ -1,0 +1,315 @@
+//! Host-topology detection: building a PMH description of the machine the
+//! process is actually running on.
+//!
+//! The simulated schedulers of `nd-sched` run on hand-written
+//! [`PmhConfig`](crate::config::PmhConfig)s; the *real* hierarchy-aware
+//! executor (`nd-exec`) instead wants the PMH of the host.  On Linux this
+//! module reads it from sysfs (`/sys/devices/system/cpu/cpu*/cache/index*`);
+//! everywhere else — and whenever sysfs is absent, unreadable, or describes an
+//! asymmetric machine the symmetric PMH model cannot express — it synthesizes
+//! a plausible tree from the number of available hardware threads, so callers
+//! always get a usable [`MachineTree`].
+//!
+//! Cache sizes are converted from bytes to **words** (8-byte `f64`s), matching
+//! the unit the rest of the repository uses for task sizes and `M_i`.
+
+use crate::config::{CacheLevelSpec, PmhConfig};
+use crate::machine::MachineTree;
+use std::path::Path;
+
+/// Per-level miss costs used when the host does not advertise latencies
+/// (sysfs has no latency field).  Roughly one order of magnitude per level,
+/// consistent with the presets in [`crate::config`].
+const DEFAULT_MISS_COSTS: [u64; 4] = [4, 16, 64, 256];
+
+/// How a [`PmhConfig`] was obtained from the host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopologySource {
+    /// Parsed from Linux sysfs cache descriptors.
+    Sysfs,
+    /// Synthesized from the hardware thread count only.
+    Synthesized,
+}
+
+/// A detected host topology: the PMH description plus its provenance.
+#[derive(Clone, Debug)]
+pub struct HostTopology {
+    /// The machine description, usable with [`MachineTree::build`].
+    pub config: PmhConfig,
+    /// Where the description came from.
+    pub source: TopologySource,
+}
+
+impl HostTopology {
+    /// Instantiates the machine tree for this topology.
+    pub fn machine(&self) -> MachineTree {
+        MachineTree::build(&self.config)
+    }
+}
+
+/// Detects the host topology: sysfs when possible, synthesized otherwise.
+pub fn detect_host() -> HostTopology {
+    let threads = available_threads();
+    match sysfs_topology(Path::new("/sys/devices/system/cpu"), threads) {
+        Some(config) => HostTopology {
+            config,
+            source: TopologySource::Sysfs,
+        },
+        None => HostTopology {
+            config: synthesize(threads),
+            source: TopologySource::Synthesized,
+        },
+    }
+}
+
+/// The number of hardware threads the process may use (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Synthesizes a symmetric PMH for `p` processors.
+///
+/// The shape mirrors a small desktop part: private 32 KiB L1s, L2s shared by
+/// up to four cores, and one last-level cache domain per group of L2s.  All
+/// fan-outs are chosen to divide `p` exactly (the PMH model is symmetric), so
+/// odd processor counts degrade to flatter trees rather than failing.
+pub fn synthesize(p: usize) -> PmhConfig {
+    let p = p.max(1);
+    // Words, not bytes: 32 KiB / 256 KiB / 8 MiB.
+    let (l1, l2, l3) = (32 * 1024 / 8, 256 * 1024 / 8, 8 * 1024 * 1024 / 8);
+    if p == 1 {
+        return PmhConfig::new(vec![CacheLevelSpec::new(l1, 1, DEFAULT_MISS_COSTS[0])], 1);
+    }
+    // Private L1s; group up to 4 cores per L2 (largest divisor of p that is ≤ 4).
+    let f2 = (1..=4usize.min(p))
+        .rev()
+        .find(|&f| p.is_multiple_of(f))
+        .unwrap_or(1);
+    let remaining = p / f2;
+    if remaining == 1 {
+        return PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(l1, 1, DEFAULT_MISS_COSTS[0]),
+                CacheLevelSpec::new(l2, f2, DEFAULT_MISS_COSTS[1]),
+            ],
+            1,
+        );
+    }
+    // Group up to 4 L2s per last-level cache; the rest hang off the root.
+    let f3 = (1..=4usize.min(remaining))
+        .rev()
+        .find(|&f| remaining.is_multiple_of(f))
+        .unwrap_or(1);
+    PmhConfig::new(
+        vec![
+            CacheLevelSpec::new(l1, 1, DEFAULT_MISS_COSTS[0]),
+            CacheLevelSpec::new(l2, f2, DEFAULT_MISS_COSTS[1]),
+            CacheLevelSpec::new(l3, f3, DEFAULT_MISS_COSTS[2]),
+        ],
+        remaining / f3,
+    )
+}
+
+/// One cache descriptor read from sysfs for cpu0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SysfsCache {
+    level: usize,
+    size_words: u64,
+    sharing: usize,
+}
+
+/// Reads the topology from a sysfs-style directory, returning `None` whenever
+/// anything is missing or the result would not be a valid symmetric PMH.
+fn sysfs_topology(cpu_root: &Path, total_threads: usize) -> Option<PmhConfig> {
+    let cache_dir = cpu_root.join("cpu0/cache");
+    let mut caches: Vec<SysfsCache> = Vec::new();
+    let entries = std::fs::read_dir(&cache_dir).ok()?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("index") {
+            continue;
+        }
+        let dir = entry.path();
+        let cache_type = read_trimmed(&dir.join("type"))?;
+        if cache_type == "Instruction" {
+            continue; // the PMH models the data path
+        }
+        let level: usize = read_trimmed(&dir.join("level"))?.parse().ok()?;
+        let size_words = parse_size_bytes(&read_trimmed(&dir.join("size"))?)? / 8;
+        let sharing = parse_cpu_list(&read_trimmed(&dir.join("shared_cpu_list"))?)?;
+        caches.push(SysfsCache {
+            level,
+            size_words,
+            sharing,
+        });
+    }
+    caches.sort_by_key(|c| c.level);
+    caches.dedup_by_key(|c| c.level); // e.g. separate L1d entries per index
+    levels_from_caches(&caches, total_threads)
+}
+
+/// Converts cpu0's cache stack into a symmetric PMH, validating divisibility.
+fn levels_from_caches(caches: &[SysfsCache], total_threads: usize) -> Option<PmhConfig> {
+    if caches.is_empty() || total_threads == 0 {
+        return None;
+    }
+    let mut levels = Vec::new();
+    let mut below = 1usize; // processors below one cache of the previous level
+    let mut prev_size = 0u64;
+    for (i, c) in caches.iter().enumerate() {
+        // Sharing counts must nest and divide: a level shared by `s` threads
+        // sits above `s / below` units of the previous level.
+        if c.sharing == 0
+            || !c.sharing.is_multiple_of(below)
+            || !total_threads.is_multiple_of(c.sharing)
+        {
+            return None;
+        }
+        // The PMH needs strictly increasing sizes; clamp pathological readings.
+        let size = c.size_words.max(prev_size + 1);
+        prev_size = size;
+        let fanout = c.sharing / below;
+        below = c.sharing;
+        let cost = DEFAULT_MISS_COSTS
+            .get(i)
+            .copied()
+            .unwrap_or(DEFAULT_MISS_COSTS[DEFAULT_MISS_COSTS.len() - 1]);
+        levels.push(CacheLevelSpec::new(size, fanout, cost));
+    }
+    let root_fanout = total_threads / below;
+    Some(PmhConfig::new(levels, root_fanout))
+}
+
+fn read_trimmed(path: &Path) -> Option<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
+}
+
+/// Parses sysfs cache sizes: `"32K"`, `"8192K"`, `"12M"`, or plain bytes.
+fn parse_size_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().map(|v| v * mult)
+}
+
+/// Counts the CPUs in a sysfs cpu list: `"0-3"`, `"0,4"`, `"0-1,8-9"`, …
+fn parse_cpu_list(s: &str) -> Option<usize> {
+    let mut count = 0usize;
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if hi < lo {
+                    return None;
+                }
+                count += hi - lo + 1;
+            }
+            None => {
+                let _: usize = part.parse().ok()?;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_configs_are_valid_for_many_processor_counts() {
+        for p in 1..=64 {
+            let cfg = synthesize(p);
+            assert_eq!(cfg.num_processors(), p, "p = {p}");
+            let m = MachineTree::build(&cfg);
+            assert_eq!(m.processor_count(), p);
+        }
+    }
+
+    #[test]
+    fn synthesized_prime_counts_degrade_gracefully() {
+        for p in [7usize, 13, 31] {
+            let cfg = synthesize(p);
+            assert_eq!(cfg.num_processors(), p);
+        }
+    }
+
+    #[test]
+    fn detect_host_always_yields_a_machine() {
+        let host = detect_host();
+        let m = host.machine();
+        assert!(m.processor_count() >= 1);
+        assert_eq!(m.processor_count(), host.config.num_processors());
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size_bytes("32K"), Some(32 * 1024));
+        assert_eq!(parse_size_bytes("12M"), Some(12 * 1024 * 1024));
+        assert_eq!(parse_size_bytes("512"), Some(512));
+        assert_eq!(parse_size_bytes(""), None);
+        assert_eq!(parse_size_bytes("x"), None);
+    }
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list("0-3"), Some(4));
+        assert_eq!(parse_cpu_list("0,4"), Some(2));
+        assert_eq!(parse_cpu_list("0-1,8-9"), Some(4));
+        assert_eq!(parse_cpu_list("5"), Some(1));
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list(""), None);
+    }
+
+    #[test]
+    fn sysfs_parsing_from_a_fake_tree() {
+        let dir = std::env::temp_dir().join(format!("nd-pmh-sysfs-{}", std::process::id()));
+        let cache = dir.join("cpu0/cache");
+        for (index, (level, ty, size, shared)) in [
+            (1, "Data", "32K", "0"),
+            (1, "Instruction", "32K", "0"),
+            (2, "Unified", "512K", "0-1"),
+            (3, "Unified", "8M", "0-7"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let idx = cache.join(format!("index{index}"));
+            std::fs::create_dir_all(&idx).unwrap();
+            std::fs::write(idx.join("level"), level.to_string()).unwrap();
+            std::fs::write(idx.join("type"), ty).unwrap();
+            std::fs::write(idx.join("size"), size).unwrap();
+            std::fs::write(idx.join("shared_cpu_list"), shared).unwrap();
+        }
+        let cfg = sysfs_topology(&dir, 16).expect("fake sysfs should parse");
+        assert_eq!(cfg.cache_levels(), 3);
+        assert_eq!(cfg.size(1), 32 * 1024 / 8);
+        assert_eq!(cfg.fanout(1), 1); // private L1
+        assert_eq!(cfg.fanout(2), 2); // L2 shared by 2 threads
+        assert_eq!(cfg.fanout(3), 4); // L3 shared by 8 threads = 4 L2s
+        assert_eq!(cfg.root_fanout, 2); // 16 threads / 8 per L3
+        assert_eq!(cfg.num_processors(), 16);
+        // An asymmetric thread count must be rejected, falling back upstream.
+        assert!(sysfs_topology(&dir, 12).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

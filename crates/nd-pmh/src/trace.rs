@@ -140,17 +140,7 @@ pub fn trace_recursive_mm(n: u64, base: u64) -> TraceRecorder {
     let b = space.alloc(n, n);
     let c = space.alloc(n, n);
     let mut t = TraceRecorder::new();
-    rec_mm(
-        &mut t,
-        &a,
-        &b,
-        &c,
-        (0, 0),
-        (0, 0),
-        (0, 0),
-        n,
-        base.max(1),
-    );
+    rec_mm(&mut t, &a, &b, &c, (0, 0), (0, 0), (0, 0), n, base.max(1));
     t
 }
 

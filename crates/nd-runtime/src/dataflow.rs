@@ -116,6 +116,24 @@ pub struct ExecStats {
     pub steals: u64,
 }
 
+/// Where a task must run in a placed execution (see [`execute_graph_placed`]).
+///
+/// `Placement::Anywhere` keeps the classic behaviour: ready tasks go onto the
+/// finishing worker's own deque.  `Placement::Group(g)` routes the task to the
+/// pool's queue group `g` — the runtime counterpart of *anchoring* a task to a
+/// cache subcluster.  Only group `g`'s workers poll that queue, but a task that
+/// lands on a group member's own deque can still be stolen by an out-of-group
+/// worker unless the pool's steal order stays within the group (see
+/// [`execute_graph_placed`]); such escapes are what the pool's cross-cluster
+/// steal counters measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// No constraint: run wherever dataflow order takes it.
+    Anywhere,
+    /// Run only on workers of the given queue group.
+    Group(u32),
+}
+
 struct RunSlot {
     closure: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
     pending: AtomicU32,
@@ -124,8 +142,21 @@ struct RunSlot {
 
 struct RunState {
     slots: Vec<RunSlot>,
+    /// Per-task placement; empty means every task is `Anywhere`.
+    placement: Vec<Placement>,
     latch: CountLatch,
     per_worker: Vec<AtomicU64>,
+}
+
+impl RunState {
+    fn spawn_ready(self: &Arc<Self>, task: u32, ctx: &WorkerCtx<'_>) {
+        let st = Arc::clone(self);
+        let job: crate::pool::Job = Box::new(move |ctx| run_task(&st, task, ctx));
+        match self.placement.get(task as usize) {
+            Some(Placement::Group(g)) => ctx.spawn_to_group(*g as usize, job),
+            _ => ctx.spawn_local(job),
+        }
+    }
 }
 
 fn run_task(state: &Arc<RunState>, id: u32, ctx: &WorkerCtx<'_>) {
@@ -143,8 +174,7 @@ fn run_task(state: &Arc<RunState>, id: u32, ctx: &WorkerCtx<'_>) {
             .fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "dependency counter underflow");
         if prev == 1 {
-            let st = Arc::clone(state);
-            ctx.spawn_local(Box::new(move |ctx| run_task(&st, s, ctx)));
+            state.spawn_ready(s, ctx);
         }
     }
     state.latch.count_down();
@@ -155,9 +185,31 @@ fn run_task(state: &Arc<RunState>, id: u32, ctx: &WorkerCtx<'_>) {
 /// # Panics
 /// Panics if the graph contains a dependency cycle (which could never complete).
 pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
+    execute_graph_placed(pool, graph, Vec::new())
+}
+
+/// Executes a task graph with per-task placement constraints.
+///
+/// `placement` maps each [`TaskId`] index to a [`Placement`]; an empty vector
+/// places every task [`Placement::Anywhere`].  Tasks placed in a queue group
+/// are submitted to that group's injector when they become ready (or kept on
+/// the finishing worker's deque when it already belongs to the group), so with
+/// a within-group steal order the group boundary is never crossed.
+///
+/// # Panics
+/// Panics if the graph is cyclic, or if `placement` is non-empty and its
+/// length differs from the task count.
+pub fn execute_graph_placed(
+    pool: &ThreadPool,
+    graph: TaskGraph,
+    placement: Vec<Placement>,
+) -> ExecStats {
+    assert!(graph.is_acyclic(), "task graph contains a dependency cycle");
     assert!(
-        graph.is_acyclic(),
-        "task graph contains a dependency cycle"
+        placement.is_empty() || placement.len() == graph.tasks.len(),
+        "placement length {} does not match task count {}",
+        placement.len(),
+        graph.tasks.len()
     );
     let n = graph.tasks.len();
     if n == 0 {
@@ -187,6 +239,7 @@ pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
         .collect();
     let state = Arc::new(RunState {
         slots,
+        placement,
         latch: CountLatch::new(n),
         per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
     });
@@ -194,7 +247,11 @@ pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
     let start = Instant::now();
     for r in roots {
         let st = Arc::clone(&state);
-        pool.spawn(Box::new(move |ctx| run_task(&st, r, ctx)));
+        let job: crate::pool::Job = Box::new(move |ctx| run_task(&st, r, ctx));
+        match state.placement.get(r as usize) {
+            Some(Placement::Group(g)) => pool.spawn_to_group(*g as usize, job),
+            _ => pool.spawn(job),
+        }
     }
     state.latch.wait();
     let elapsed = start.elapsed();

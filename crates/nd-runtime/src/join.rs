@@ -116,8 +116,8 @@ mod tests {
         // do real work.
         let (a, b) = join(
             &pool,
-            || (0..1_000_00u64).sum::<u64>(),
-            || (0..1_000_00u64).map(|x| x * 2).sum::<u64>(),
+            || (0..100_000u64).sum::<u64>(),
+            || (0..100_000u64).map(|x| x * 2).sum::<u64>(),
         );
         assert_eq!(b, 2 * a);
     }

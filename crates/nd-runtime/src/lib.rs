@@ -9,7 +9,9 @@
 //! `nd-core`) on actual threads.
 //!
 //! * [`pool`] — the work-stealing thread pool (crossbeam Chase–Lev deques, a global
-//!   injector, parking/unparking of idle workers).
+//!   injector, parking/unparking of idle workers); optionally topology-aware via
+//!   [`PoolTopology`]: workers grouped into subclusters with per-group queues and
+//!   a nearest-cluster-first steal order (the substrate `nd-exec` anchors on).
 //! * [`latch`] — counting latches used for completion detection.
 //! * [`dataflow`] — the static task-graph executor: tasks with dependency counters;
 //!   a finished task decrements its successors and pushes newly-ready ones onto the
@@ -32,5 +34,5 @@ pub mod join;
 pub mod latch;
 pub mod pool;
 
-pub use dataflow::{ExecStats, TaskGraph, TaskId};
-pub use pool::ThreadPool;
+pub use dataflow::{ExecStats, Placement, TaskGraph, TaskId};
+pub use pool::{PoolTopology, ThreadPool};

@@ -5,6 +5,14 @@
 //! that gives nested-parallel programs their locality), and idle workers steal from
 //! the top of other workers' deques or from a global FIFO injector.  Idle workers
 //! park on a condvar with a short timeout, so wake-ups cannot be lost.
+//!
+//! The pool is optionally **topology-aware**: a [`PoolTopology`] groups workers
+//! into nested *queue groups* (mirroring the subclusters of a PMH machine tree),
+//! gives every group its own FIFO injector, and fixes each worker's victim order
+//! so that idle workers steal **nearest-cluster-first**.  The flat pool built by
+//! [`ThreadPool::new`] is the degenerate single-group topology, so existing
+//! callers are unaffected.  The hierarchy-aware executor in `nd-exec` builds the
+//! non-trivial topologies.
 
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
@@ -16,6 +24,89 @@ use std::time::Duration;
 /// A unit of work: a closure executed on a worker thread.  It receives a
 /// [`WorkerCtx`] through which it may spawn further jobs onto the *local* deque.
 pub type Job = Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'static>;
+
+/// How a pool's workers are grouped into queue groups and which victims they
+/// steal from, in which order.
+///
+/// A queue group is a set of workers sharing one FIFO injector.  Groups mirror
+/// the cache subtrees of a PMH: every worker lists the groups it belongs to from
+/// the innermost (smallest shared cache) outwards, and polls their injectors in
+/// that order before falling back to the global injector.  Jobs pushed to a
+/// group's injector therefore only ever run on that group's workers — the
+/// *anchoring* property the space-bounded scheduler needs — while the per-worker
+/// `steal_order` decides how far work may migrate between deques.
+#[derive(Clone, Debug)]
+pub struct PoolTopology {
+    /// Number of worker threads.
+    pub num_threads: usize,
+    /// Number of queue groups (each gets one injector).
+    pub num_groups: usize,
+    /// For every worker, the groups it polls, innermost first.
+    pub groups_of_worker: Vec<Vec<usize>>,
+    /// For every worker, the other workers it may steal from, nearest first.
+    pub steal_order: Vec<Vec<usize>>,
+    /// For every (thief, victim) pair in `steal_order`, a small distance class
+    /// recorded in the steal statistics (e.g. the PMH level of the lowest
+    /// common cache).  Indexed `[thief][victim]`; entries for workers not in
+    /// `steal_order[thief]` are ignored.
+    pub steal_distance: Vec<Vec<usize>>,
+}
+
+impl PoolTopology {
+    /// The flat topology: one group holding every worker, ring-order stealing,
+    /// all steals at distance 0.
+    pub fn flat(num_threads: usize) -> Self {
+        let steal_order = (0..num_threads)
+            .map(|i| (1..num_threads).map(|k| (i + k) % num_threads).collect())
+            .collect();
+        PoolTopology {
+            num_threads,
+            num_groups: 1,
+            groups_of_worker: vec![vec![0]; num_threads],
+            steal_order,
+            steal_distance: vec![vec![0; num_threads]; num_threads],
+        }
+    }
+
+    /// The largest distance class named in `steal_distance`.
+    pub fn max_distance(&self) -> usize {
+        self.steal_distance
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.num_threads > 0,
+            "a thread pool needs at least one thread"
+        );
+        assert!(self.num_groups > 0, "a topology needs at least one group");
+        assert_eq!(self.groups_of_worker.len(), self.num_threads);
+        assert_eq!(self.steal_order.len(), self.num_threads);
+        assert_eq!(self.steal_distance.len(), self.num_threads);
+        let mut group_has_member = vec![false; self.num_groups];
+        for (w, groups) in self.groups_of_worker.iter().enumerate() {
+            for &g in groups {
+                assert!(g < self.num_groups, "worker {w} polls unknown group {g}");
+                group_has_member[g] = true;
+            }
+        }
+        // A memberless group would be a queue nobody ever drains: any job
+        // spawned to it would silently hang the pool instead of failing fast.
+        for (g, &has_member) in group_has_member.iter().enumerate() {
+            assert!(has_member, "group {g} has no member worker to drain it");
+        }
+        for (w, order) in self.steal_order.iter().enumerate() {
+            assert_eq!(self.steal_distance[w].len(), self.num_threads);
+            for &v in order {
+                assert!(v < self.num_threads && v != w, "bad victim {v} for {w}");
+            }
+        }
+    }
+}
 
 /// Per-invocation context handed to every job: identifies the executing worker and
 /// lets the job spawn follow-up work locally.
@@ -40,6 +131,25 @@ impl WorkerCtx<'_> {
         self.shared.notify_one();
     }
 
+    /// Spawns a job onto a queue group's injector: only that group's workers
+    /// will run it.  If the executing worker itself belongs to the group, the
+    /// job goes onto its own deque instead (depth-first locality); with a
+    /// topology whose steal order never leaves the group this preserves the
+    /// anchoring property exactly.
+    pub fn spawn_to_group(&self, group: usize, job: Job) {
+        if self.in_group(group) {
+            self.local.push(job);
+        } else {
+            self.shared.group_injectors[group].push(job);
+        }
+        self.shared.notify_all();
+    }
+
+    /// `true` if the executing worker polls the given queue group.
+    pub fn in_group(&self, group: usize) -> bool {
+        self.shared.topology.groups_of_worker[self.worker_index].contains(&group)
+    }
+
     /// Number of workers in the pool.
     pub fn num_threads(&self) -> usize {
         self.shared.stealers.len()
@@ -48,7 +158,10 @@ impl WorkerCtx<'_> {
 
 struct Shared {
     injector: Injector<Job>,
+    /// One FIFO injector per queue group (see [`PoolTopology`]).
+    group_injectors: Vec<Injector<Job>>,
     stealers: Vec<Stealer<Job>>,
+    topology: PoolTopology,
     shutdown: AtomicBool,
     sleep_mutex: Mutex<()>,
     sleep_condvar: Condvar,
@@ -56,6 +169,8 @@ struct Shared {
     executed: AtomicU64,
     /// Total successful steals from another worker's deque.
     steals: AtomicU64,
+    /// Successful deque steals bucketed by the topology's distance class.
+    steals_by_distance: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -78,17 +193,31 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Creates a pool with `num_threads` worker threads.
+    /// Creates a flat pool with `num_threads` worker threads.
     ///
     /// # Panics
     /// Panics if `num_threads` is zero.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads > 0, "a thread pool needs at least one thread");
+        ThreadPool::with_topology(PoolTopology::flat(num_threads))
+    }
+
+    /// Creates a pool whose workers are grouped and steal per `topology`.
+    ///
+    /// # Panics
+    /// Panics if the topology is inconsistent (see [`PoolTopology`]).
+    pub fn with_topology(topology: PoolTopology) -> Self {
+        topology.validate();
+        let num_threads = topology.num_threads;
         let deques: Vec<Deque<Job>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<Job>> = deques.iter().map(|d| d.stealer()).collect();
+        let max_distance = topology.max_distance();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
+            group_injectors: (0..topology.num_groups).map(|_| Injector::new()).collect(),
             stealers,
+            steals_by_distance: (0..=max_distance).map(|_| AtomicU64::new(0)).collect(),
+            topology,
             shutdown: AtomicBool::new(false),
             sleep_mutex: Mutex::new(()),
             sleep_condvar: Condvar::new(),
@@ -126,10 +255,24 @@ impl ThreadPool {
         self.num_threads
     }
 
+    /// The topology this pool was built with.
+    pub fn topology(&self) -> &PoolTopology {
+        &self.shared.topology
+    }
+
     /// Submits a job from outside the pool (goes to the global injector).
     pub fn spawn(&self, job: Job) {
         self.shared.injector.push(job);
         self.shared.notify_one();
+    }
+
+    /// Submits a job restricted to one queue group's workers.
+    ///
+    /// # Panics
+    /// Panics if `group` is out of range for the pool's topology.
+    pub fn spawn_to_group(&self, group: usize, job: Job) {
+        self.shared.group_injectors[group].push(job);
+        self.shared.notify_all();
     }
 
     /// Total jobs executed by the pool so far.
@@ -140,6 +283,16 @@ impl ThreadPool {
     /// Total successful steals from other workers' deques so far.
     pub fn steals(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Successful deque steals bucketed by the topology's distance class
+    /// (index 0 = nearest).  The flat topology reports everything at 0.
+    pub fn steals_by_distance(&self) -> Vec<u64> {
+        self.shared
+            .steals_by_distance
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -153,26 +306,36 @@ impl Drop for ThreadPool {
     }
 }
 
-fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, bool)> {
+fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, Option<usize>)> {
     // 1. Own deque (LIFO → depth-first order).
     if let Some(job) = local.pop() {
-        return Some((job, false));
+        return Some((job, None));
     }
-    // 2. Global injector (batch-steal into the local deque).
+    // 2. This worker's queue groups, innermost first (batch-steal into the
+    //    local deque).  Only group members ever reach a group's injector, so
+    //    work spawned to a group cannot leave its subcluster this way.
+    for &g in &shared.topology.groups_of_worker[index] {
+        loop {
+            match shared.group_injectors[g].steal_batch_and_pop(local) {
+                crossbeam::deque::Steal::Success(job) => return Some((job, None)),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    // 3. Global injector (batch-steal into the local deque).
     loop {
         match shared.injector.steal_batch_and_pop(local) {
-            crossbeam::deque::Steal::Success(job) => return Some((job, false)),
+            crossbeam::deque::Steal::Success(job) => return Some((job, None)),
             crossbeam::deque::Steal::Retry => continue,
             crossbeam::deque::Steal::Empty => break,
         }
     }
-    // 3. Steal from another worker, starting just after ourselves to spread load.
-    let n = shared.stealers.len();
-    for k in 1..n {
-        let victim = (index + k) % n;
+    // 4. Steal from another worker's deque, nearest victim first.
+    for &victim in &shared.topology.steal_order[index] {
         loop {
             match shared.stealers[victim].steal() {
-                crossbeam::deque::Steal::Success(job) => return Some((job, true)),
+                crossbeam::deque::Steal::Success(job) => return Some((job, Some(victim))),
                 crossbeam::deque::Steal::Retry => continue,
                 crossbeam::deque::Steal::Empty => break,
             }
@@ -184,9 +347,11 @@ fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, 
 fn worker_loop(index: usize, local: Deque<Job>, shared: Arc<Shared>) {
     loop {
         match find_work(index, &local, &shared) {
-            Some((job, stolen)) => {
-                if stolen {
+            Some((job, stolen_from)) => {
+                if let Some(victim) = stolen_from {
                     shared.steals.fetch_add(1, Ordering::Relaxed);
+                    let d = shared.topology.steal_distance[index][victim];
+                    shared.steals_by_distance[d].fetch_add(1, Ordering::Relaxed);
                 }
                 let ctx = WorkerCtx {
                     worker_index: index,
@@ -319,5 +484,127 @@ mod tests {
         pool.spawn(Box::new(move |_| l.count_down()));
         latch.wait();
         drop(pool); // must not hang
+    }
+
+    /// Two groups of two workers each; group-targeted jobs must only run on the
+    /// targeted group's workers, and the strict steal order (within-group only)
+    /// must keep them there even under load.
+    fn two_group_topology() -> PoolTopology {
+        PoolTopology {
+            num_threads: 4,
+            num_groups: 3, // 0 = {0,1}, 1 = {2,3}, 2 = everyone (root)
+            groups_of_worker: vec![vec![0, 2], vec![0, 2], vec![1, 2], vec![1, 2]],
+            steal_order: vec![vec![1], vec![0], vec![3], vec![2]],
+            steal_distance: vec![vec![0; 4]; 4],
+        }
+    }
+
+    #[test]
+    fn group_jobs_stay_on_group_workers() {
+        let pool = ThreadPool::with_topology(two_group_topology());
+        let latch = Arc::new(CountLatch::new(80));
+        let where_ran: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..80 {
+            let group = i % 2;
+            let l = Arc::clone(&latch);
+            let w = Arc::clone(&where_ran);
+            pool.spawn_to_group(
+                group,
+                Box::new(move |ctx| {
+                    // A little work so jobs spread over both group members.
+                    let mut x = 0u64;
+                    for k in 0..50_000u64 {
+                        x = x.wrapping_mul(31).wrapping_add(k);
+                    }
+                    std::hint::black_box(x);
+                    w[ctx.worker_index].fetch_add(1, Ordering::SeqCst);
+                    l.count_down();
+                }),
+            );
+        }
+        latch.wait();
+        let counts: Vec<usize> = where_ran.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        // 40 jobs went to group 0 = workers {0, 1}, 40 to group 1 = workers {2, 3}.
+        assert_eq!(
+            counts[0] + counts[1],
+            40,
+            "group 0 jobs on group 0 workers: {counts:?}"
+        );
+        assert_eq!(
+            counts[2] + counts[3],
+            40,
+            "group 1 jobs on group 1 workers: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn root_group_jobs_run_anywhere_and_pool_drains() {
+        let pool = ThreadPool::with_topology(two_group_topology());
+        let latch = Arc::new(CountLatch::new(30));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..30 {
+            let l = Arc::clone(&latch);
+            let c = Arc::clone(&counter);
+            pool.spawn_to_group(
+                2,
+                Box::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    l.count_down();
+                }),
+            );
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn steal_distances_are_recorded() {
+        // One group, but a two-class distance matrix: worker 0's victims are 1
+        // (distance 0) and 2, 3 (distance 1), and symmetrically.
+        let topo = PoolTopology {
+            num_threads: 4,
+            num_groups: 1,
+            groups_of_worker: vec![vec![0]; 4],
+            steal_order: vec![vec![1, 2, 3], vec![0, 3, 2], vec![3, 0, 1], vec![2, 1, 0]],
+            steal_distance: vec![
+                vec![0, 0, 1, 1],
+                vec![0, 0, 1, 1],
+                vec![1, 1, 0, 0],
+                vec![1, 1, 0, 0],
+            ],
+        };
+        let pool = ThreadPool::with_topology(topo);
+        let latch = Arc::new(CountLatch::new(200));
+        for _ in 0..200 {
+            let l = Arc::clone(&latch);
+            pool.spawn(Box::new(move |ctx| {
+                // Spawn locally so deques fill up and stealing happens.
+                l.count_down();
+                let _ = ctx;
+            }));
+        }
+        latch.wait();
+        let by_distance = pool.steals_by_distance();
+        assert_eq!(by_distance.len(), 2);
+        assert_eq!(by_distance.iter().sum::<u64>(), pool.steals());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown group")]
+    fn inconsistent_topology_is_rejected() {
+        let mut topo = PoolTopology::flat(2);
+        topo.groups_of_worker[0] = vec![7];
+        let _ = ThreadPool::with_topology(topo);
+    }
+
+    #[test]
+    #[should_panic(expected = "no member worker")]
+    fn memberless_group_is_rejected() {
+        // A group nobody polls would swallow spawned jobs and hang the pool;
+        // the constructor must refuse it up front.
+        let mut topo = PoolTopology::flat(2);
+        topo.num_groups = 2; // group 1 exists but no worker lists it
+        let _ = ThreadPool::with_topology(topo);
     }
 }

@@ -192,7 +192,10 @@ mod tests {
         let tree = SpawnTree::unfold(&p, T { level: 4 }); // size 256
         let dag = DagRewriter::new(&tree, p.fire_table()).build();
         let cfg = PmhConfig::new(
-            vec![CacheLevelSpec::new(16, 2, 10), CacheLevelSpec::new(128, 2, 100)],
+            vec![
+                CacheLevelSpec::new(16, 2, 10),
+                CacheLevelSpec::new(128, 2, 100),
+            ],
             1,
         );
         (tree, dag, cfg)
@@ -228,9 +231,8 @@ mod tests {
         let (tree, dag, cfg) = setup();
         let costs = StrandCosts::compute(&tree, &dag, &cfg, 1.0, MissModel::Anchored);
         assert_eq!(costs.total_work, 256.0 * 8.0);
-        let expected_serial = costs.total_work
-            + costs.total_misses[0] * 10.0
-            + costs.total_misses[1] * 100.0;
+        let expected_serial =
+            costs.total_work + costs.total_misses[0] * 10.0 + costs.total_misses[1] * 100.0;
         assert!((costs.serial_time() - expected_serial).abs() < 1e-6);
     }
 
@@ -242,7 +244,10 @@ mod tests {
             if dag.vertex(v).is_strand() {
                 let m1 = costs.maximal_of[0][v.index()].expect("level-1 maximal");
                 let m2 = costs.maximal_of[1][v.index()].expect("level-2 maximal");
-                assert!(tree.is_ancestor(m2, m1), "level-2 task must contain level-1 task");
+                assert!(
+                    tree.is_ancestor(m2, m1),
+                    "level-2 task must contain level-1 task"
+                );
             }
         }
     }

@@ -31,6 +31,6 @@ pub mod stats;
 pub mod work_stealing;
 
 pub use cost::{MissModel, StrandCosts};
-pub use space_bounded::{simulate_space_bounded, SbConfig};
+pub use space_bounded::{allocation_fanout, simulate_space_bounded, SbConfig, TaskDecomposition};
 pub use stats::SchedStats;
 pub use work_stealing::simulate_work_stealing;

@@ -23,7 +23,7 @@
 use crate::cost::{MissModel, StrandCosts};
 use crate::stats::SchedStats;
 use nd_core::dag::{AlgorithmDag, DagVertexId};
-use nd_core::spawn_tree::{NodeId, SpawnTree};
+use nd_core::spawn_tree::SpawnTree;
 use nd_pmh::machine::{CacheId, MachineTree, ProcId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -43,6 +43,90 @@ impl Default for SbConfig {
         SbConfig {
             sigma: 1.0 / 3.0,
             alpha_prime: 1.0,
+        }
+    }
+}
+
+/// The paper's allocation function `g_i(S) = min{f_i, max{1, ⌊f_i·(3S/M_i)^{α'}⌋}}`:
+/// how many level-(`i`−1) subclusters a task of size `size` anchored at a
+/// level-`level` cache is allocated.  Shared between the simulator here and the
+/// real hierarchy-aware executor in `nd-exec`.
+pub fn allocation_fanout(
+    size: u64,
+    level: usize,
+    config: &nd_pmh::config::PmhConfig,
+    alpha_prime: f64,
+) -> usize {
+    let f = config.fanout(level);
+    let m = config.size(level) as f64;
+    let g = (f as f64 * (3.0 * size as f64 / m).powf(alpha_prime)).floor() as usize;
+    g.clamp(1, f)
+}
+
+/// The `σ·M_i`-maximal task decomposition of one program against one machine
+/// configuration, shared by the simulator here and the static anchoring of the
+/// real executor in `nd-exec`.
+///
+/// Tasks are numbered in discovery order (level 1 first, then level 2, …);
+/// `level`/`size`/`parent` are parallel vectors over that numbering, and
+/// `vertex_task[li][v]` maps DAG vertex `v` to its enclosing task at cache
+/// level `li + 1` (when the vertex belongs to the spawn tree).
+#[derive(Clone, Debug)]
+pub struct TaskDecomposition {
+    /// 1-based cache level of each decomposition task.
+    pub level: Vec<usize>,
+    /// Footprint (effective size) of each decomposition task, in words.
+    pub size: Vec<u64>,
+    /// Index of the enclosing task one level up (`None` at the top level).
+    pub parent: Vec<Option<usize>>,
+    /// Per cache level (0-based), per DAG vertex: the enclosing task index.
+    pub vertex_task: Vec<Vec<Option<usize>>>,
+}
+
+impl TaskDecomposition {
+    /// Number of decomposition tasks across all levels.
+    pub fn task_count(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Builds the decomposition from a program's precomputed [`StrandCosts`].
+    pub fn compute(tree: &SpawnTree, dag: &AlgorithmDag, costs: &StrandCosts) -> Self {
+        let levels = costs.maximal_of.len();
+        let n = dag.vertex_count();
+        let mut level: Vec<usize> = Vec::new();
+        let mut size: Vec<u64> = Vec::new();
+        let mut dindex: HashMap<(usize, u32), usize> = HashMap::new();
+        let mut vertex_task: Vec<Vec<Option<usize>>> = vec![vec![None; n]; levels];
+        let mut representative: Vec<DagVertexId> = Vec::new();
+        for (li, vertex_task_li) in vertex_task.iter_mut().enumerate() {
+            for v in dag.vertex_ids() {
+                if let Some(node) = costs.maximal_of[li][v.index()] {
+                    let idx = *dindex.entry((li + 1, node.0)).or_insert_with(|| {
+                        level.push(li + 1);
+                        size.push(tree.effective_size(node));
+                        representative.push(v);
+                        level.len() - 1
+                    });
+                    vertex_task_li[v.index()] = Some(idx);
+                }
+            }
+        }
+        // Parent links: the enclosing task one level up (None at the top level,
+        // whose parent is the root memory).
+        let parent: Vec<Option<usize>> = (0..level.len())
+            .map(|d| {
+                if level[d] < levels {
+                    vertex_task[level[d]][representative[d].index()]
+                } else {
+                    None
+                }
+            })
+            .collect();
+        TaskDecomposition {
+            level,
+            size,
+            parent,
+            vertex_task,
         }
     }
 }
@@ -83,51 +167,36 @@ pub fn simulate_space_bounded(
     let n = dag.vertex_count();
 
     // ---------------------------------------------------------------- dtasks ----
-    let mut dtasks: Vec<DTask> = Vec::new();
-    let mut dindex: HashMap<(usize, u32), usize> = HashMap::new();
-    // vertex -> dtask index per level (level index 0 = cache level 1).
-    let mut vertex_dtask: Vec<Vec<Option<usize>>> = vec![vec![None; n]; levels];
-    let mut representative: Vec<DagVertexId> = Vec::new();
-    for li in 0..levels {
-        for v in dag.vertex_ids() {
-            if let Some(node) = costs.maximal_of[li][v.index()] {
-                let idx = *dindex.entry((li + 1, node.0)).or_insert_with(|| {
-                    dtasks.push(DTask {
-                        level: li + 1,
-                        size: tree_size(tree, node),
-                        parent: None,
-                        external_pending: 0,
-                        remaining_strands: 0,
-                        state: DState::Waiting,
-                        allocation: Vec::new(),
-                        waiting_strands: Vec::new(),
-                    });
-                    representative.push(v);
-                    dtasks.len() - 1
-                });
-                vertex_dtask[li][v.index()] = Some(idx);
-                if dag.vertex(v).is_strand() {
-                    dtasks[idx].remaining_strands += 1;
-                }
-            }
+    let decomposition = TaskDecomposition::compute(tree, dag, &costs);
+    let vertex_dtask = &decomposition.vertex_task;
+    let mut dtasks: Vec<DTask> = (0..decomposition.task_count())
+        .map(|d| DTask {
+            level: decomposition.level[d],
+            size: decomposition.size[d],
+            parent: decomposition.parent[d],
+            external_pending: 0,
+            remaining_strands: 0,
+            state: DState::Waiting,
+            allocation: Vec::new(),
+            waiting_strands: Vec::new(),
+        })
+        .collect();
+    for v in dag.vertex_ids() {
+        if !dag.vertex(v).is_strand() {
+            continue;
         }
-    }
-    // Parent links: the enclosing task one level up (None at the top level, whose
-    // parent is the root memory).
-    for d in 0..dtasks.len() {
-        let level = dtasks[d].level;
-        if level < levels {
-            let rep = representative[d];
-            dtasks[d].parent = vertex_dtask[level][rep.index()];
+        for vertex_dtask_li in vertex_dtask {
+            if let Some(d) = vertex_dtask_li[v.index()] {
+                dtasks[d].remaining_strands += 1;
+            }
         }
     }
     // External readiness counters.
     for v in dag.vertex_ids() {
         for s in dag.successors(v) {
-            for li in 0..levels {
-                let dv = vertex_dtask[li][s.index()];
-                if let Some(dv) = dv {
-                    if vertex_dtask[li][v.index()] != Some(dv) {
+            for vertex_dtask_li in vertex_dtask {
+                if let Some(dv) = vertex_dtask_li[s.index()] {
+                    if vertex_dtask_li[v.index()] != Some(dv) {
                         dtasks[dv].external_pending += 1;
                     }
                 }
@@ -142,7 +211,9 @@ pub fn simulate_space_bounded(
         .collect();
     let num_procs = machine.processor_count();
     let mut proc_busy = vec![false; num_procs];
-    let mut run_queue: Vec<VecDeque<u32>> = (0..machine.cache_count()).map(|_| VecDeque::new()).collect();
+    let mut run_queue: Vec<VecDeque<u32>> = (0..machine.cache_count())
+        .map(|_| VecDeque::new())
+        .collect();
 
     // -------------------------------------------------------------- dataflow ----
     let mut pending: Vec<u32> = dag.vertex_ids().map(|v| dag.in_degree(v) as u32).collect();
@@ -234,10 +305,7 @@ pub fn simulate_space_bounded(
 
     // Allocation function g_i(S).
     let g_alloc = |size: u64, level: usize| -> usize {
-        let f = config.fanout(level);
-        let m = config.size(level) as f64;
-        let g = (f as f64 * (3.0 * size as f64 / m).powf(cfg.alpha_prime)).floor() as usize;
-        g.clamp(1, f)
+        allocation_fanout(size, level, config, cfg.alpha_prime)
     };
 
     // Anchoring pass over the ready-unanchored frontier.
@@ -265,14 +333,11 @@ pub fn simulate_space_bounded(
                         },
                     };
                     // Pick the candidate with the most free space.
-                    let best = candidates
-                        .iter()
-                        .copied()
-                        .max_by(|a, b| {
-                            space_left[a.0 as usize]
-                                .partial_cmp(&space_left[b.0 as usize])
-                                .unwrap()
-                        });
+                    let best = candidates.iter().copied().max_by(|a, b| {
+                        space_left[a.0 as usize]
+                            .partial_cmp(&space_left[b.0 as usize])
+                            .unwrap()
+                    });
                     let Some(best) = best else {
                         still_waiting.push(d);
                         continue;
@@ -352,9 +417,7 @@ pub fn simulate_space_bounded(
                 complete_vertex!(v);
             }
             if running.is_empty() && completed == before && completed < n {
-                panic!(
-                    "space-bounded simulation stalled: {completed}/{n} vertices done"
-                );
+                panic!("space-bounded simulation stalled: {completed}/{n} vertices done");
             }
             continue;
         }
@@ -384,10 +447,6 @@ pub fn simulate_space_bounded(
         overflow_events,
         strands: strands_run,
     }
-}
-
-fn tree_size(tree: &SpawnTree, node: NodeId) -> u64 {
-    tree.effective_size(node)
 }
 
 #[cfg(test)]
@@ -444,7 +503,10 @@ mod tests {
     fn machine() -> MachineTree {
         // Two cache levels: 64-word L1s (2 procs each), 512-word L2s (2 L1s), 2 L2s.
         let cfg = PmhConfig::new(
-            vec![CacheLevelSpec::new(64, 2, 10), CacheLevelSpec::new(512, 2, 100)],
+            vec![
+                CacheLevelSpec::new(64, 2, 10),
+                CacheLevelSpec::new(512, 2, 100),
+            ],
             2,
         );
         MachineTree::build(&cfg)
@@ -499,7 +561,10 @@ mod tests {
     fn more_processors_do_not_slow_it_down() {
         let (tree, dag) = build(false, 5);
         let small = MachineTree::build(&PmhConfig::new(
-            vec![CacheLevelSpec::new(64, 1, 10), CacheLevelSpec::new(512, 2, 100)],
+            vec![
+                CacheLevelSpec::new(64, 1, 10),
+                CacheLevelSpec::new(512, 2, 100),
+            ],
             1,
         ));
         let large = machine();

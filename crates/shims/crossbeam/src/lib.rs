@@ -1,0 +1,184 @@
+//! Offline shim for `crossbeam`: the `deque` module only.
+//!
+//! The real crate's Chase–Lev deques are lock-free; this shim provides the
+//! same `Worker` / `Stealer` / `Injector` / `Steal` API over mutex-protected
+//! `VecDeque`s.  Semantics match (LIFO owner end, FIFO steal end, batch steal
+//! moves up to half the victim's queue); only the synchronisation cost
+//! differs, which the workspace's correctness tests and experiments tolerate.
+
+pub mod deque {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    /// The owner's handle of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle for stealing from another worker's deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque (owner pushes and pops the same end).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Pops a task from the owner end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().pop_back()
+        }
+
+        /// `true` if the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the steal end (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` if the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    /// A FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest` (up to half the queue) and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = q.len() / 2;
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => dest.push(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// `true` if the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::*;
+
+    #[test]
+    fn worker_is_lifo_and_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_half() {
+        let inj = Injector::new();
+        for i in 0..7 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // 6 remained, 3 moved to the worker.
+        assert_eq!(w.len(), 3);
+        assert_eq!(inj.len(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline shim for `proptest`: the macro surface this workspace uses,
+//! implemented as a deterministic seeded loop.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are drawn from a fixed per-test seed (no persisted failure corpus),
+//! * there is no shrinking — a failing case reports its inputs via the panic
+//!   message of the underlying `assert!`, and the run is reproducible because
+//!   the seed is derived from the test's name,
+//! * only range strategies (`lo..hi` on integers) are implemented.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration (the `with_cases` subset).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// Derives the deterministic per-test RNG (seeded from the test's name).
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` running `body` for `cases` deterministic random draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng_for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a property (plain `assert!`; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 3usize..10, y in 0u64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn assume_filters(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::rng_for_test("t");
+        let mut b = crate::rng_for_test("t");
+        for _ in 0..10 {
+            assert_eq!((0u64..100).sample(&mut a), (0u64..100).sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives are accepted and expand to
+//! nothing.  Nothing in this workspace serializes through serde — the derives
+//! on model types exist so that downstream users of the real crates could —
+//! so empty expansions are sufficient and keep the build dependency-free.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its model types but
+//! never actually serializes them (experiment binaries print by hand), so the
+//! traits carry no methods here.  The derive macros and the traits share their
+//! names exactly as in the real crate, so `use serde::{Serialize, Deserialize}`
+//! imports both the macro and the trait.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -7,7 +7,7 @@ use nd_algorithms::cholesky::cholesky_parallel;
 use nd_algorithms::common::Mode;
 use nd_algorithms::trs::build_trs;
 use nd_linalg::gemm::gemm_naive;
-use nd_linalg::trsm::{trsm_lower_naive, trsm_right_lower_trans_naive};
+use nd_linalg::trsm::trsm_lower_naive;
 use nd_linalg::Matrix;
 use nd_runtime::ThreadPool;
 use std::time::Instant;
@@ -39,8 +39,15 @@ fn main() {
         // it is O(n²) and not the interesting part).
         let mut y = b.clone();
         trsm_lower_naive(&l, &mut y);
+        // Back substitution for the upper-triangular system `Lᵀ·x = y`.
         let mut x = y.clone();
-        trsm_right_lower_trans_naive(&l, &mut x);
+        for i in (0..n).rev() {
+            let mut acc = x[(i, 0)];
+            for k in (i + 1)..n {
+                acc -= l[(k, i)] * x[(k, 0)];
+            }
+            x[(i, 0)] = acc / l[(i, i)];
+        }
 
         let err = x.max_abs_diff(&x_true) / x_true.frobenius_norm();
         let mut residual = b.clone();

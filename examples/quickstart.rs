@@ -46,14 +46,12 @@ impl NdProgram for MainProgram {
                 self.fires.id("FG"),
                 Box::new(Leaf(Task::G)),
             )),
-            Task::F => Expansion::compose(Seq(vec![
-                Leaf(Task::Strand("A")),
-                Leaf(Task::Strand("B")),
-            ])),
-            Task::G => Expansion::compose(Seq(vec![
-                Leaf(Task::Strand("C")),
-                Leaf(Task::Strand("D")),
-            ])),
+            Task::F => {
+                Expansion::compose(Seq(vec![Leaf(Task::Strand("A")), Leaf(Task::Strand("B"))]))
+            }
+            Task::G => {
+                Expansion::compose(Seq(vec![Leaf(Task::Strand("C")), Leaf(Task::Strand("D"))]))
+            }
             Task::Strand(name) => Expansion::strand(1, 1).with_label(*name),
         }
     }
@@ -68,10 +66,23 @@ fn main() {
 
     let dag = DagRewriter::new(&tree, program.fire_table()).build();
     let ws = WorkSpan::of_dag(&dag);
-    println!("Algorithm DAG: {} strands, {} edges", dag.strand_count(), dag.edge_count());
-    println!("  A → C (the fire rule):        {}", dag.depends_transitively_by_label("A", "C"));
-    println!("  B → C (artificial, NP-only):  {}", dag.depends_transitively_by_label("B", "C"));
-    println!("  work = {}, span = {} (the NP version would have span 4)\n", ws.work, ws.span);
+    println!(
+        "Algorithm DAG: {} strands, {} edges",
+        dag.strand_count(),
+        dag.edge_count()
+    );
+    println!(
+        "  A → C (the fire rule):        {}",
+        dag.depends_transitively_by_label("A", "C")
+    );
+    println!(
+        "  B → C (artificial, NP-only):  {}",
+        dag.depends_transitively_by_label("B", "C")
+    );
+    println!(
+        "  work = {}, span = {} (the NP version would have span 4)\n",
+        ws.work, ws.span
+    );
 
     // ---- Part 2: a real ND computation on the runtime ----------------------
     println!("== Triangular solve, NP vs ND, on the dataflow runtime ==\n");
@@ -99,5 +110,7 @@ fn main() {
             err
         );
     }
-    println!("\nThe ND span is Θ(n) versus Θ(n log n) for NP — see EXPERIMENTS.md for the full sweeps.");
+    println!(
+        "\nThe ND span is Θ(n) versus Θ(n log n) for NP — see EXPERIMENTS.md for the full sweeps."
+    );
 }

@@ -37,18 +37,33 @@ fn main() {
             sb_cfg.sigma,
             MissModel::PerStrand,
         );
-        let costs: Vec<u64> = (1..=config.cache_levels()).map(|l| config.miss_cost(l)).collect();
+        let costs: Vec<u64> = (1..=config.cache_levels())
+            .map(|l| config.miss_cost(l))
+            .collect();
         let ideal = perfect_balance_time(
-            sb.busy_time - sb.misses_per_level.iter().zip(&costs).map(|(m, &c)| m * c as f64).sum::<f64>(),
+            sb.busy_time
+                - sb.misses_per_level
+                    .iter()
+                    .zip(&costs)
+                    .map(|(m, &c)| m * c as f64)
+                    .sum::<f64>(),
             &sb.misses_per_level,
             &costs,
             config.num_processors(),
         );
 
         println!("== {} model ==", mode.name());
-        println!("  space-bounded:  time {:>12.0}   utilisation {:>5.1}%   (perfect balance: {:.0})",
-            sb.completion_time, 100.0 * sb.utilisation, ideal);
-        println!("  work-stealing:  time {:>12.0}   utilisation {:>5.1}%", ws.completion_time, 100.0 * ws.utilisation);
+        println!(
+            "  space-bounded:  time {:>12.0}   utilisation {:>5.1}%   (perfect balance: {:.0})",
+            sb.completion_time,
+            100.0 * sb.utilisation,
+            ideal
+        );
+        println!(
+            "  work-stealing:  time {:>12.0}   utilisation {:>5.1}%",
+            ws.completion_time,
+            100.0 * ws.utilisation
+        );
         println!("  Theorem 1 check (misses ≤ Q*(t; σ·M_j)):");
         for (li, m) in sb.misses_per_level.iter().enumerate() {
             let threshold = (sb_cfg.sigma * config.size(li + 1) as f64) as u64;
@@ -58,7 +73,11 @@ fn main() {
                 li + 1,
                 m,
                 bound,
-                if *m <= bound as f64 + 1e-6 { "✓" } else { "✗" }
+                if *m <= bound as f64 + 1e-6 {
+                    "✓"
+                } else {
+                    "✗"
+                }
             );
         }
         println!();

@@ -31,7 +31,10 @@ fn main() {
         let start = Instant::now();
         let (len, stats) = lcs_parallel(&pool, &s, &t, mode, base);
         let elapsed = start.elapsed();
-        assert_eq!(len, expected, "parallel LCS must agree with the sequential DP");
+        assert_eq!(
+            len, expected,
+            "parallel LCS must agree with the sequential DP"
+        );
         println!(
             "  {} model ({} tasks): length {len:>6}   {elapsed:>9.2?}   DAG span {:>9}  steals {}",
             mode.name(),
@@ -43,5 +46,7 @@ fn main() {
     println!(
         "\nThe ND model turns the block dependencies into a wavefront (Figure 11 of the paper):"
     );
-    println!("same work, Θ(n) span instead of Θ(n log n), and more ready blocks for the scheduler.");
+    println!(
+        "same work, Θ(n) span instead of Θ(n log n), and more ready blocks for the scheduler."
+    );
 }

@@ -19,12 +19,16 @@ use nd_sched::work_stealing::simulate_work_stealing;
 /// NP span, with identical work and leaves (the model changes dependencies only).
 #[test]
 fn nd_never_worse_than_np_across_algorithms() {
-    let builders: Vec<(&str, Box<dyn Fn(Mode) -> nd_algorithms::BuiltAlgorithm>)> = vec![
+    type Builder = Box<dyn Fn(Mode) -> nd_algorithms::BuiltAlgorithm>;
+    let builders: Vec<(&str, Builder)> = vec![
         ("mm", Box::new(|m| build_mm(64, 8, m, 1.0))),
         ("trs", Box::new(|m| build_trs(64, 8, m))),
         ("cholesky", Box::new(|m| build_cholesky(64, 8, m))),
         ("lcs", Box::new(|m| build_lcs(64, 8, m))),
-        ("fw1d", Box::new(|m| nd_algorithms::fw1d::build_fw1d(64, 8, m))),
+        (
+            "fw1d",
+            Box::new(|m| nd_algorithms::fw1d::build_fw1d(64, 8, m)),
+        ),
     ];
     for (name, build) in builders {
         let np = build(Mode::Np);
@@ -62,7 +66,11 @@ fn space_bounded_misses_respect_pcc_bound() {
         ("cholesky", build_cholesky(128, 8, Mode::Nd)),
     ] {
         let stats = simulate_space_bounded(&built.tree, &built.dag, &machine, &sb_cfg);
-        assert_eq!(stats.strands, built.dag.strand_count(), "{name}: all strands run");
+        assert_eq!(
+            stats.strands,
+            built.dag.strand_count(),
+            "{name}: all strands run"
+        );
         for (li, misses) in stats.misses_per_level.iter().enumerate() {
             let threshold = (sb_cfg.sigma * config.size(li + 1) as f64) as u64;
             let bound = pcc(&built.tree, built.tree.root(), threshold) as f64;
@@ -127,6 +135,48 @@ fn work_stealing_charges_more_misses_than_space_bounded() {
             ws.misses_per_level[l],
             sb.misses_per_level[l]
         );
+    }
+}
+
+/// The hierarchy-aware executor end to end: factor and solve a linear system
+/// with every kernel anchored to the subclusters of a two-layout machine sweep,
+/// and check the anchored results agree bit-for-bit with the flat executor's
+/// (both run the same deterministic DAG, so any divergence is a routing bug).
+#[test]
+fn anchored_executor_matches_flat_executor_across_layouts() {
+    use nd_algorithms::cholesky::cholesky_parallel;
+    use nd_algorithms::trs::solve_parallel;
+    use nd_exec::execute::{cholesky_anchored, solve_anchored};
+    use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+    use nd_linalg::Matrix;
+    use nd_runtime::ThreadPool;
+
+    let n = 64;
+    let a = Matrix::random_spd(n, 21);
+    let b = Matrix::random(n, n, 22);
+
+    // Flat reference run.
+    let flat = ThreadPool::new(4);
+    let mut l_flat = a.clone();
+    cholesky_parallel(&flat, &mut l_flat, Mode::Nd, 8);
+    let mut x_flat = b.clone();
+    solve_parallel(&flat, &l_flat, &mut x_flat, Mode::Nd, 8);
+
+    for subclusters in [1usize, 2] {
+        let machine = MachineTree::build(&PmhConfig::experiment_machine(subclusters));
+        let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+        let cfg = AnchorConfig::default();
+        let mut l = a.clone();
+        let stats = cholesky_anchored(&pool, &mut l, 8, &cfg);
+        assert_eq!(
+            l.max_abs_diff(&l_flat),
+            0.0,
+            "factor must match bit-for-bit"
+        );
+        assert!(stats.anchors_per_level.iter().all(|&c| c > 0));
+        let mut x = b.clone();
+        solve_anchored(&pool, &l, &mut x, 8, &cfg);
+        assert_eq!(x.max_abs_diff(&x_flat), 0.0, "solve must match bit-for-bit");
     }
 }
 

@@ -451,6 +451,32 @@ mod tests {
     use nd_core::work_span::{fit_power_law, WorkSpan};
     use nd_linalg::potrf::{cholesky_residual, potrf_naive};
 
+    /// One compiled Cholesky graph re-factors the same SPD matrix (restored in
+    /// place between runs) three times bit-identically, counters restored.
+    #[test]
+    fn compiled_cholesky_reuse_is_bit_identical() {
+        let pool = nd_runtime::ThreadPool::new(4);
+        let n = 32;
+        let built = build_cholesky(n, 8, Mode::Nd);
+        let spd = Matrix::random_spd(n, 31);
+        let mut a = spd.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut a]);
+        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
+        let mut reference: Option<Matrix> = None;
+        for round in 0..3 {
+            a.as_mut_slice().copy_from_slice(spd.as_slice());
+            compiled.execute(&pool);
+            assert!(compiled.counters_are_reset(), "round {round}");
+            let mut l = a.clone();
+            l.zero_upper_triangle();
+            match &reference {
+                None => reference = Some(l),
+                Some(r) => assert_eq!(l.max_abs_diff(r), 0.0, "round {round}"),
+            }
+        }
+        assert!(cholesky_residual(&reference.unwrap(), &spd) < 1e-9);
+    }
+
     #[test]
     fn np_and_nd_share_leaves_and_work() {
         let np = build_cholesky(64, 8, Mode::Np);

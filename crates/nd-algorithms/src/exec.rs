@@ -1,8 +1,21 @@
 //! Executing algorithm DAGs on the real runtime.
 //!
 //! The strands of a [`BuiltAlgorithm`](crate::common::BuiltAlgorithm) carry indices
-//! into a table of [`BlockOp`]s; this module turns the algorithm DAG plus that table
-//! into a [`TaskGraph`] for the dataflow executor of `nd-runtime` and runs it.
+//! into a table of [`BlockOp`]s; this module lowers the algorithm DAG plus that
+//! table into the dataflow executor of `nd-runtime` — in two forms:
+//!
+//! * **Compiled (non-boxed), the default.**  [`compile_algorithm`] resolves every
+//!   block operation's `Rect`s into raw [`MatPtr`] views once, stores them in a
+//!   [`CompiledOp`] table, and builds a reusable
+//!   [`CompiledGraph`](nd_runtime::CompiledGraph) whose CSR successor arena and
+//!   atomic dependency counters are shared across executions.  Strands dispatch
+//!   by index through the enum — no heap-boxed closure per strand, no per-task
+//!   mutex — and the same [`CompiledAlgorithm`] can be executed any number of
+//!   times (build → execute → execute → …), paying DRS + graph construction
+//!   exactly once.  [`run`] and the `*_parallel` drivers use this path.
+//! * **Boxed (builder) form.**  [`build_task_graph`] produces the classic
+//!   closure-carrying [`TaskGraph`] for callers that want to mix algorithm
+//!   strands with ad-hoc closures (see `lu`).
 //!
 //! # Safety
 //!
@@ -18,7 +31,7 @@ use crate::common::{BlockOp, BuiltAlgorithm, Rect};
 use nd_core::dag::{AlgorithmDag, DagVertex};
 use nd_linalg::matrix::{MatPtr, Matrix};
 use nd_linalg::{fw, gemm, lcs, potrf, trsm};
-use nd_runtime::dataflow::{execute_graph, ExecStats, TaskGraph};
+use nd_runtime::dataflow::{CompiledGraph, ExecStats, Placement, TaskGraph, TaskTable};
 use nd_runtime::pool::ThreadPool;
 use std::sync::Arc;
 
@@ -57,61 +70,298 @@ impl ExecContext {
     }
 }
 
-/// Builds the runtime closure for one block operation.
-pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnOnce() + Send + 'static> {
+/// A block operation with its `Rect`s resolved into raw views — the non-boxed
+/// per-strand work unit dispatched by [`OpTable`].
+///
+/// `Copy`, pointer-sized fields only: a whole algorithm's strands live in one
+/// flat `Vec<CompiledOp>` instead of one heap allocation per strand.
+#[derive(Clone, Copy)]
+pub enum CompiledOp {
+    /// `C += α·A·B`.
+    Gemm {
+        /// Output view.
+        c: MatPtr,
+        /// Left operand view.
+        a: MatPtr,
+        /// Right operand view.
+        b: MatPtr,
+        /// Scale factor.
+        alpha: f64,
+    },
+    /// `C += α·A·Bᵀ`.
+    GemmNt {
+        /// Output view.
+        c: MatPtr,
+        /// Left operand view.
+        a: MatPtr,
+        /// Right operand view (transposed when applied).
+        b: MatPtr,
+        /// Scale factor.
+        alpha: f64,
+    },
+    /// Solve `T·X = B` in place in `B`.
+    TrsmLower {
+        /// Triangular view.
+        t: MatPtr,
+        /// Right-hand side view.
+        b: MatPtr,
+    },
+    /// Solve `X·Lᵀ = B` in place in `B`.
+    TrsmRightLt {
+        /// Triangular view.
+        l: MatPtr,
+        /// Right-hand side view.
+        b: MatPtr,
+    },
+    /// In-place Cholesky factorization of a block.
+    Potrf {
+        /// The block view.
+        a: MatPtr,
+    },
+    /// One block of the LCS table (sequences live on the [`OpTable`]).
+    Lcs {
+        /// Whole-table view.
+        view: MatPtr,
+        /// First row (inclusive).
+        i0: usize,
+        /// Last row (exclusive).
+        i1: usize,
+        /// First column (inclusive).
+        j0: usize,
+        /// Last column (exclusive).
+        j1: usize,
+    },
+    /// One block of the 1-D Floyd–Warshall table.
+    Fw1d {
+        /// Whole-table view.
+        view: MatPtr,
+        /// First time step (inclusive).
+        t0: usize,
+        /// Last time step (exclusive).
+        t1: usize,
+        /// First cell (inclusive).
+        i0: usize,
+        /// Last cell (exclusive).
+        i1: usize,
+    },
+    /// Min-plus block update `X = min(X, U + V)`.
+    FwUpdate {
+        /// Updated view.
+        x: MatPtr,
+        /// Row-panel view.
+        u: MatPtr,
+        /// Column-panel view.
+        v: MatPtr,
+    },
+    /// A strand with no runtime effect.
+    Nop,
+}
+
+/// The non-boxed task table of one compiled algorithm: one [`CompiledOp`] per
+/// graph task, dispatched by index through the enum.
+pub struct OpTable {
+    ops: Vec<CompiledOp>,
+    seq_s: Arc<Vec<u8>>,
+    seq_t: Arc<Vec<u8>>,
+}
+
+impl TaskTable for OpTable {
+    #[inline]
+    fn run_task(&self, task: u32) {
+        dispatch_op(self.ops[task as usize], &self.seq_s, &self.seq_t);
+    }
+}
+
+/// Runs one resolved block operation.
+#[inline]
+fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8]) {
+    // SAFETY (for every unsafe kernel call below): the algorithm DAG orders
+    // all conflicting block accesses and the executor runs each task after
+    // its predecessors — see the module-level safety section.
     match op {
-        BlockOp::Gemm { c, a, b, alpha } => {
-            let (c, a, b, alpha) = (ctx.block(c), ctx.block(a), ctx.block(b), *alpha);
-            Box::new(move || unsafe { gemm::gemm_block(c, a, b, alpha) })
-        }
-        BlockOp::GemmNt { c, a, b, alpha } => {
-            let (c, a, b, alpha) = (ctx.block(c), ctx.block(a), ctx.block(b), *alpha);
-            Box::new(move || unsafe { gemm::gemm_nt_block(c, a, b, alpha) })
-        }
-        BlockOp::TrsmLower { t, b } => {
-            let (t, b) = (ctx.block(t), ctx.block(b));
-            Box::new(move || unsafe { trsm::trsm_lower_block(t, b) })
-        }
-        BlockOp::TrsmRightLt { l, b } => {
-            let (l, b) = (ctx.block(l), ctx.block(b));
-            Box::new(move || unsafe { trsm::trsm_right_lower_trans_block(l, b) })
-        }
-        BlockOp::Potrf { a } => {
-            let a = ctx.block(a);
-            Box::new(move || unsafe { potrf::potrf_block(a) })
-        }
+        CompiledOp::Gemm { c, a, b, alpha } => unsafe { gemm::gemm_block(c, a, b, alpha) },
+        CompiledOp::GemmNt { c, a, b, alpha } => unsafe { gemm::gemm_nt_block(c, a, b, alpha) },
+        CompiledOp::TrsmLower { t, b } => unsafe { trsm::trsm_lower_block(t, b) },
+        CompiledOp::TrsmRightLt { l, b } => unsafe { trsm::trsm_right_lower_trans_block(l, b) },
+        CompiledOp::Potrf { a } => unsafe { potrf::potrf_block(a) },
+        CompiledOp::Lcs {
+            view,
+            i0,
+            i1,
+            j0,
+            j1,
+        } => unsafe { lcs::lcs_block(view, seq_s, seq_t, i0, i1, j0, j1) },
+        CompiledOp::Fw1d {
+            view,
+            t0,
+            t1,
+            i0,
+            i1,
+        } => unsafe { fw::fw1d_block(view, t0, t1, i0, i1) },
+        CompiledOp::FwUpdate { x, u, v } => unsafe { fw::fw_update_block(x, u, v) },
+        CompiledOp::Nop => {}
+    }
+}
+
+/// Resolves one block operation against the runtime data.
+fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
+    match op {
+        BlockOp::Gemm { c, a, b, alpha } => CompiledOp::Gemm {
+            c: ctx.block(c),
+            a: ctx.block(a),
+            b: ctx.block(b),
+            alpha: *alpha,
+        },
+        BlockOp::GemmNt { c, a, b, alpha } => CompiledOp::GemmNt {
+            c: ctx.block(c),
+            a: ctx.block(a),
+            b: ctx.block(b),
+            alpha: *alpha,
+        },
+        BlockOp::TrsmLower { t, b } => CompiledOp::TrsmLower {
+            t: ctx.block(t),
+            b: ctx.block(b),
+        },
+        BlockOp::TrsmRightLt { l, b } => CompiledOp::TrsmRightLt {
+            l: ctx.block(l),
+            b: ctx.block(b),
+        },
+        BlockOp::Potrf { a } => CompiledOp::Potrf { a: ctx.block(a) },
         BlockOp::LcsBlock {
             table,
             i0,
             i1,
             j0,
             j1,
-        } => {
-            let view = ctx.mats[*table];
-            let (s, t) = (Arc::clone(&ctx.seq_s), Arc::clone(&ctx.seq_t));
-            let (i0, i1, j0, j1) = (*i0, *i1, *j0, *j1);
-            Box::new(move || unsafe { lcs::lcs_block(view, &s, &t, i0, i1, j0, j1) })
-        }
+        } => CompiledOp::Lcs {
+            view: ctx.mats[*table],
+            i0: *i0,
+            i1: *i1,
+            j0: *j0,
+            j1: *j1,
+        },
         BlockOp::Fw1dBlock {
             table,
             t0,
             t1,
             i0,
             i1,
-        } => {
-            let view = ctx.mats[*table];
-            let (t0, t1, i0, i1) = (*t0, *t1, *i0, *i1);
-            Box::new(move || unsafe { fw::fw1d_block(view, t0, t1, i0, i1) })
-        }
-        BlockOp::FwUpdate { x, u, v } => {
-            let (x, u, v) = (ctx.block(x), ctx.block(u), ctx.block(v));
-            Box::new(move || unsafe { fw::fw_update_block(x, u, v) })
-        }
-        BlockOp::Nop => Box::new(|| {}),
+        } => CompiledOp::Fw1d {
+            view: ctx.mats[*table],
+            t0: *t0,
+            t1: *t1,
+            i0: *i0,
+            i1: *i1,
+        },
+        BlockOp::FwUpdate { x, u, v } => CompiledOp::FwUpdate {
+            x: ctx.block(x),
+            u: ctx.block(u),
+            v: ctx.block(v),
+        },
+        BlockOp::Nop => CompiledOp::Nop,
     }
 }
 
-/// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`].
+/// An algorithm lowered to the reusable, non-boxed execution form: a compiled
+/// graph (CSR arena + dependency counters) plus its operation table.
+///
+/// Build once with [`compile_algorithm`], then call
+/// [`CompiledAlgorithm::execute`] as many times as needed — every execution
+/// after the first skips DRS and graph construction entirely.  Note that the
+/// block operations accumulate into the context's matrices, so re-running a
+/// mutation-heavy algorithm (e.g. `C += A·B`) composes with whatever state the
+/// previous run left behind; callers re-initialise the data between runs.
+/// The operation table caches the context's raw [`MatPtr`] views, so the
+/// matrices must stay alive and must never be reallocated (grown, replaced)
+/// while the compiled algorithm exists — re-initialise them **in place**.
+/// This is the same raw-view aliasing contract every executor in this
+/// repository relies on (see the [`MatPtr`] type-level documentation).
+pub struct CompiledAlgorithm {
+    graph: Arc<CompiledGraph>,
+    table: Arc<OpTable>,
+}
+
+impl CompiledAlgorithm {
+    /// Executes the algorithm on a pool, blocking until every strand has run.
+    /// The graph is left reset, ready for the next call.
+    pub fn execute(&self, pool: &ThreadPool) -> ExecStats {
+        self.graph.execute(pool, &self.table)
+    }
+
+    /// Number of tasks (strands plus barrier vertices).
+    pub fn task_count(&self) -> usize {
+        self.graph.task_count()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// `true` if the dependency counters are at their initial values (always
+    /// holds between executions).
+    pub fn counters_are_reset(&self) -> bool {
+        self.graph.counters_are_reset()
+    }
+}
+
+/// Lowers an algorithm DAG plus its operation table into the reusable,
+/// non-boxed execution form.
+pub fn compile_algorithm(
+    dag: &AlgorithmDag,
+    ops: &[BlockOp],
+    ctx: &ExecContext,
+) -> CompiledAlgorithm {
+    compile_algorithm_placed(dag, ops, ctx, Vec::new())
+}
+
+/// Like [`compile_algorithm`], with per-task placement constraints (the
+/// anchored executor of `nd-exec` routes every strand to its subcluster this
+/// way).
+///
+/// # Panics
+/// Panics if `placement` is non-empty and its length differs from the DAG's
+/// vertex count.
+pub fn compile_algorithm_placed(
+    dag: &AlgorithmDag,
+    ops: &[BlockOp],
+    ctx: &ExecContext,
+    placement: Vec<Placement>,
+) -> CompiledAlgorithm {
+    let n = dag.vertex_count();
+    let mut compiled_ops = Vec::with_capacity(n);
+    let mut edges = Vec::new();
+    for v in dag.vertex_ids() {
+        match dag.vertex(v) {
+            DagVertex::Strand { op: Some(op), .. } => {
+                compiled_ops.push(compile_op(&ops[*op as usize], ctx));
+            }
+            _ => compiled_ops.push(CompiledOp::Nop),
+        }
+        for s in dag.successors(v) {
+            edges.push((v.0, s.0));
+        }
+    }
+    CompiledAlgorithm {
+        graph: Arc::new(CompiledGraph::from_edges(n, &edges, placement)),
+        table: Arc::new(OpTable {
+            ops: compiled_ops,
+            seq_s: Arc::clone(&ctx.seq_s),
+            seq_t: Arc::clone(&ctx.seq_t),
+        }),
+    }
+}
+
+/// Builds the runtime closure for one block operation (the boxed form; the
+/// compiled path goes through [`compile_algorithm`] instead).
+pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnMut() + Send + 'static> {
+    let compiled = compile_op(op, ctx);
+    let (seq_s, seq_t) = (Arc::clone(&ctx.seq_s), Arc::clone(&ctx.seq_t));
+    Box::new(move || dispatch_op(compiled, &seq_s, &seq_t))
+}
+
+/// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`]
+/// (the boxed builder form).
 pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) -> TaskGraph {
     let mut graph = TaskGraph::with_capacity(dag.vertex_count());
     for v in dag.vertex_ids() {
@@ -136,10 +386,11 @@ pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) 
     graph
 }
 
-/// Executes a built algorithm on a pool against the given runtime data.
+/// Executes a built algorithm on a pool against the given runtime data
+/// (compiles the non-boxed form and runs it once; to amortise construction,
+/// keep the [`CompiledAlgorithm`] from [`compile_algorithm`] and re-execute it).
 pub fn run(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
-    let graph = build_task_graph(&built.dag, &built.ops, ctx);
-    execute_graph(pool, graph)
+    compile_algorithm(&built.dag, &built.ops, ctx).execute(pool)
 }
 
 #[cfg(test)]
@@ -147,6 +398,7 @@ mod tests {
     use super::*;
     use nd_core::dag::AlgorithmDag;
     use nd_core::spawn_tree::NodeId;
+    use nd_runtime::dataflow::execute_graph;
 
     #[test]
     fn build_graph_preserves_shape() {
@@ -163,6 +415,9 @@ mod tests {
         assert_eq!(graph.task_count(), 3);
         assert_eq!(graph.edge_count(), 2);
         assert!(graph.is_acyclic());
+        let compiled = compile_algorithm(&dag, &ops, &ctx);
+        assert_eq!(compiled.task_count(), 3);
+        assert_eq!(compiled.edge_count(), 2);
     }
 
     #[test]
@@ -187,5 +442,47 @@ mod tests {
         let graph = build_task_graph(&dag, &ops, &ctx);
         execute_graph(&pool, graph);
         assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn compiled_and_boxed_modes_agree_bitwise() {
+        let pool = ThreadPool::new(4);
+        let a = Matrix::random(16, 16, 3);
+        let b = Matrix::random(16, 16, 4);
+
+        let mut dag = AlgorithmDag::new();
+        let g0 = dag.add_strand(NodeId(0), 1, 1, Some(0), String::new());
+        let g1 = dag.add_strand(NodeId(1), 1, 1, Some(1), String::new());
+        dag.add_edge(g0, g1); // two dependent quadrant updates
+        let ops = vec![
+            BlockOp::Gemm {
+                c: Rect::new(0, 0, 0, 8, 8),
+                a: Rect::new(1, 0, 0, 8, 8),
+                b: Rect::new(2, 0, 0, 8, 8),
+                alpha: 1.0,
+            },
+            BlockOp::Gemm {
+                c: Rect::new(0, 0, 0, 8, 8),
+                a: Rect::new(1, 0, 8, 8, 8),
+                b: Rect::new(2, 8, 0, 8, 8),
+                alpha: 1.0,
+            },
+        ];
+
+        let mut c_boxed = Matrix::zeros(16, 16);
+        {
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            let ctx = ExecContext::from_matrices(&mut [&mut c_boxed, &mut am, &mut bm]);
+            execute_graph(&pool, build_task_graph(&dag, &ops, &ctx));
+        }
+        let mut c_compiled = Matrix::zeros(16, 16);
+        {
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            let ctx = ExecContext::from_matrices(&mut [&mut c_compiled, &mut am, &mut bm]);
+            compile_algorithm(&dag, &ops, &ctx).execute(&pool);
+        }
+        assert_eq!(c_boxed.max_abs_diff(&c_compiled), 0.0);
     }
 }

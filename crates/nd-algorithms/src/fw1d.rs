@@ -303,6 +303,34 @@ mod tests {
     use nd_core::work_span::{fit_power_law, WorkSpan};
     use nd_linalg::fw::fw1d_naive;
 
+    /// One compiled 1-D Floyd–Warshall graph recomputes the table (re-seeded
+    /// in place between runs) three times bit-identically, counters restored.
+    #[test]
+    fn compiled_fw1d_reuse_is_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let n = 64;
+        let initial: Vec<f64> = (0..=n).map(|i| ((i * 7) % 13) as f64).collect();
+        let built = build_fw1d(n, 16, Mode::Nd);
+        let mut table = Matrix::zeros(n + 1, n + 1);
+        let ctx = ExecContext::from_matrices(&mut [&mut table]);
+        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
+        let mut reference: Option<Matrix> = None;
+        for round in 0..3 {
+            table.as_mut_slice().fill(0.0);
+            for i in 1..=n {
+                table[(0, i)] = initial[i];
+            }
+            compiled.execute(&pool);
+            assert!(compiled.counters_are_reset(), "round {round}");
+            match &reference {
+                None => reference = Some(table.clone()),
+                Some(r) => assert_eq!(table.max_abs_diff(r), 0.0, "round {round}"),
+            }
+        }
+        let expected = fw1d_parallel(&ThreadPool::new(1), &initial, Mode::Nd, 16);
+        assert_eq!(reference.unwrap().max_abs_diff(&expected), 0.0);
+    }
+
     #[test]
     fn np_and_nd_share_leaves_and_work() {
         let np = build_fw1d(64, 8, Mode::Np);

@@ -229,6 +229,31 @@ mod tests {
     use nd_core::work_span::{fit_power_law, WorkSpan};
     use nd_linalg::lcs::{lcs_naive, random_sequence};
 
+    /// One compiled LCS graph recomputes the table (zeroed in place between
+    /// runs) three times bit-identically, counters restored.
+    #[test]
+    fn compiled_lcs_reuse_is_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let n = 64;
+        let s = random_sequence(n, 71);
+        let t = random_sequence(n, 72);
+        let built = build_lcs(n, 16, Mode::Nd);
+        let mut table = Matrix::zeros(n + 1, n + 1);
+        let ctx = ExecContext::with_sequences(&mut [&mut table], s.clone(), t.clone());
+        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
+        let mut reference: Option<Matrix> = None;
+        for round in 0..3 {
+            table.as_mut_slice().fill(0.0);
+            compiled.execute(&pool);
+            assert!(compiled.counters_are_reset(), "round {round}");
+            match &reference {
+                None => reference = Some(table.clone()),
+                Some(r) => assert_eq!(table.max_abs_diff(r), 0.0, "round {round}"),
+            }
+        }
+        assert_eq!(reference.unwrap()[(n, n)] as u64, lcs_naive(&s, &t));
+    }
+
     #[test]
     fn np_and_nd_share_leaves_and_work() {
         let np = build_lcs(64, 8, Mode::Np);

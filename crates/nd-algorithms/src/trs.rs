@@ -294,6 +294,34 @@ mod tests {
         assert!(nd.dag.is_acyclic());
     }
 
+    /// One compiled TRS graph re-solves three right-hand sides (restored in
+    /// place between runs) bit-identically, with counters fully restored.
+    #[test]
+    fn compiled_trs_reuse_is_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let n = 32;
+        let built = build_trs(n, 8, Mode::Nd);
+        let t = Matrix::random_lower_triangular(n, 21);
+        let b0 = Matrix::random(n, n, 22);
+        let mut tm = t.clone();
+        let mut b = b0.clone();
+        let ctx = crate::exec::ExecContext::from_matrices(&mut [&mut tm, &mut b]);
+        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
+        let mut reference: Option<Matrix> = None;
+        for round in 0..3 {
+            b.as_mut_slice().copy_from_slice(b0.as_slice());
+            compiled.execute(&pool);
+            assert!(compiled.counters_are_reset(), "round {round}");
+            match &reference {
+                None => reference = Some(b.clone()),
+                Some(r) => assert_eq!(b.max_abs_diff(r), 0.0, "round {round}"),
+            }
+        }
+        let mut expected = b0.clone();
+        nd_linalg::trsm::trsm_lower_naive(&t, &mut expected);
+        assert!(reference.unwrap().max_abs_diff(&expected) < 1e-9);
+    }
+
     #[test]
     fn nd_span_is_strictly_smaller() {
         let np = WorkSpan::of_dag(&build_trs(64, 8, Mode::Np).dag);

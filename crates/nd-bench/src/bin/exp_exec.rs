@@ -1,5 +1,7 @@
 //! E14: real wall-clock execution — flat work stealing versus the
-//! hierarchy-aware space-bounded executor of `nd-exec`, on MM and Cholesky.
+//! hierarchy-aware space-bounded executor of `nd-exec`, on MM and Cholesky —
+//! plus E15: executor hot-path microbenchmarks (per-task scheduling overhead,
+//! tasks/second, and rebuild-vs-reuse of compiled graphs).
 //!
 //! Both executors run the *same* deterministic ND task graph; only the
 //! scheduling differs: the flat baseline steals blindly in ring order (but its
@@ -12,18 +14,30 @@
 //! timing, and one JSON object per (algorithm, executor) measurement is
 //! emitted on stdout.
 //!
+//! The scheduler microbenchmarks run all-empty-task graphs through the
+//! non-boxed [`TaskTable`] mode, so what they time is the executor itself —
+//! counter claims, CSR successor walks, deque traffic, tail-execution — not
+//! the kernels; and they compare rebuilding a compiled MM graph every
+//! repetition against reusing one graph across repetitions.
+//!
+//! Everything is also written to `BENCH_exec.json` (one JSON object; the CI
+//! bench-smoke step parses it and checks `tasks_per_sec` / `reuse_speedup`).
+//!
 //! Usage: `cargo run --release --bin exp_exec -- [n] [reps]` (default 256, 3).
 
 use nd_algorithms::cholesky::cholesky_parallel;
 use nd_algorithms::common::Mode;
-use nd_algorithms::mm::multiply_parallel;
+use nd_algorithms::exec::{compile_algorithm, ExecContext};
+use nd_algorithms::mm::{build_mm, multiply_parallel};
 use nd_exec::execute::{cholesky_anchored, multiply_anchored};
 use nd_exec::pool::flat_topology_with_distances;
 use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
 use nd_linalg::Matrix;
 use nd_pmh::machine::MachineTree;
 use nd_pmh::topology::detect_host;
+use nd_runtime::dataflow::{CompiledGraph, TaskTable};
 use nd_runtime::ThreadPool;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Measurement {
@@ -33,8 +47,14 @@ struct Measurement {
     total_steals: u64,
 }
 
-fn print_json(algorithm: &str, executor: &str, layout: &str, workers: usize, m: &Measurement) {
-    println!(
+fn measurement_json(
+    algorithm: &str,
+    executor: &str,
+    layout: &str,
+    workers: usize,
+    m: &Measurement,
+) -> String {
+    format!(
         "{{\"experiment\":\"exp_exec\",\"algorithm\":\"{}\",\"executor\":\"{}\",\
 \"layout\":\"{}\",\"workers\":{},\"best_seconds\":{:.6},\"mean_seconds\":{:.6},\
 \"cross_cluster_steals\":{},\"total_steals\":{}}}",
@@ -46,7 +66,126 @@ fn print_json(algorithm: &str, executor: &str, layout: &str, workers: usize, m: 
         m.mean_seconds,
         m.cross_cluster_steals,
         m.total_steals
-    );
+    )
+}
+
+/// An all-empty-task table: executing a graph through it times the scheduler
+/// alone (claim, CSR walk, deque traffic, tail-execution), not the kernels.
+struct NopTable;
+
+impl TaskTable for NopTable {
+    #[inline]
+    fn run_task(&self, _task: u32) {}
+}
+
+/// Scheduler hot-path numbers: per-task overhead, throughput, reuse speedup.
+struct SchedulerBench {
+    graph_tasks: usize,
+    graph_edges: usize,
+    /// Best per-task scheduling overhead on a wide layered graph (ns).
+    per_task_ns: f64,
+    /// Best empty-task throughput on the same graph (tasks per second).
+    tasks_per_sec: f64,
+    /// Best per-task overhead on a pure serial chain (all tail-execution, ns).
+    chain_task_ns: f64,
+    /// Mean seconds to build + compile + execute the MM graph (the old
+    /// every-call cost).
+    rebuild_seconds: f64,
+    /// Mean seconds to re-execute the already-compiled MM graph.
+    reuse_seconds: f64,
+    /// `rebuild_seconds / reuse_seconds`.
+    reuse_speedup: f64,
+}
+
+impl SchedulerBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"graph_tasks\":{},\"graph_edges\":{},\"per_task_ns\":{:.1},\
+\"tasks_per_sec\":{:.0},\"chain_task_ns\":{:.1},\"rebuild_seconds\":{:.6},\
+\"reuse_seconds\":{:.6},\"reuse_speedup\":{:.2}}}",
+            self.graph_tasks,
+            self.graph_edges,
+            self.per_task_ns,
+            self.tasks_per_sec,
+            self.chain_task_ns,
+            self.rebuild_seconds,
+            self.reuse_seconds,
+            self.reuse_speedup
+        )
+    }
+}
+
+/// Measures the executor hot path with empty tasks and the rebuild-vs-reuse
+/// cost of a compiled MM graph of size `n`.
+fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> SchedulerBench {
+    let pool = ThreadPool::new(workers);
+    let table = Arc::new(NopTable);
+
+    // A wide layered DAG: `layers × width` empty tasks, two predecessors each
+    // (same column and a neighbour of the previous layer) — plenty of
+    // parallelism and dependency traffic, zero task work.
+    let (layers, width) = (64u32, 256u32);
+    let mut edges = Vec::new();
+    for l in 1..layers {
+        for w in 0..width {
+            let task = l * width + w;
+            edges.push(((l - 1) * width + w, task));
+            edges.push(((l - 1) * width + (w + 1) % width, task));
+        }
+    }
+    let tasks = (layers * width) as usize;
+    let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
+    let (best, _) = time_reps(reps.max(3), || {
+        graph.execute(&pool, &table);
+    });
+    let per_task_ns = best * 1e9 / tasks as f64;
+    let tasks_per_sec = tasks as f64 / best;
+
+    // A pure serial chain: every step takes the inline tail-execution path.
+    let chain_len = 50_000usize;
+    let chain_edges: Vec<(u32, u32)> = (1..chain_len as u32).map(|t| (t - 1, t)).collect();
+    let chain = Arc::new(CompiledGraph::from_edges(
+        chain_len,
+        &chain_edges,
+        Vec::new(),
+    ));
+    let (chain_best, _) = time_reps(reps.max(3), || {
+        chain.execute(&pool, &table);
+    });
+    let chain_task_ns = chain_best * 1e9 / chain_len as f64;
+
+    // Rebuild-vs-reuse on the real MM graph: the old path paid DRS + graph
+    // construction on every execution; the compiled path pays it once.  A
+    // fine base case puts the graph in the paper's fine-grained-strand
+    // regime, where construction is a significant share of every run.
+    let fine_base = base.min(8);
+    let a = Matrix::random(n, n, 11);
+    let b = Matrix::random(n, n, 12);
+    let mut c = Matrix::zeros(n, n);
+    let mut am = a.clone();
+    let mut bm = b.clone();
+    let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
+    let (_, rebuild_seconds) = time_reps(reps, || {
+        let built = build_mm(n, fine_base, Mode::Nd, 1.0);
+        let compiled = compile_algorithm(&built.dag, &built.ops, &ctx);
+        compiled.execute(&pool);
+    });
+    let built = build_mm(n, fine_base, Mode::Nd, 1.0);
+    let compiled = compile_algorithm(&built.dag, &built.ops, &ctx);
+    let (_, reuse_seconds) = time_reps(reps, || {
+        compiled.execute(&pool);
+    });
+
+    SchedulerBench {
+        graph_tasks: tasks,
+        graph_edges: edges.len(),
+        per_task_ns,
+        tasks_per_sec,
+        chain_task_ns,
+        rebuild_seconds,
+        reuse_seconds,
+        reuse_speedup: rebuild_seconds / reuse_seconds,
+    }
 }
 
 fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
@@ -151,19 +290,27 @@ fn main() {
         );
     }
 
+    // Each measurement line is printed as soon as it exists (a crash in a
+    // later run must not lose earlier results) and also collected for the
+    // BENCH_exec.json summary.
+    let mut measurements = Vec::new();
+    let mut record = |line: String| {
+        println!("{line}");
+        measurements.push(line);
+    };
     let m = measure_flat(&machine, reps, |pool| {
         let mut c = Matrix::zeros(n, n);
         multiply_parallel(pool, &a, &b, &mut c, Mode::Nd, base);
         std::hint::black_box(&c);
     });
-    print_json("mm", "flat-ws", &layout, workers, &m);
+    record(measurement_json("mm", "flat-ws", &layout, workers, &m));
 
     let m = measure_anchored(&machine, reps, |pool| {
         let mut c = Matrix::zeros(n, n);
         multiply_anchored(pool, &a, &b, &mut c, base, &cfg);
         std::hint::black_box(&c);
     });
-    print_json("mm", "nd-exec", &layout, workers, &m);
+    record(measurement_json("mm", "nd-exec", &layout, workers, &m));
 
     // ------------------------------------------------------------ Cholesky ----
     let spd = Matrix::random_spd(n, 3);
@@ -189,12 +336,34 @@ fn main() {
         cholesky_parallel(pool, &mut l, Mode::Nd, base);
         std::hint::black_box(&l);
     });
-    print_json("cholesky", "flat-ws", &layout, workers, &m);
+    record(measurement_json(
+        "cholesky", "flat-ws", &layout, workers, &m,
+    ));
 
     let m = measure_anchored(&machine, reps, |pool| {
         let mut l = spd.clone();
         cholesky_anchored(pool, &mut l, base, &cfg);
         std::hint::black_box(&l);
     });
-    print_json("cholesky", "nd-exec", &layout, workers, &m);
+    record(measurement_json(
+        "cholesky", "nd-exec", &layout, workers, &m,
+    ));
+
+    // -------------------------------------------- scheduler hot path ----
+    eprintln!("exp_exec: scheduler microbenchmarks (empty tasks + rebuild-vs-reuse)");
+    let sched = bench_scheduler(workers, n, base, reps);
+    let sched_json = sched.json();
+    println!(
+        "{{\"experiment\":\"exp_exec\",\"section\":\"scheduler\",\
+\"workers\":{workers},\"scheduler\":{sched_json}}}"
+    );
+
+    let file = format!(
+        "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
+\"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
+\"scheduler\": {sched_json}\n}}\n",
+        measurements.join(",\n    ")
+    );
+    std::fs::write("BENCH_exec.json", &file).expect("failed to write BENCH_exec.json");
+    eprintln!("exp_exec: wrote BENCH_exec.json");
 }

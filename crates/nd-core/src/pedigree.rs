@@ -10,82 +10,124 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Maximum depth of a [`Pedigree`].
+///
+/// The paper's fire rules descend at most four levels and the DAG Rewriting
+/// System concatenates at most two rule pedigrees, so sixteen inline slots are
+/// four times what any rule expansion can produce.
+pub const MAX_PEDIGREE_DEPTH: usize = 16;
+
 /// A relative pedigree: a (possibly empty) sequence of 1-based child indices.
 ///
 /// Pedigrees are small (the algorithms in the paper use at most four levels per
-/// rule), so they are stored inline in a `Vec<u8>`; an index of `0` is invalid.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
-pub struct Pedigree(Vec<u8>);
+/// rule), so they are stored **inline** in a fixed-capacity array — no heap
+/// allocation on [`Pedigree::concat`] / [`Pedigree::child`], which the DRS
+/// calls for every fire-rule expansion.  An index of `0` is invalid; unused
+/// trailing slots are kept at `0`, so the derived comparisons (with `idx`
+/// ordered before `len`) coincide with the lexicographic `Vec<u8>` semantics
+/// this type originally had.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Pedigree {
+    idx: [u8; MAX_PEDIGREE_DEPTH],
+    len: u8,
+}
 
 impl Pedigree {
     /// The empty pedigree, naming the task itself (`+○` / `-○` in the paper).
     pub fn root() -> Self {
-        Pedigree(Vec::new())
+        Pedigree::default()
     }
 
     /// Builds a pedigree from a slice of 1-based child indices.
     ///
     /// # Panics
-    /// Panics if any index is `0`; pedigree indices are 1-based.
+    /// Panics if any index is `0` (pedigree indices are 1-based) or if the
+    /// slice is deeper than [`MAX_PEDIGREE_DEPTH`].
     pub fn new(indices: &[u8]) -> Self {
         assert!(
             indices.iter().all(|&i| i > 0),
             "pedigree indices are 1-based; got {indices:?}"
         );
-        Pedigree(indices.to_vec())
+        assert!(
+            indices.len() <= MAX_PEDIGREE_DEPTH,
+            "pedigree deeper than {MAX_PEDIGREE_DEPTH} levels: {indices:?}"
+        );
+        let mut p = Pedigree::default();
+        p.idx[..indices.len()].copy_from_slice(indices);
+        p.len = indices.len() as u8;
+        p
     }
 
     /// Number of levels this pedigree descends.
     pub fn depth(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// `true` if this is the empty pedigree (refers to the task itself).
     pub fn is_root(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// Iterates the 1-based child indices from the task downwards.
     pub fn indices(&self) -> impl Iterator<Item = u8> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Returns a new pedigree that first descends `self` and then `other`.
+    ///
+    /// # Panics
+    /// Panics if the combined depth exceeds [`MAX_PEDIGREE_DEPTH`].
     pub fn concat(&self, other: &Pedigree) -> Pedigree {
-        let mut v = self.0.clone();
-        v.extend_from_slice(&other.0);
-        Pedigree(v)
+        let (a, b) = (self.depth(), other.depth());
+        assert!(
+            a + b <= MAX_PEDIGREE_DEPTH,
+            "pedigree deeper than {MAX_PEDIGREE_DEPTH} levels: {self} ++ {other}"
+        );
+        let mut p = *self;
+        p.idx[a..a + b].copy_from_slice(other.as_slice());
+        p.len = (a + b) as u8;
+        p
     }
 
     /// Returns a new pedigree extended by one more child index.
     ///
     /// # Panics
-    /// Panics if `index` is `0`.
+    /// Panics if `index` is `0` or the result would exceed
+    /// [`MAX_PEDIGREE_DEPTH`].
     pub fn child(&self, index: u8) -> Pedigree {
         assert!(index > 0, "pedigree indices are 1-based");
-        let mut v = self.0.clone();
-        v.push(index);
-        Pedigree(v)
+        let d = self.depth();
+        assert!(
+            d < MAX_PEDIGREE_DEPTH,
+            "pedigree deeper than {MAX_PEDIGREE_DEPTH} levels: {self}<{index}>"
+        );
+        let mut p = *self;
+        p.idx[d] = index;
+        p.len = (d + 1) as u8;
+        p
     }
 
     /// `true` if `self` is a (non-strict) prefix of `other`, i.e. `other` names a
     /// descendant of (or the same node as) the node named by `self`.
     pub fn is_prefix_of(&self, other: &Pedigree) -> bool {
-        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+        other.len >= self.len && other.as_slice()[..self.depth()] == *self.as_slice()
     }
 
     /// The parent pedigree (one level shorter), or `None` for the root pedigree.
     pub fn parent(&self) -> Option<Pedigree> {
-        if self.0.is_empty() {
+        if self.len == 0 {
             None
         } else {
-            Some(Pedigree(self.0[..self.0.len() - 1].to_vec()))
+            let mut p = *self;
+            p.idx[p.depth() - 1] = 0; // keep unused slots zeroed (comparison invariant)
+            p.len -= 1;
+            Some(p)
         }
     }
 
     /// The raw index slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.idx[..self.len as usize]
     }
 }
 
@@ -111,7 +153,7 @@ impl fmt::Display for Pedigree {
     /// Renders the pedigree in a form close to the paper's: `+<1><2>`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "+")?;
-        for i in &self.0 {
+        for i in self.indices() {
             write!(f, "<{i}>")?;
         }
         Ok(())
@@ -185,5 +227,54 @@ mod tests {
     fn array_conversion() {
         let p: Pedigree = [1u8, 2].into();
         assert_eq!(p, Pedigree::new(&[1, 2]));
+    }
+
+    #[test]
+    fn ordering_matches_vec_lexicographic_semantics() {
+        // Shorter prefixes sort first, then by index — exactly as Vec<u8> did.
+        let mut ps = [
+            Pedigree::new(&[2]),
+            Pedigree::new(&[1, 1]),
+            Pedigree::root(),
+            Pedigree::new(&[1]),
+            Pedigree::new(&[1, 2]),
+        ];
+        ps.sort();
+        let as_vecs: Vec<Vec<u8>> = ps.iter().map(|p| p.as_slice().to_vec()).collect();
+        let mut expected: Vec<Vec<u8>> = as_vecs.clone();
+        expected.sort();
+        assert_eq!(as_vecs, expected);
+        assert_eq!(ps[0], Pedigree::root());
+        assert_eq!(ps.last().unwrap(), &Pedigree::new(&[2]));
+    }
+
+    #[test]
+    fn inline_capacity_allows_full_depth() {
+        let deep = Pedigree::new(&[1; MAX_PEDIGREE_DEPTH]);
+        assert_eq!(deep.depth(), MAX_PEDIGREE_DEPTH);
+        let half = Pedigree::new(&[2; MAX_PEDIGREE_DEPTH / 2]);
+        assert_eq!(half.concat(&half).depth(), MAX_PEDIGREE_DEPTH);
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than")]
+    fn over_capacity_is_rejected() {
+        let _ = Pedigree::new(&[1; MAX_PEDIGREE_DEPTH + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than")]
+    fn over_capacity_concat_is_rejected() {
+        let deep = Pedigree::new(&[1; MAX_PEDIGREE_DEPTH]);
+        let _ = deep.child(1);
+    }
+
+    #[test]
+    fn parent_keeps_unused_slots_zeroed() {
+        // The comparison invariant: trimming a level must yield a value equal
+        // to one built fresh (derived Eq compares the whole inline array).
+        let p = Pedigree::new(&[3, 4]).parent().unwrap();
+        assert_eq!(p, Pedigree::new(&[3]));
+        assert_eq!(p.concat(&Pedigree::new(&[4])), Pedigree::new(&[3, 4]));
     }
 }

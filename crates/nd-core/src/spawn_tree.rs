@@ -334,6 +334,12 @@ impl SpawnTree {
     /// The pedigree of `descendant` relative to `ancestor`.
     ///
     /// Returns `None` if `descendant` is not in the subtree of `ancestor`.
+    ///
+    /// # Panics
+    /// Panics if the two nodes are more than
+    /// [`MAX_PEDIGREE_DEPTH`](crate::pedigree::MAX_PEDIGREE_DEPTH) levels
+    /// apart (pedigrees are stored inline; the paper's fire rules never
+    /// descend anywhere near that far, but arbitrary tree nodes can be).
     pub fn pedigree_of(&self, descendant: NodeId, ancestor: NodeId) -> Option<Pedigree> {
         let mut indices = Vec::new();
         let mut cur = descendant;

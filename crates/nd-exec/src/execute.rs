@@ -2,19 +2,25 @@
 //!
 //! [`run_anchored`] is the anchored counterpart of
 //! [`nd_algorithms::exec::run`]: it lowers a [`BuiltAlgorithm`] to the same
-//! [`TaskGraph`](nd_runtime::TaskGraph), computes its [`Anchoring`] on the
-//! pool's machine tree, and executes it with every strand routed to its anchor
-//! subcluster.  The convenience wrappers mirror the flat `*_parallel` drivers
-//! of `nd-algorithms`, so experiments can swap executors without touching the
+//! compiled, non-boxed graph form
+//! ([`CompiledAlgorithm`](nd_algorithms::exec::CompiledAlgorithm)), computes
+//! its [`Anchoring`] on the pool's machine tree, and executes it with every
+//! strand routed to its anchor subcluster.  Placed execution therefore shares
+//! the flat executor's hot path exactly — CSR successor arena, atomic
+//! counter claims, self-resetting counters, inline tail-execution (which an
+//! anchored strand only takes when the finishing worker belongs to the
+//! successor's anchor group) — the placement vector is the only difference.
+//! The convenience wrappers mirror the flat `*_parallel` drivers of
+//! `nd-algorithms`, so experiments can swap executors without touching the
 //! algorithm code.
 
 use crate::anchor::{compute_anchoring, AnchorConfig, Anchoring};
 use crate::pool::HierarchicalPool;
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
-use nd_algorithms::exec::{build_task_graph, ExecContext};
+use nd_algorithms::exec::{compile_algorithm_placed, ExecContext};
 use nd_algorithms::{cholesky, lcs, mm, trs};
 use nd_linalg::Matrix;
-use nd_runtime::dataflow::{execute_graph_placed, ExecStats};
+use nd_runtime::dataflow::ExecStats;
 
 /// Statistics of one anchored execution.
 #[derive(Clone, Debug)]
@@ -46,9 +52,9 @@ pub fn run_anchored(
     cfg: &AnchorConfig,
 ) -> HierExecStats {
     let anchoring: Anchoring = compute_anchoring(&built.tree, &built.dag, pool.machine(), cfg);
-    let graph = build_task_graph(&built.dag, &built.ops, ctx);
+    let compiled = compile_algorithm_placed(&built.dag, &built.ops, ctx, anchoring.placement);
     let before = pool.steals_by_distance();
-    let exec = execute_graph_placed(pool.pool(), graph, anchoring.placement);
+    let exec = compiled.execute(pool.pool());
     let after = pool.steals_by_distance();
     HierExecStats {
         exec,

@@ -17,9 +17,15 @@
 //!    decomposition ([`StrandCosts`](nd_sched::cost::StrandCosts)) and
 //!    allocation function `g_i(S)` to pin every task subtree to a subcluster
 //!    ahead of execution;
-//! 4. the [`execute`] module routes each ready strand to its anchor's
-//!    subcluster queue, so chains of dependent tasks stay inside the cache
-//!    subtree that holds their working set.
+//! 4. the [`execute`] module lowers the algorithm to the compiled, non-boxed
+//!    graph form of `nd-algorithms::exec` (CSR successor arena, atomic
+//!    counter claims, self-resetting counters — see `nd_runtime::dataflow`
+//!    for the build → execute → reset → execute lifecycle) and routes each
+//!    ready strand to its anchor's subcluster queue, so chains of dependent
+//!    tasks stay inside the cache subtree that holds their working set.
+//!    Inline tail-execution applies under anchoring too: a lone ready
+//!    successor runs in place only when the finishing worker belongs to the
+//!    successor's anchor group, otherwise it is routed to that group's queue.
 //!
 //! The result is the repository's first *paper-faithful real execution path*:
 //! MM, TRS, Cholesky and LCS run end-to-end on the anchored executor and the

@@ -3,10 +3,14 @@
 //! The paper's algorithms use MM / MMS — cache-oblivious multiply(-subtract) —
 //! as the workhorse subtask (`C += A·B` and `C -= A·B`).  This module provides:
 //!
-//! * [`gemm_naive`]: a safe whole-matrix reference implementation,
-//! * [`gemm_block`] and [`gemm_nt_block`]: the raw-view block kernels used as
-//!   base-case strands by the parallel executors (the `nt` variant computes
-//!   `C += α·A·Bᵀ`, needed by Cholesky's trailing update `A₁₁ -= L₁₀·L₁₀ᵀ`),
+//! * [`gemm_naive`]: a safe whole-matrix reference implementation (the oracle
+//!   the tiled kernels are tested against),
+//! * [`gemm_block`] and [`gemm_nt_block`]: the register-tiled raw-view block
+//!   kernels used as base-case strands by the parallel executors — `4×4` `f64`
+//!   tiles accumulated over the whole `k`-panel with scalar row/column
+//!   remainders, so each base-case strand does real floating-point work per
+//!   scheduling event (the `nt` variant computes `C += α·A·Bᵀ`, needed by
+//!   Cholesky's trailing update `A₁₁ -= L₁₀·L₁₀ᵀ`),
 //! * [`gemm_recursive`]: the sequential 2-way divide-and-conquer multiply used by the
 //!   serial cache-complexity experiments (E13) — the same traversal order the
 //!   divide-and-conquer spawn tree induces.
@@ -34,7 +38,19 @@ pub fn gemm_naive(c: &mut Matrix, a: &Matrix, b: &Matrix, alpha: f64, beta: f64)
     }
 }
 
+/// Rows per register tile of the GEMM microkernels.
+const MR: usize = 4;
+/// Columns per register tile of the GEMM microkernels.
+const NR: usize = 4;
+
 /// Block kernel: `C += α·A·B` on raw views.
+///
+/// Register-tiled: full `4×4` tiles of `C` are held in registers while the
+/// whole `k`-panel is accumulated (one pass over a row-quad of `A` and the
+/// rows of `B`), and row/column remainders fall back to a scalar loop with the
+/// same per-element accumulation order.  Every element of `C` receives its
+/// `k` terms in ascending-`p` order starting from its prior value, so results
+/// are independent of the tiling (and of the tile/remainder split).
 ///
 /// # Safety
 /// The caller must uphold the [`MatPtr`] safety contract: the views must be live and
@@ -45,20 +61,105 @@ pub unsafe fn gemm_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
     debug_assert_eq!(a.rows(), m);
     debug_assert_eq!(b.rows(), k);
     debug_assert_eq!(b.cols(), n);
-    for i in 0..m {
-        for p in 0..k {
-            let aip = alpha * a.get(i, p);
-            if aip == 0.0 {
-                continue;
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            gemm_micro(c, a, b, alpha, i, j, k);
+            j += NR;
+        }
+        if j < n {
+            gemm_scalar(c, a, b, alpha, i, i + MR, j, n, k);
+        }
+        i += MR;
+    }
+    if i < m {
+        gemm_scalar(c, a, b, alpha, i, m, 0, n, k);
+    }
+}
+
+/// One `MR×NR` register tile of `C += α·A·B` over the full `k`-panel.
+///
+/// # Safety
+/// Same contract as [`gemm_block`], plus `i + MR ≤ m` and `j + NR ≤ n`.
+#[inline]
+unsafe fn gemm_micro(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64, i: usize, j: usize, k: usize) {
+    let a_rows = [
+        a.row_ptr(i),
+        a.row_ptr(i + 1),
+        a.row_ptr(i + 2),
+        a.row_ptr(i + 3),
+    ];
+    let c_rows = [
+        c.row_ptr(i).add(j),
+        c.row_ptr(i + 1).add(j),
+        c.row_ptr(i + 2).add(j),
+        c.row_ptr(i + 3).add(j),
+    ];
+    // Accumulators start from C so each element's terms are added in the same
+    // order a scalar `c += …` loop would use.
+    let mut acc = [[0.0f64; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (s, v) in row.iter_mut().enumerate() {
+            *v = *c_rows[r].add(s);
+        }
+    }
+    for p in 0..k {
+        let b_row = b.row_ptr(p).add(j);
+        let b_regs = [*b_row, *b_row.add(1), *b_row.add(2), *b_row.add(3)];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = alpha * *a_rows[r].add(p);
+            for (v, &bv) in row.iter_mut().zip(&b_regs) {
+                *v += ar * bv;
             }
-            for j in 0..n {
-                c.add_assign(i, j, aip * b.get(p, j));
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (s, &v) in row.iter().enumerate() {
+            *c_rows[r].add(s) = v;
+        }
+    }
+}
+
+/// Scalar remainder of `C += α·A·B` over rows `i0..i1` and columns `j0..j1`,
+/// accumulating each element's `k` terms in the same order as the microkernel.
+///
+/// # Safety
+/// Same contract as [`gemm_block`], plus the row/column ranges must lie inside
+/// the views.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_scalar(
+    c: MatPtr,
+    a: MatPtr,
+    b: MatPtr,
+    alpha: f64,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    k: usize,
+) {
+    // p stays outside the j-loop so B is read row-contiguously; each element
+    // of C still accumulates its k terms in ascending-p order.
+    for i in i0..i1 {
+        let a_row = a.row_ptr(i);
+        let c_row = c.row_ptr(i);
+        for p in 0..k {
+            let aip = alpha * *a_row.add(p);
+            let b_row = b.row_ptr(p);
+            for j in j0..j1 {
+                *c_row.add(j) += aip * *b_row.add(j);
             }
         }
     }
 }
 
 /// Block kernel: `C += α·A·Bᵀ` on raw views.
+///
+/// Register-tiled like [`gemm_block`]; because both `A` and `Bᵀ`'s storage
+/// (`B` is `n×k`) are walked along rows, the `k`-loop reads both operands
+/// contiguously — `4×4` tiles accumulate sixteen dot products at once.
 ///
 /// # Safety
 /// Same contract as [`gemm_block`].
@@ -67,13 +168,99 @@ pub unsafe fn gemm_nt_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
     debug_assert_eq!(a.rows(), m);
     debug_assert_eq!(b.cols(), k, "B must be n x k so that Bᵀ is k x n");
     debug_assert_eq!(b.rows(), n);
-    for i in 0..m {
-        for j in 0..n {
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            gemm_nt_micro(c, a, b, alpha, i, j, k);
+            j += NR;
+        }
+        if j < n {
+            gemm_nt_scalar(c, a, b, alpha, i, i + MR, j, n, k);
+        }
+        i += MR;
+    }
+    if i < m {
+        gemm_nt_scalar(c, a, b, alpha, i, m, 0, n, k);
+    }
+}
+
+/// One `MR×NR` register tile of `C += α·A·Bᵀ` over the full `k`-panel.
+///
+/// # Safety
+/// Same contract as [`gemm_block`], plus `i + MR ≤ m` and `j + NR ≤ n`.
+#[inline]
+unsafe fn gemm_nt_micro(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64, i: usize, j: usize, k: usize) {
+    let a_rows = [
+        a.row_ptr(i),
+        a.row_ptr(i + 1),
+        a.row_ptr(i + 2),
+        a.row_ptr(i + 3),
+    ];
+    let b_rows = [
+        b.row_ptr(j),
+        b.row_ptr(j + 1),
+        b.row_ptr(j + 2),
+        b.row_ptr(j + 3),
+    ];
+    // Dot-product accumulators start at zero (`c += α·acc` happens once at the
+    // end), matching the scalar loop's per-element order exactly.
+    let mut acc = [[0.0f64; NR]; MR];
+    for p in 0..k {
+        let a_regs = [
+            *a_rows[0].add(p),
+            *a_rows[1].add(p),
+            *a_rows[2].add(p),
+            *a_rows[3].add(p),
+        ];
+        let b_regs = [
+            *b_rows[0].add(p),
+            *b_rows[1].add(p),
+            *b_rows[2].add(p),
+            *b_rows[3].add(p),
+        ];
+        for (row, &av) in acc.iter_mut().zip(&a_regs) {
+            for (v, &bv) in row.iter_mut().zip(&b_regs) {
+                *v += av * bv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let c_row = c.row_ptr(i + r).add(j);
+        for (s, &v) in row.iter().enumerate() {
+            *c_row.add(s) += alpha * v;
+        }
+    }
+}
+
+/// Scalar remainder of `C += α·A·Bᵀ` over rows `i0..i1` and columns `j0..j1`.
+///
+/// # Safety
+/// Same contract as [`gemm_block`], plus the row/column ranges must lie inside
+/// the views.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_nt_scalar(
+    c: MatPtr,
+    a: MatPtr,
+    b: MatPtr,
+    alpha: f64,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    k: usize,
+) {
+    for i in i0..i1 {
+        let a_row = a.row_ptr(i);
+        let c_row = c.row_ptr(i);
+        for j in j0..j1 {
+            let b_row = b.row_ptr(j);
             let mut acc = 0.0;
             for p in 0..k {
-                acc += a.get(i, p) * b.get(j, p);
+                acc += *a_row.add(p) * *b_row.add(p);
             }
-            c.add_assign(i, j, alpha * acc);
+            *c_row.add(j) += alpha * acc;
         }
     }
 }
@@ -188,6 +375,96 @@ mod tests {
         }
         let expected = a.matmul(&b.transpose());
         assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    /// The tiled kernel must agree with the naive oracle on every tile /
+    /// remainder split: full tiles only, row remainders, column remainders,
+    /// both, and degenerate tiny shapes.
+    #[test]
+    fn tiled_gemm_matches_naive_on_awkward_shapes() {
+        for &(m, n, k) in &[
+            (8usize, 8usize, 8usize), // full tiles
+            (8, 8, 1),                // minimal k-panel
+            (9, 8, 5),                // row remainder
+            (8, 10, 5),               // column remainder
+            (7, 9, 11),               // both remainders
+            (3, 2, 4),                // smaller than one tile
+            (1, 1, 1),                // degenerate
+            (4, 17, 3),               // wide with remainder
+            (19, 4, 6),               // tall with remainder
+        ] {
+            let a = Matrix::random(m, k, (m * 31 + k) as u64);
+            let b = Matrix::random(k, n, (n * 17 + k) as u64);
+            let mut c1 = Matrix::random(m, n, (m + n) as u64);
+            let mut c2 = c1.clone();
+            gemm_naive(&mut c1, &a, &b, 1.5, 1.0);
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            unsafe {
+                gemm_block(c2.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), 1.5);
+            }
+            assert!(c1.max_abs_diff(&c2) < 1e-12, "m={m} n={n} k={k}");
+        }
+    }
+
+    /// Dense inputs containing exact zeros (the case the old `aip == 0.0` skip
+    /// branch special-cased) go through the same accumulation path as any
+    /// other value.
+    #[test]
+    fn tiled_gemm_handles_zero_entries_like_the_oracle() {
+        let mut a = Matrix::random(9, 9, 41);
+        for i in 0..9 {
+            a[(i, (i * 2) % 9)] = 0.0;
+        }
+        let b = Matrix::random(9, 9, 42);
+        let mut c1 = Matrix::random(9, 9, 43);
+        let mut c2 = c1.clone();
+        gemm_naive(&mut c1, &a, &b, -2.0, 1.0);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        unsafe {
+            gemm_block(c2.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), -2.0);
+        }
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    /// The nt kernel on awkward shapes, against an explicit transpose.
+    #[test]
+    fn tiled_gemm_nt_matches_transpose_on_awkward_shapes() {
+        for &(m, n, k) in &[(8usize, 8usize, 8usize), (9, 7, 5), (5, 11, 3), (2, 2, 1)] {
+            let a = Matrix::random(m, k, (m * 7 + n) as u64);
+            let b = Matrix::random(n, k, (k * 13 + m) as u64); // Bᵀ is k×n
+            let mut c = Matrix::random(m, n, 77);
+            let mut expected = c.clone();
+            gemm_naive(&mut expected, &a, &b.transpose(), 0.5, 1.0);
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            unsafe {
+                gemm_nt_block(c.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), 0.5);
+            }
+            assert!(c.max_abs_diff(&expected) < 1e-12, "m={m} n={n} k={k}");
+        }
+    }
+
+    /// Tiled kernels must respect sub-block strides (views into a larger
+    /// parent matrix) and leave everything outside the block untouched.
+    #[test]
+    fn tiled_gemm_on_strided_subblocks() {
+        let mut a = Matrix::random(16, 16, 51);
+        let mut b = Matrix::random(16, 16, 52);
+        let mut c = Matrix::zeros(16, 16);
+        unsafe {
+            let cv = c.as_ptr_view().block(2, 3, 9, 10);
+            let av = a.as_ptr_view().block(1, 0, 9, 6);
+            let bv = b.as_ptr_view().block(4, 2, 6, 10);
+            gemm_block(cv, av, bv, 1.0);
+        }
+        let expected = a.block(1, 0, 9, 6).matmul(&b.block(4, 2, 6, 10));
+        assert!(c.block(2, 3, 9, 10).max_abs_diff(&expected) < 1e-12);
+        assert_eq!(c[(0, 0)], 0.0);
+        assert_eq!(c[(1, 2)], 0.0);
+        assert_eq!(c[(11, 13)], 0.0);
+        assert_eq!(c[(15, 15)], 0.0);
     }
 
     #[test]

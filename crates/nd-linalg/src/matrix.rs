@@ -299,6 +299,20 @@ impl MatPtr {
         }
     }
 
+    /// Raw pointer to the first element of row `i` — the entry point for
+    /// kernels that walk rows with direct pointer arithmetic (the register-tiled
+    /// GEMM microkernels).
+    ///
+    /// # Safety
+    /// The caller must uphold the [`MatPtr`] safety contract, `i < rows`, and
+    /// every access through the returned pointer must stay within the row's
+    /// `cols` elements.
+    #[inline]
+    pub unsafe fn row_ptr(&self, i: usize) -> *mut f64 {
+        debug_assert!(i < self.rows);
+        self.ptr.add(i * self.stride)
+    }
+
     /// Reads element `(i, j)`.
     ///
     /// # Safety

@@ -1,17 +1,48 @@
-//! The dataflow (ND) executor: static task graphs with dependency counters.
+//! The dataflow (ND) executor: compiled task graphs with dependency counters.
 //!
 //! An ND program's algorithm DAG — strands plus the dependency edges produced by the
-//! DAG Rewriting System — is materialised as a [`TaskGraph`] whose nodes carry
-//! closures.  Execution follows the dataflow discipline the paper advocates for
-//! inter-processor work: a task becomes *ready* when its last predecessor finishes,
-//! and ready tasks are pushed onto the finishing worker's own deque, so that chains
-//! of dependent tasks tend to stay on one core (the locality-preserving, depth-first
-//! intra-processor order) while idle workers steal across chains for load balance.
+//! DAG Rewriting System — is materialised as a [`TaskGraph`] (a builder holding
+//! closures) or directly as a [`CompiledGraph`] (a reusable, allocation-free
+//! topology dispatched through a [`TaskTable`]).  Execution follows the dataflow
+//! discipline the paper advocates for inter-processor work: a task becomes *ready*
+//! when its last predecessor finishes, and ready tasks are pushed onto the finishing
+//! worker's own deque, so that chains of dependent tasks tend to stay on one core
+//! (the locality-preserving, depth-first intra-processor order) while idle workers
+//! steal across chains for load balance.
+//!
+//! # The compiled-graph lifecycle: build → execute → (auto-)reset → execute
+//!
+//! Construction and execution are decoupled so repeated runs of the same algorithm
+//! DAG pay the construction cost exactly once:
+//!
+//! 1. **Build.**  Dependencies are flattened into one CSR arena
+//!    (`succ_offsets` + `succ_targets`), and the *initial* predecessor counts are
+//!    stored separately from the *live* atomic counters.
+//! 2. **Execute.**  The steady-state hot path performs **no heap allocation and
+//!    acquires no mutex per task**: a ready task is an `(Arc<run state>, task
+//!    index)` pair on the deque, its claim is the atomic decrement of its
+//!    dependency counter (counters guarantee exactly-once execution, so no
+//!    separate claim flag or `Mutex<Option<Box<…>>>` take is needed), and its
+//!    successors come straight from the CSR arena.
+//! 3. **Reset.**  Each task restores its own live counter from the stored initial
+//!    count the moment it is claimed, so when `execute` returns the graph is
+//!    already reset and can be executed again without rebuilding.  An explicit
+//!    [`CompiledGraph::reset`] exists for recovery after a panicked run.
+//!
+//! # Inline tail-execution
+//!
+//! When finishing a task makes **exactly one** successor ready (and placement
+//! allows it to run on the current worker), the worker runs that successor in
+//! place instead of round-tripping it through the deque.  Serial chains — the
+//! common shape inside the paper's fine-grained ND DAGs — therefore execute with
+//! zero push/pop/steal-check overhead while preserving the depth-first
+//! intra-processor order.  When several successors become ready at once they are
+//! pushed onto the local deque as before, keeping them stealable for load balance.
 
 use crate::latch::CountLatch;
-use crate::pool::{ThreadPool, WorkerCtx};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::pool::{GraphTask, JobUnit, ThreadPool, WorkerCtx};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,12 +51,17 @@ use std::time::{Duration, Instant};
 pub struct TaskId(pub u32);
 
 struct TaskSpec {
-    closure: Option<Box<dyn FnOnce() + Send + 'static>>,
+    closure: Box<dyn FnMut() + Send + 'static>,
     succs: Vec<u32>,
     preds: u32,
 }
 
-/// A static task graph: closures plus dependency edges.
+/// A task-graph builder: closures plus dependency edges.
+///
+/// `TaskGraph` is the convenient, closure-carrying front end.  Compile it once
+/// with [`TaskGraph::compile`] to get a [`ReusableGraph`] that can be executed
+/// any number of times, or hand it to [`execute_graph`] for the classic
+/// build-and-run-once flow.
 #[derive(Default)]
 pub struct TaskGraph {
     tasks: Vec<TaskSpec>,
@@ -47,10 +83,13 @@ impl TaskGraph {
     }
 
     /// Adds a task executing `f` and returns its id.
-    pub fn add_task(&mut self, f: impl FnOnce() + Send + 'static) -> TaskId {
+    ///
+    /// The closure is `FnMut` so a compiled graph can be executed repeatedly;
+    /// within one execution it runs exactly once.
+    pub fn add_task(&mut self, f: impl FnMut() + Send + 'static) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
         self.tasks.push(TaskSpec {
-            closure: Some(Box::new(f)),
+            closure: Box::new(f),
             succs: Vec::new(),
             preds: 0,
         });
@@ -100,6 +139,39 @@ impl TaskGraph {
         }
         seen == n
     }
+
+    /// Compiles the graph into a reusable, allocation-free form.
+    ///
+    /// # Panics
+    /// Panics if the graph contains a dependency cycle.
+    pub fn compile(self) -> ReusableGraph {
+        self.compile_placed(Vec::new())
+    }
+
+    /// Compiles the graph with per-task placement constraints (see
+    /// [`Placement`]; an empty vector places every task anywhere).
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic, or if `placement` is non-empty and its
+    /// length differs from the task count.
+    pub fn compile_placed(self, placement: Vec<Placement>) -> ReusableGraph {
+        assert!(self.is_acyclic(), "task graph contains a dependency cycle");
+        let edges = self.edges;
+        let n = self.tasks.len();
+        let mut closures = Vec::with_capacity(n);
+        let mut succs = Vec::with_capacity(n);
+        let mut preds = Vec::with_capacity(n);
+        for t in self.tasks {
+            closures.push(ClosureCell(UnsafeCell::new(t.closure)));
+            succs.push(t.succs);
+            preds.push(t.preds);
+        }
+        let graph = CompiledGraph::from_parts(succs, preds, edges, placement);
+        ReusableGraph {
+            graph: Arc::new(graph),
+            table: Arc::new(ClosureTable { closures }),
+        }
+    }
 }
 
 /// Statistics of one graph execution.
@@ -134,53 +206,369 @@ pub enum Placement {
     Group(u32),
 }
 
-struct RunSlot {
-    closure: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
-    pending: AtomicU32,
-    succs: Vec<u32>,
+/// The per-task work of a compiled graph, dispatched by index.
+///
+/// This is the **non-boxed execution mode**: instead of a heap-boxed closure per
+/// strand, a table implementation matches on the task index (typically through
+/// an operation enum, as `nd-algorithms::exec` does with its block-operation
+/// table) and performs the work directly.  The executor guarantees `run_task`
+/// is called **exactly once per task per execution** — a task is claimed by the
+/// atomic decrement of its dependency counter, so implementations may use
+/// interior mutability without further synchronisation as long as distinct
+/// tasks touch disjoint state.
+pub trait TaskTable: Send + Sync + 'static {
+    /// Runs the work of task `task`.
+    fn run_task(&self, task: u32);
 }
 
-struct RunState {
-    slots: Vec<RunSlot>,
+/// A compiled task-graph topology: one CSR successor arena plus dependency
+/// counters, reusable across executions and shared between workers.
+///
+/// The graph stores *initial* predecessor counts separately from the *live*
+/// atomic counters; every task restores its own live counter when it is
+/// claimed, so after [`CompiledGraph::execute`] returns the graph is already
+/// reset and can be executed again without rebuilding (see the module docs for
+/// the full lifecycle).
+pub struct CompiledGraph {
+    /// CSR offsets into `succ_targets`; `succs(t) = succ_targets[o[t]..o[t+1]]`.
+    succ_offsets: Vec<u32>,
+    /// Flattened successor arena.
+    succ_targets: Vec<u32>,
+    /// Immutable predecessor counts (the reset values).
+    initial_preds: Vec<u32>,
+    /// Live dependency counters, decremented as predecessors finish.
+    pending: Vec<AtomicU32>,
+    /// Tasks with no predecessors, spawned at the start of every execution.
+    roots: Vec<u32>,
     /// Per-task placement; empty means every task is `Anywhere`.
     placement: Vec<Placement>,
+    edges: usize,
+    /// Guards against two overlapping executions corrupting the counters.
+    in_flight: AtomicBool,
+}
+
+impl CompiledGraph {
+    /// Builds a compiled graph from per-task successor lists and predecessor
+    /// counts (`preds[t]` must equal the number of times `t` appears in
+    /// `succs`).
+    fn from_parts(
+        succs: Vec<Vec<u32>>,
+        preds: Vec<u32>,
+        edges: usize,
+        placement: Vec<Placement>,
+    ) -> Self {
+        let n = succs.len();
+        assert!(
+            placement.is_empty() || placement.len() == n,
+            "placement length {} does not match task count {}",
+            placement.len(),
+            n
+        );
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut succ_targets = Vec::with_capacity(edges);
+        succ_offsets.push(0u32);
+        for s in &succs {
+            succ_targets.extend_from_slice(s);
+            succ_offsets.push(succ_targets.len() as u32);
+        }
+        let roots = (0..n as u32).filter(|&t| preds[t as usize] == 0).collect();
+        CompiledGraph {
+            succ_offsets,
+            succ_targets,
+            pending: preds.iter().map(|&p| AtomicU32::new(p)).collect(),
+            initial_preds: preds,
+            roots,
+            placement,
+            edges,
+            in_flight: AtomicBool::new(false),
+        }
+    }
+
+    /// Builds a compiled graph directly from an edge list, without going
+    /// through closure-carrying [`TaskGraph`] construction.
+    ///
+    /// # Panics
+    /// Panics on self-dependencies, out-of-range task indices, dependency
+    /// cycles, or a placement length mismatch.
+    pub fn from_edges(task_count: usize, edges: &[(u32, u32)], placement: Vec<Placement>) -> Self {
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); task_count];
+        let mut preds = vec![0u32; task_count];
+        for &(from, to) in edges {
+            assert_ne!(from, to, "a task cannot depend on itself");
+            assert!(
+                (from as usize) < task_count && (to as usize) < task_count,
+                "edge ({from}, {to}) out of range for {task_count} tasks"
+            );
+            succs[from as usize].push(to);
+            preds[to as usize] += 1;
+        }
+        let graph = CompiledGraph::from_parts(succs, preds, edges.len(), placement);
+        assert!(graph.is_acyclic(), "task graph contains a dependency cycle");
+        graph
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.initial_preds.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The successors of task `t`, straight from the CSR arena.
+    #[inline]
+    pub fn successors(&self, t: u32) -> &[u32] {
+        let lo = self.succ_offsets[t as usize] as usize;
+        let hi = self.succ_offsets[t as usize + 1] as usize;
+        &self.succ_targets[lo..hi]
+    }
+
+    /// `true` if the dependency graph is acyclic (checked by Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.task_count();
+        let mut indeg = self.initial_preds.clone();
+        let mut queue: Vec<u32> = self.roots.clone();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &s in self.successors(i) {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// `true` if every live dependency counter equals its initial value.
+    ///
+    /// Holds before the first execution and after every completed execution
+    /// (tasks restore their own counters as they are claimed).
+    pub fn counters_are_reset(&self) -> bool {
+        self.pending
+            .iter()
+            .zip(&self.initial_preds)
+            .all(|(live, &init)| live.load(Ordering::Acquire) == init)
+    }
+
+    /// Restores every live dependency counter to its initial value and clears
+    /// the in-flight guard.
+    ///
+    /// Not needed between successful executions (they leave the graph reset);
+    /// provided for recovery after an execution that panicked mid-run — which
+    /// may have left the in-flight guard set, so it is cleared here too.
+    pub fn reset(&self) {
+        for (live, &init) in self.pending.iter().zip(&self.initial_preds) {
+            live.store(init, Ordering::Release);
+        }
+        self.in_flight.store(false, Ordering::Release);
+    }
+
+    #[inline]
+    fn placement_of(&self, task: u32) -> Placement {
+        self.placement
+            .get(task as usize)
+            .copied()
+            .unwrap_or(Placement::Anywhere)
+    }
+
+    /// Executes the graph on `pool`, dispatching every task through `table`,
+    /// and blocks until every task has run.  The graph is left reset, ready
+    /// for the next execution.
+    ///
+    /// # Panics
+    /// Panics if another execution of this graph is still in flight.
+    pub fn execute<T: TaskTable>(self: &Arc<Self>, pool: &ThreadPool, table: &Arc<T>) -> ExecStats {
+        let n = self.task_count();
+        assert!(
+            !self.in_flight.swap(true, Ordering::Acquire),
+            "compiled graph is already executing"
+        );
+        debug_assert!(
+            self.counters_are_reset(),
+            "dependency counters not at their initial values — \
+             was a previous execution aborted without reset()?"
+        );
+        let steals_before = pool.steals();
+        let run = Arc::new(ActiveRun {
+            graph: Arc::clone(self),
+            table: Arc::clone(table),
+            latch: CountLatch::new(n),
+            per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
+        });
+
+        let start = Instant::now();
+        for &r in &self.roots {
+            let unit = JobUnit::Graph(Arc::clone(&run) as Arc<dyn GraphTask>, r);
+            match self.placement_of(r) {
+                Placement::Group(g) => pool.spawn_unit_to_group(g as usize, unit),
+                Placement::Anywhere => pool.spawn_unit(unit),
+            }
+        }
+        run.latch.wait();
+        let elapsed = start.elapsed();
+        self.in_flight.store(false, Ordering::Release);
+
+        ExecStats {
+            tasks: n,
+            elapsed,
+            tasks_per_worker: run
+                .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            steals: pool.steals() - steals_before,
+        }
+    }
+}
+
+/// The per-execution state shared by every in-flight task of one run.
+struct ActiveRun<T: TaskTable> {
+    graph: Arc<CompiledGraph>,
+    table: Arc<T>,
     latch: CountLatch,
     per_worker: Vec<AtomicU64>,
 }
 
-impl RunState {
-    fn spawn_ready(self: &Arc<Self>, task: u32, ctx: &WorkerCtx<'_>) {
-        let st = Arc::clone(self);
-        let job: crate::pool::Job = Box::new(move |ctx| run_task(&st, task, ctx));
-        match self.placement.get(task as usize) {
-            Some(Placement::Group(g)) => ctx.spawn_to_group(*g as usize, job),
-            _ => ctx.spawn_local(job),
+impl<T: TaskTable> ActiveRun<T> {
+    #[inline]
+    fn spawn(self: &Arc<Self>, task: u32, ctx: &WorkerCtx<'_>) {
+        let unit = JobUnit::Graph(Arc::clone(self) as Arc<dyn GraphTask>, task);
+        match self.graph.placement_of(task) {
+            Placement::Group(g) => ctx.spawn_unit_to_group(g as usize, unit),
+            Placement::Anywhere => ctx.spawn_unit_local(unit),
+        }
+    }
+
+    /// `true` if `task`'s placement allows it to run on the current worker
+    /// (the precondition for inline tail-execution).
+    #[inline]
+    fn runnable_here(&self, task: u32, ctx: &WorkerCtx<'_>) -> bool {
+        match self.graph.placement_of(task) {
+            Placement::Group(g) => ctx.in_group(g as usize),
+            Placement::Anywhere => true,
         }
     }
 }
 
-fn run_task(state: &Arc<RunState>, id: u32, ctx: &WorkerCtx<'_>) {
-    let slot = &state.slots[id as usize];
-    let closure = slot
-        .closure
-        .lock()
-        .take()
-        .expect("task scheduled twice — dependency counters corrupted");
-    closure();
-    state.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
-    for &s in &slot.succs {
-        let prev = state.slots[s as usize]
-            .pending
-            .fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "dependency counter underflow");
-        if prev == 1 {
-            state.spawn_ready(s, ctx);
+impl<T: TaskTable> GraphTask for ActiveRun<T> {
+    fn run_graph_task(self: Arc<Self>, first: u32, ctx: &WorkerCtx<'_>) {
+        let g = &*self.graph;
+        let mut id = first;
+        loop {
+            // Restore the live counter the moment the task is claimed: all
+            // predecessors have finished, and nothing decrements this slot
+            // again until the *next* execution, which cannot start before this
+            // one completes.  This is what makes the graph self-resetting.
+            g.pending[id as usize].store(g.initial_preds[id as usize], Ordering::Relaxed);
+            self.table.run_task(id);
+            self.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
+
+            let mut first_ready = None;
+            let mut ready = 0u32;
+            for &s in g.successors(id) {
+                let prev = g.pending[s as usize].fetch_sub(1, Ordering::AcqRel);
+                debug_assert!(prev > 0, "dependency counter underflow");
+                if prev == 1 {
+                    ready += 1;
+                    if first_ready.is_none() {
+                        first_ready = Some(s);
+                    } else {
+                        self.spawn(s, ctx);
+                    }
+                }
+            }
+            self.latch.count_down();
+            match first_ready {
+                // Inline tail-execution: exactly one successor became ready
+                // and may run here — run it in place, skipping the deque.
+                Some(s) if ready == 1 && self.runnable_here(s, ctx) => id = s,
+                Some(s) => {
+                    self.spawn(s, ctx);
+                    return;
+                }
+                None => return,
+            }
         }
     }
-    state.latch.count_down();
+}
+
+/// A boxed closure slot of a [`ReusableGraph`]'s task table.
+///
+/// `Sync` by assertion: the dependency counters guarantee each slot is
+/// accessed by exactly one worker per execution, and executions of the owning
+/// graph are serialised (`&mut self` on [`ReusableGraph::execute`] plus the
+/// compiled graph's in-flight guard).
+struct ClosureCell(UnsafeCell<Box<dyn FnMut() + Send + 'static>>);
+
+// SAFETY: see the type-level comment.
+unsafe impl Sync for ClosureCell {}
+
+struct ClosureTable {
+    closures: Vec<ClosureCell>,
+}
+
+impl TaskTable for ClosureTable {
+    #[inline]
+    fn run_task(&self, task: u32) {
+        // SAFETY: the executor calls run_task exactly once per task per
+        // execution (atomic counter claim), so no other reference to this
+        // slot exists while we hold it.
+        let f = unsafe { &mut *self.closures[task as usize].0.get() };
+        f();
+    }
+}
+
+/// A compiled, reusable task graph carrying boxed closures.
+///
+/// Built once from a [`TaskGraph`] via [`TaskGraph::compile`]; every call to
+/// [`ReusableGraph::execute`] re-runs the whole graph without rebuilding
+/// anything — construction cost is paid exactly once.
+pub struct ReusableGraph {
+    graph: Arc<CompiledGraph>,
+    table: Arc<ClosureTable>,
+}
+
+impl ReusableGraph {
+    /// Executes the graph, blocking until every task has run.  The graph is
+    /// left reset, ready for the next call.
+    ///
+    /// Takes `&mut self` so two executions of the same graph (which would run
+    /// the same `FnMut` closures concurrently) cannot overlap.
+    pub fn execute(&mut self, pool: &ThreadPool) -> ExecStats {
+        self.graph.execute(pool, &self.table)
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.graph.task_count()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// `true` if every live dependency counter equals its initial value (see
+    /// [`CompiledGraph::counters_are_reset`]).
+    pub fn counters_are_reset(&self) -> bool {
+        self.graph.counters_are_reset()
+    }
+
+    /// Restores the dependency counters (see [`CompiledGraph::reset`]).
+    pub fn reset(&self) {
+        self.graph.reset()
+    }
 }
 
 /// Executes a task graph on a pool, blocking until every task has run.
+///
+/// Compiles the graph and runs it once; to amortise construction over many
+/// executions, use [`TaskGraph::compile`] and call
+/// [`ReusableGraph::execute`] repeatedly instead.
 ///
 /// # Panics
 /// Panics if the graph contains a dependency cycle (which could never complete).
@@ -204,73 +592,13 @@ pub fn execute_graph_placed(
     graph: TaskGraph,
     placement: Vec<Placement>,
 ) -> ExecStats {
-    assert!(graph.is_acyclic(), "task graph contains a dependency cycle");
-    assert!(
-        placement.is_empty() || placement.len() == graph.tasks.len(),
-        "placement length {} does not match task count {}",
-        placement.len(),
-        graph.tasks.len()
-    );
-    let n = graph.tasks.len();
-    if n == 0 {
-        return ExecStats {
-            tasks: 0,
-            elapsed: Duration::ZERO,
-            tasks_per_worker: vec![0; pool.num_threads()],
-            steals: 0,
-        };
-    }
-    let steals_before = pool.steals();
-    let mut roots = Vec::new();
-    let slots: Vec<RunSlot> = graph
-        .tasks
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| {
-            if t.preds == 0 {
-                roots.push(i as u32);
-            }
-            RunSlot {
-                closure: Mutex::new(t.closure),
-                pending: AtomicU32::new(t.preds),
-                succs: t.succs,
-            }
-        })
-        .collect();
-    let state = Arc::new(RunState {
-        slots,
-        placement,
-        latch: CountLatch::new(n),
-        per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
-    });
-
-    let start = Instant::now();
-    for r in roots {
-        let st = Arc::clone(&state);
-        let job: crate::pool::Job = Box::new(move |ctx| run_task(&st, r, ctx));
-        match state.placement.get(r as usize) {
-            Some(Placement::Group(g)) => pool.spawn_to_group(*g as usize, job),
-            _ => pool.spawn(job),
-        }
-    }
-    state.latch.wait();
-    let elapsed = start.elapsed();
-
-    ExecStats {
-        tasks: n,
-        elapsed,
-        tasks_per_worker: state
-            .per_worker
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect(),
-        steals: pool.steals() - steals_before,
-    }
+    graph.compile_placed(placement).execute(pool)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicUsize;
 
     fn pool() -> ThreadPool {
@@ -421,5 +749,122 @@ mod tests {
             execute_graph(&p, g);
             assert_eq!(counter.load(Ordering::SeqCst), 20, "round {round}");
         }
+    }
+
+    #[test]
+    fn compiled_graph_executes_repeatedly_without_rebuilding() {
+        let p = pool();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = (0..64)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                g.add_task(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for i in 1..ids.len() {
+            g.add_dependency(ids[i / 2], ids[i]); // binary tree
+        }
+        let mut compiled = g.compile();
+        assert!(compiled.counters_are_reset());
+        for round in 1..=3 {
+            let stats = compiled.execute(&p);
+            assert_eq!(stats.tasks, 64, "round {round}");
+            assert_eq!(counter.load(Ordering::SeqCst), 64 * round, "round {round}");
+            assert!(
+                compiled.counters_are_reset(),
+                "counters must be restored after round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_table_mode_runs_every_task_once() {
+        struct Marks(Vec<AtomicUsize>);
+        impl TaskTable for Marks {
+            fn run_task(&self, task: u32) {
+                self.0[task as usize].fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let p = pool();
+        let n = 300u32;
+        // Edges: each task depends on its two "parents" in a heap layout.
+        let mut edges = Vec::new();
+        for t in 1..n {
+            edges.push(((t - 1) / 2, t));
+            if t >= 7 {
+                edges.push((t - 7, t));
+            }
+        }
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        assert!(graph.is_acyclic());
+        assert_eq!(graph.edge_count(), edges.len());
+        let table = Arc::new(Marks((0..n).map(|_| AtomicUsize::new(0)).collect()));
+        for round in 1..=3 {
+            let stats = graph.execute(&p, &table);
+            assert_eq!(stats.tasks, n as usize);
+            assert!(graph.counters_are_reset());
+            assert!(
+                table.0.iter().all(|m| m.load(Ordering::SeqCst) == round),
+                "every task must have run exactly once per round"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_successors_match_builder_edges() {
+        let edges = vec![(0u32, 2u32), (0, 3), (1, 3), (2, 4), (3, 4)];
+        let g = CompiledGraph::from_edges(5, &edges, Vec::new());
+        assert_eq!(g.successors(0), &[2, 3]);
+        assert_eq!(g.successors(1), &[3]);
+        assert_eq!(g.successors(4), &[] as &[u32]);
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn explicit_reset_recovers_counters() {
+        let g = CompiledGraph::from_edges(3, &[(0, 1), (1, 2)], Vec::new());
+        // Simulate a half-finished run by clobbering a counter.
+        g.pending[2].store(0, Ordering::SeqCst);
+        assert!(!g.counters_are_reset());
+        g.reset();
+        assert!(g.counters_are_reset());
+    }
+
+    #[test]
+    fn reset_clears_the_in_flight_guard_after_a_panicked_execution() {
+        struct Nop;
+        impl TaskTable for Nop {
+            fn run_task(&self, _task: u32) {}
+        }
+        // Root task anchored to group 1: a single-group pool panics while
+        // spawning it (out-of-range injector), after the in-flight guard is
+        // already set.
+        let g = Arc::new(CompiledGraph::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Placement::Group(1), Placement::Anywhere],
+        ));
+        let table = Arc::new(Nop);
+        let flat = ThreadPool::new(1);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.execute(&flat, &table)));
+        assert!(result.is_err(), "out-of-range group must panic");
+        g.reset();
+        // A pool that actually has a group 1 can now run the graph.
+        let topo = crate::pool::PoolTopology {
+            num_threads: 2,
+            num_groups: 2,
+            groups_of_worker: vec![vec![0], vec![1]],
+            steal_order: vec![vec![1], vec![0]],
+            steal_distance: vec![vec![0; 2]; 2],
+        };
+        let pool = ThreadPool::with_topology(topo);
+        let stats = g.execute(&pool, &table);
+        assert_eq!(stats.tasks, 2);
+        assert!(g.counters_are_reset());
     }
 }

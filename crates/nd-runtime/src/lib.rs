@@ -13,10 +13,15 @@
 //!   [`PoolTopology`]: workers grouped into subclusters with per-group queues and
 //!   a nearest-cluster-first steal order (the substrate `nd-exec` anchors on).
 //! * [`latch`] — counting latches used for completion detection.
-//! * [`dataflow`] — the static task-graph executor: tasks with dependency counters;
-//!   a finished task decrements its successors and pushes newly-ready ones onto the
-//!   finishing worker's own deque (depth-first-ish execution for locality, stealing
-//!   for load balance — the NP-style intra-processor order the paper advocates).
+//! * [`dataflow`] — the compiled task-graph executor: dependencies flattened into
+//!   one CSR arena, per-task atomic counters claimed lock-free (no per-task mutex
+//!   or boxed-closure take on the hot path), graphs reusable across executions
+//!   (build once, execute many — counters self-restore), and inline
+//!   tail-execution of lone ready successors so serial chains never round-trip
+//!   through the deque.  A finished task's remaining ready successors go onto the
+//!   finishing worker's own deque (depth-first-ish execution for locality,
+//!   stealing for load balance — the NP-style intra-processor order the paper
+//!   advocates).
 //! * [`join`] — a minimal fork-join façade built on the same pool, used by examples
 //!   and by the NP wall-clock baselines.
 //!
@@ -34,5 +39,7 @@ pub mod join;
 pub mod latch;
 pub mod pool;
 
-pub use dataflow::{ExecStats, Placement, TaskGraph, TaskId};
+pub use dataflow::{
+    CompiledGraph, ExecStats, Placement, ReusableGraph, TaskGraph, TaskId, TaskTable,
+};
 pub use pool::{PoolTopology, ThreadPool};

@@ -25,6 +25,37 @@ use std::time::Duration;
 /// [`WorkerCtx`] through which it may spawn further jobs onto the *local* deque.
 pub type Job = Box<dyn FnOnce(&WorkerCtx<'_>) + Send + 'static>;
 
+/// One strand of a compiled task graph, dispatched without boxing a closure.
+///
+/// The dataflow executor implements this for its per-execution run state: the
+/// pool stores `(Arc<dyn GraphTask>, task index)` pairs in its deques, so
+/// spawning a ready graph task costs one reference-count increment instead of
+/// a heap allocation.
+pub(crate) trait GraphTask: Send + Sync {
+    /// Runs task `task` (and possibly, by inline tail-execution, a chain of
+    /// its successors) on the calling worker.
+    fn run_graph_task(self: Arc<Self>, task: u32, ctx: &WorkerCtx<'_>);
+}
+
+/// What the pool's deques actually hold: either a classic boxed closure or an
+/// allocation-free reference into a compiled task graph.
+pub(crate) enum JobUnit {
+    /// A boxed closure (the classic [`Job`]).
+    Boxed(Job),
+    /// Task `1` of the compiled graph run `0`.
+    Graph(Arc<dyn GraphTask>, u32),
+}
+
+impl JobUnit {
+    #[inline]
+    fn run(self, ctx: &WorkerCtx<'_>) {
+        match self {
+            JobUnit::Boxed(job) => job(ctx),
+            JobUnit::Graph(run, task) => run.run_graph_task(task, ctx),
+        }
+    }
+}
+
 /// How a pool's workers are grouped into queue groups and which victims they
 /// steal from, in which order.
 ///
@@ -113,7 +144,7 @@ impl PoolTopology {
 pub struct WorkerCtx<'a> {
     /// Index of the executing worker thread.
     pub worker_index: usize,
-    local: &'a Deque<Job>,
+    local: &'a Deque<JobUnit>,
     shared: &'a Shared,
 }
 
@@ -121,13 +152,12 @@ impl WorkerCtx<'_> {
     /// Spawns a job onto the executing worker's own deque (LIFO: it will typically
     /// be the next thing this worker runs, unless someone steals it).
     pub fn spawn_local(&self, job: Job) {
-        self.local.push(job);
-        self.shared.notify_one();
+        self.spawn_unit_local(JobUnit::Boxed(job));
     }
 
     /// Spawns a job onto the global injector (FIFO), visible to every worker.
     pub fn spawn_global(&self, job: Job) {
-        self.shared.injector.push(job);
+        self.shared.injector.push(JobUnit::Boxed(job));
         self.shared.notify_one();
     }
 
@@ -137,10 +167,21 @@ impl WorkerCtx<'_> {
     /// topology whose steal order never leaves the group this preserves the
     /// anchoring property exactly.
     pub fn spawn_to_group(&self, group: usize, job: Job) {
+        self.spawn_unit_to_group(group, JobUnit::Boxed(job));
+    }
+
+    /// Allocation-free counterpart of [`WorkerCtx::spawn_local`].
+    pub(crate) fn spawn_unit_local(&self, unit: JobUnit) {
+        self.local.push(unit);
+        self.shared.notify_one();
+    }
+
+    /// Allocation-free counterpart of [`WorkerCtx::spawn_to_group`].
+    pub(crate) fn spawn_unit_to_group(&self, group: usize, unit: JobUnit) {
         if self.in_group(group) {
-            self.local.push(job);
+            self.local.push(unit);
         } else {
-            self.shared.group_injectors[group].push(job);
+            self.shared.group_injectors[group].push(unit);
         }
         self.shared.notify_all();
     }
@@ -157,10 +198,10 @@ impl WorkerCtx<'_> {
 }
 
 struct Shared {
-    injector: Injector<Job>,
+    injector: Injector<JobUnit>,
     /// One FIFO injector per queue group (see [`PoolTopology`]).
-    group_injectors: Vec<Injector<Job>>,
-    stealers: Vec<Stealer<Job>>,
+    group_injectors: Vec<Injector<JobUnit>>,
+    stealers: Vec<Stealer<JobUnit>>,
     topology: PoolTopology,
     shutdown: AtomicBool,
     sleep_mutex: Mutex<()>,
@@ -209,8 +250,8 @@ impl ThreadPool {
     pub fn with_topology(topology: PoolTopology) -> Self {
         topology.validate();
         let num_threads = topology.num_threads;
-        let deques: Vec<Deque<Job>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
-        let stealers: Vec<Stealer<Job>> = deques.iter().map(|d| d.stealer()).collect();
+        let deques: Vec<Deque<JobUnit>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<JobUnit>> = deques.iter().map(|d| d.stealer()).collect();
         let max_distance = topology.max_distance();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
@@ -262,8 +303,7 @@ impl ThreadPool {
 
     /// Submits a job from outside the pool (goes to the global injector).
     pub fn spawn(&self, job: Job) {
-        self.shared.injector.push(job);
-        self.shared.notify_one();
+        self.spawn_unit(JobUnit::Boxed(job));
     }
 
     /// Submits a job restricted to one queue group's workers.
@@ -271,7 +311,18 @@ impl ThreadPool {
     /// # Panics
     /// Panics if `group` is out of range for the pool's topology.
     pub fn spawn_to_group(&self, group: usize, job: Job) {
-        self.shared.group_injectors[group].push(job);
+        self.spawn_unit_to_group(group, JobUnit::Boxed(job));
+    }
+
+    /// Allocation-free counterpart of [`ThreadPool::spawn`].
+    pub(crate) fn spawn_unit(&self, unit: JobUnit) {
+        self.shared.injector.push(unit);
+        self.shared.notify_one();
+    }
+
+    /// Allocation-free counterpart of [`ThreadPool::spawn_to_group`].
+    pub(crate) fn spawn_unit_to_group(&self, group: usize, unit: JobUnit) {
+        self.shared.group_injectors[group].push(unit);
         self.shared.notify_all();
     }
 
@@ -306,7 +357,11 @@ impl Drop for ThreadPool {
     }
 }
 
-fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, Option<usize>)> {
+fn find_work(
+    index: usize,
+    local: &Deque<JobUnit>,
+    shared: &Shared,
+) -> Option<(JobUnit, Option<usize>)> {
     // 1. Own deque (LIFO → depth-first order).
     if let Some(job) = local.pop() {
         return Some((job, None));
@@ -344,10 +399,10 @@ fn find_work(index: usize, local: &Deque<Job>, shared: &Shared) -> Option<(Job, 
     None
 }
 
-fn worker_loop(index: usize, local: Deque<Job>, shared: Arc<Shared>) {
+fn worker_loop(index: usize, local: Deque<JobUnit>, shared: Arc<Shared>) {
     loop {
         match find_work(index, &local, &shared) {
-            Some((job, stolen_from)) => {
+            Some((unit, stolen_from)) => {
                 if let Some(victim) = stolen_from {
                     shared.steals.fetch_add(1, Ordering::Relaxed);
                     let d = shared.topology.steal_distance[index][victim];
@@ -361,7 +416,7 @@ fn worker_loop(index: usize, local: Deque<Job>, shared: Arc<Shared>) {
                 // Count the job before running it so that anyone released by a latch
                 // the job signals observes an up-to-date counter.
                 shared.executed.fetch_add(1, Ordering::Relaxed);
-                job(&ctx);
+                unit.run(&ctx);
             }
             None => {
                 if shared.shutdown.load(Ordering::SeqCst) {

@@ -1,4 +1,5 @@
-//! Building algorithm DAGs from read/write access sets.
+//! Building algorithm DAGs (plus companion spawn trees) from read/write
+//! access sets.
 //!
 //! The loop-blocked algorithms (LU with partial pivoting, 2-D Floyd–Warshall) are
 //! most naturally described as a sequence of block operations with known read and
@@ -8,16 +9,25 @@
 //! *algorithm DAG* of the computation, which is exactly what the ND model exposes to
 //! the scheduler.  The NP variants of the same algorithms are produced by the same
 //! builder with explicit phase barriers added.
+//!
+//! Alongside the DAG the builder grows a companion [`SpawnTree`] whose leaves
+//! are the DAG's strands: [`open_task`](AccessDagBuilder::open_task) /
+//! [`close_task`](AccessDagBuilder::close_task) nest size-annotated task
+//! groups (elimination steps, phases, block rows), giving the loop-blocked
+//! algorithms the same `(tree, dag)` pair the recursive algorithms get from
+//! [`SpawnTree::unfold`] — which is what the `σ·M_i`-maximal decomposition of
+//! `nd-sched`, and therefore the anchored executor of `nd-exec`, operate on.
 
 use nd_core::dag::{AlgorithmDag, DagVertexId};
-use nd_core::spawn_tree::NodeId;
+use nd_core::spawn_tree::{NodeId, NodeKind, SpawnTree};
 use std::collections::HashMap;
 
-/// Builds an [`AlgorithmDag`] from tasks annotated with the abstract cells they read
-/// and write.
-#[derive(Default)]
+/// Builds an [`AlgorithmDag`] (and its companion spawn tree) from tasks annotated
+/// with the abstract cells they read and write.
 pub struct AccessDagBuilder {
     dag: AlgorithmDag,
+    tree: SpawnTree,
+    group_stack: Vec<NodeId>,
     last_writer: HashMap<u64, DagVertexId>,
     readers_since_write: HashMap<u64, Vec<DagVertexId>>,
     /// Vertices every subsequent task must depend on (used for phase barriers).
@@ -25,16 +35,67 @@ pub struct AccessDagBuilder {
     edges_seen: std::collections::HashSet<(u32, u32)>,
 }
 
+impl Default for AccessDagBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl AccessDagBuilder {
-    /// An empty builder.
+    /// An empty builder whose spawn-tree root carries a trivial size
+    /// annotation.  Callers that feed the tree to the anchoring machinery
+    /// should use [`AccessDagBuilder::with_root`] and annotate the real
+    /// footprint instead.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_root(1, "")
+    }
+
+    /// An empty builder whose spawn-tree root task is annotated with the
+    /// program's total footprint `size` (in words).
+    pub fn with_root(size: u64, label: impl Into<String>) -> Self {
+        let mut tree = SpawnTree::new();
+        let root = tree.add_node(NodeKind::Seq, None, Some(size), label);
+        AccessDagBuilder {
+            dag: AlgorithmDag::new(),
+            tree,
+            group_stack: vec![root],
+            last_writer: HashMap::new(),
+            readers_since_write: HashMap::new(),
+            barrier_frontier: Vec::new(),
+            edges_seen: std::collections::HashSet::new(),
+        }
     }
 
     fn add_edge(&mut self, from: DagVertexId, to: DagVertexId) {
         if from != to && self.edges_seen.insert((from.0, to.0)) {
             self.dag.add_edge(from, to);
         }
+    }
+
+    /// Opens a nested task group with footprint `size`: tasks added until the
+    /// matching [`close_task`](AccessDagBuilder::close_task) become leaves of
+    /// this spawn-tree node.  Groups give the `σ·M_i`-maximal decomposition
+    /// something between whole-program and single-strand granularity to
+    /// anchor.
+    pub fn open_task(&mut self, size: u64, label: impl Into<String>) -> NodeId {
+        let parent = *self.group_stack.last().expect("root always present");
+        let id = self
+            .tree
+            .add_node(NodeKind::Par, Some(parent), Some(size), label);
+        self.group_stack.push(id);
+        id
+    }
+
+    /// Closes the innermost open task group.
+    ///
+    /// # Panics
+    /// Panics if no group is open.
+    pub fn close_task(&mut self) {
+        assert!(
+            self.group_stack.len() > 1,
+            "close_task without a matching open_task"
+        );
+        self.group_stack.pop();
     }
 
     /// Adds a task with the given work, size, operation tag and access sets, in
@@ -48,13 +109,15 @@ impl AccessDagBuilder {
         reads: &[u64],
         writes: &[u64],
     ) -> DagVertexId {
-        let v = self.dag.add_strand(
-            NodeId(self.dag.vertex_count() as u32),
-            work,
-            size,
-            op,
-            label.into(),
+        let label: String = label.into();
+        let parent = *self.group_stack.last().expect("root always present");
+        let leaf = self.tree.add_node(
+            NodeKind::Strand { work, op },
+            Some(parent),
+            Some(size),
+            label.clone(),
         );
+        let v = self.dag.add_strand(leaf, work, size, op, label);
         for f in self.barrier_frontier.clone() {
             self.add_edge(f, v);
         }
@@ -103,6 +166,12 @@ impl AccessDagBuilder {
     /// Finishes the build and returns the DAG.
     pub fn finish(self) -> AlgorithmDag {
         self.dag
+    }
+
+    /// Finishes the build and returns the spawn tree together with the DAG
+    /// (the pair the anchoring machinery of `nd-sched` / `nd-exec` consumes).
+    pub fn finish_parts(self) -> (SpawnTree, AlgorithmDag) {
+        (self.tree, self.dag)
     }
 }
 
@@ -168,5 +237,38 @@ mod tests {
         for w in ids.windows(2) {
             assert!(dag.depends_transitively(w[0], w[1]));
         }
+    }
+
+    #[test]
+    fn companion_tree_mirrors_groups_and_strands() {
+        let mut b = AccessDagBuilder::with_root(100, "prog");
+        let step = b.open_task(40, "step0");
+        let v0 = b.add_task(3, 8, Some(0), "t0", &[], &[1]);
+        b.close_task();
+        let v1 = b.add_task(5, 8, Some(1), "t1", &[1], &[]);
+        let (tree, dag) = b.finish_parts();
+        assert_eq!(tree.strand_count(), 2);
+        assert_eq!(dag.strand_count(), 2);
+        // Strand vertices point at real tree leaves with matching sizes.
+        for (v, size) in [(v0, 8u64), (v1, 8)] {
+            let leaf = dag.vertex(v).tree_node().expect("strand has a tree node");
+            assert!(tree.node(leaf).is_strand());
+            assert_eq!(tree.effective_size(leaf), size);
+        }
+        // The group node nests under the annotated root.
+        assert_eq!(tree.effective_size(step), 40);
+        assert_eq!(tree.effective_size(tree.root()), 100);
+        assert!(tree.is_ancestor(tree.root(), step));
+        let leaf0 = dag.vertex(v0).tree_node().unwrap();
+        assert!(tree.is_ancestor(step, leaf0));
+        let leaf1 = dag.vertex(v1).tree_node().unwrap();
+        assert!(!tree.is_ancestor(step, leaf1));
+    }
+
+    #[test]
+    #[should_panic(expected = "close_task without a matching open_task")]
+    fn unbalanced_close_panics() {
+        let mut b = AccessDagBuilder::new();
+        b.close_task();
     }
 }

@@ -461,20 +461,20 @@ mod tests {
         let spd = Matrix::random_spd(n, 31);
         let mut a = spd.clone();
         let ctx = ExecContext::from_matrices(&mut [&mut a]);
-        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
-        let mut reference: Option<Matrix> = None;
-        for round in 0..3 {
-            a.as_mut_slice().copy_from_slice(spd.as_slice());
-            compiled.execute(&pool);
-            assert!(compiled.counters_are_reset(), "round {round}");
-            let mut l = a.clone();
-            l.zero_upper_triangle();
-            match &reference {
-                None => reference = Some(l),
-                Some(r) => assert_eq!(l.max_abs_diff(r), 0.0, "round {round}"),
-            }
-        }
-        assert!(cholesky_residual(&reference.unwrap(), &spd) < 1e-9);
+        let reference = crate::driver::execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut a,
+            3,
+            |a, _| a.as_mut_slice().copy_from_slice(spd.as_slice()),
+            |a, _| {
+                let mut l = a.clone();
+                l.zero_upper_triangle();
+                l
+            },
+        );
+        assert!(cholesky_residual(&reference, &spd) < 1e-9);
     }
 
     #[test]

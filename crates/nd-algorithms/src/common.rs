@@ -72,7 +72,7 @@ impl Rect {
 
 /// The concrete base-case operation a strand performs, referenced from the spawn
 /// tree by its index in the operation table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BlockOp {
     /// `C += α·A·B`.
     Gemm {
@@ -114,6 +114,32 @@ pub enum BlockOp {
     Potrf {
         /// The block (lower triangle overwritten with `L`).
         a: Rect,
+    },
+    /// In-place partially pivoted LU of a (tall) panel; the local pivot rows
+    /// are written to the context's pivot store.
+    LuPanel {
+        /// The panel (all rows from the diagonal down, one block column wide).
+        a: Rect,
+        /// First pivot-store slot owned by this panel (`a.cols` slots follow).
+        piv: usize,
+    },
+    /// Applies a panel's row interchanges (read from the pivot store) to a
+    /// block column.
+    LuRowSwap {
+        /// The block column (same rows as the owning panel).
+        a: Rect,
+        /// First pivot-store slot of the owning panel.
+        piv: usize,
+        /// Number of interchanges (the owning panel's width).
+        len: usize,
+    },
+    /// Solve `L·X = B` in place in `B` (**unit** lower-triangular `L`, as
+    /// produced by an LU panel factorization).
+    TrsmUnitLower {
+        /// Unit-lower-triangular block.
+        l: Rect,
+        /// Right-hand side, overwritten with the solution.
+        b: Rect,
     },
     /// One block of the LCS dynamic-programming table (1-based half-open ranges).
     LcsBlock {

@@ -1,0 +1,129 @@
+//! The shared driver layer: build once → compile once → execute many.
+//!
+//! Every algorithm in this crate follows the same lifecycle — build the
+//! spawn tree + DAG + operation table ([`BuiltAlgorithm`]), bind the runtime
+//! data ([`ExecContext`]), lower to the compiled, reusable, allocation-free
+//! graph form ([`CompiledAlgorithm`]), and execute (flat, or placed under
+//! `nd-exec`'s anchoring).  This module is the one place that lifecycle is
+//! written down; the per-algorithm `*_parallel` drivers, the anchored
+//! wrappers of `nd-exec`, the `exp_exec` benchmark sections and the
+//! graph-reuse test harnesses all go through it instead of each carrying
+//! their own copy (which is what the `mm`/`trs`/`cholesky`/`lcs`/`fw1d`
+//! modules did before LU and 2-D Floyd–Warshall joined the compiled path).
+
+use crate::common::BuiltAlgorithm;
+use crate::exec::{compile_algorithm_placed, CompiledAlgorithm, ExecContext};
+use nd_runtime::dataflow::{ExecStats, Placement};
+use nd_runtime::ThreadPool;
+
+/// Lowers a built algorithm to its compiled form against `ctx` (no placement
+/// constraints — the flat executor's fast path).
+pub fn compile(built: &BuiltAlgorithm, ctx: &ExecContext) -> CompiledAlgorithm {
+    compile_placed(built, ctx, Vec::new())
+}
+
+/// Lowers a built algorithm to its compiled form with per-task placement
+/// constraints (the anchored executor of `nd-exec` routes every strand to its
+/// subcluster this way).
+pub fn compile_placed(
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+    placement: Vec<Placement>,
+) -> CompiledAlgorithm {
+    compile_algorithm_placed(&built.dag, &built.ops, ctx, placement)
+}
+
+/// One-shot execution: compile and run once on the flat pool.  To amortise
+/// construction, keep the [`CompiledAlgorithm`] from [`compile`] and
+/// re-execute it.
+pub fn run_once(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
+    compile(built, ctx).execute(pool)
+}
+
+/// The shared build-once / execute-many harness: compiles `built` once, then
+/// runs `rounds` executions on `pool`.  `data` is the driver-owned runtime
+/// state the context's raw views point into (output matrix, DP table, …).
+/// Before each round `reinit` restores it **in place** (the compiled table
+/// holds raw views, so buffers must never be reallocated); after each round
+/// `capture` snapshots the result.
+///
+/// Asserts, every round, that every task ran and that the dependency
+/// counters were restored, and that each round's snapshot is **bit-identical**
+/// to the first.  Returns the first snapshot for comparison against an
+/// oracle.
+///
+/// # Panics
+/// Panics if `rounds == 0`, if a round loses tasks or leaves counters
+/// unrestored, or if any re-execution is not bit-identical.
+pub fn execute_reuse_rounds<D, S, R, C>(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+    data: &mut D,
+    rounds: usize,
+    mut reinit: R,
+    mut capture: C,
+) -> S
+where
+    S: PartialEq + std::fmt::Debug,
+    R: FnMut(&mut D, usize),
+    C: FnMut(&D, usize) -> S,
+{
+    let compiled = compile(built, ctx);
+    let mut reference: Option<S> = None;
+    for round in 0..rounds {
+        reinit(data, round);
+        let stats = compiled.execute(pool);
+        assert_eq!(
+            stats.tasks,
+            compiled.task_count(),
+            "round {round}: every task must run"
+        );
+        assert!(
+            compiled.counters_are_reset(),
+            "round {round}: counters must be restored"
+        );
+        let snapshot = capture(data, round);
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(r) => assert_eq!(
+                &snapshot, r,
+                "round {round}: re-execution must be bit-identical"
+            ),
+        }
+    }
+    reference.expect("execute_reuse_rounds needs at least one round")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Mode;
+    use crate::mm::build_mm;
+    use nd_linalg::Matrix;
+
+    #[test]
+    fn reuse_rounds_detects_counters_and_identity() {
+        let pool = ThreadPool::new(2);
+        let n = 16;
+        let built = build_mm(n, 8, Mode::Nd, 1.0);
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
+        let result = execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut c,
+            3,
+            |c, _| c.as_mut_slice().fill(0.0),
+            |c, _| c.clone(),
+        );
+        let mut expected = Matrix::zeros(n, n);
+        nd_linalg::gemm::gemm_naive(&mut expected, &a, &b, 1.0, 0.0);
+        assert!(result.max_abs_diff(&expected) < 1e-9);
+    }
+}

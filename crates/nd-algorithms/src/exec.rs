@@ -1,13 +1,13 @@
 //! Executing algorithm DAGs on the real runtime.
 //!
-//! The strands of a [`BuiltAlgorithm`](crate::common::BuiltAlgorithm) carry indices
+//! The strands of a [`BuiltAlgorithm`] carry indices
 //! into a table of [`BlockOp`]s; this module lowers the algorithm DAG plus that
 //! table into the dataflow executor of `nd-runtime` — in two forms:
 //!
 //! * **Compiled (non-boxed), the default.**  [`compile_algorithm`] resolves every
 //!   block operation's `Rect`s into raw [`MatPtr`] views once, stores them in a
 //!   [`CompiledOp`] table, and builds a reusable
-//!   [`CompiledGraph`](nd_runtime::CompiledGraph) whose CSR successor arena and
+//!   [`CompiledGraph`] whose CSR successor arena and
 //!   atomic dependency counters are shared across executions.  Strands dispatch
 //!   by index through the enum — no heap-boxed closure per strand, no per-task
 //!   mutex — and the same [`CompiledAlgorithm`] can be executed any number of
@@ -15,7 +15,10 @@
 //!   exactly once.  [`run`] and the `*_parallel` drivers use this path.
 //! * **Boxed (builder) form.**  [`build_task_graph`] produces the classic
 //!   closure-carrying [`TaskGraph`] for callers that want to mix algorithm
-//!   strands with ad-hoc closures (see `lu`).
+//!   strands with ad-hoc closures.  No algorithm in this crate needs it any
+//!   more — all seven (including LU, whose runtime pivot vector now lives in
+//!   a lock-free [`PivotStore`] instead of per-panel mutex slots) dispatch
+//!   through the compiled path.
 //!
 //! # Safety
 //!
@@ -29,6 +32,7 @@
 
 use crate::common::{BlockOp, BuiltAlgorithm, Rect};
 use nd_core::dag::{AlgorithmDag, DagVertex};
+use nd_linalg::getrf::{self, PivotStore};
 use nd_linalg::matrix::{MatPtr, Matrix};
 use nd_linalg::{fw, gemm, lcs, potrf, trsm};
 use nd_runtime::dataflow::{CompiledGraph, ExecStats, Placement, TaskGraph, TaskTable};
@@ -44,16 +48,14 @@ pub struct ExecContext {
     pub seq_s: Arc<Vec<u8>>,
     /// Second sequence (LCS).
     pub seq_t: Arc<Vec<u8>>,
+    /// Runtime pivot slots (LU); empty for every other algorithm.
+    pub pivots: Arc<PivotStore>,
 }
 
 impl ExecContext {
     /// A context over matrices only.
     pub fn from_matrices(mats: &mut [&mut Matrix]) -> Self {
-        ExecContext {
-            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
-            seq_s: Arc::new(Vec::new()),
-            seq_t: Arc::new(Vec::new()),
-        }
+        Self::with_pivots(mats, 0)
     }
 
     /// A context over matrices plus the two LCS sequences.
@@ -62,6 +64,18 @@ impl ExecContext {
             mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
             seq_s: Arc::new(s),
             seq_t: Arc::new(t),
+            pivots: Arc::new(PivotStore::new(0)),
+        }
+    }
+
+    /// A context over matrices plus a pre-sized pivot store of `piv_len`
+    /// slots (LU: one slot per matrix column).
+    pub fn with_pivots(mats: &mut [&mut Matrix], piv_len: usize) -> Self {
+        ExecContext {
+            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
+            seq_s: Arc::new(Vec::new()),
+            seq_t: Arc::new(Vec::new()),
+            pivots: Arc::new(PivotStore::new(piv_len)),
         }
     }
 
@@ -118,6 +132,30 @@ pub enum CompiledOp {
         /// The block view.
         a: MatPtr,
     },
+    /// In-place partially pivoted LU of a panel (pivot slots live on the
+    /// [`OpTable`]).
+    LuPanel {
+        /// The panel view.
+        a: MatPtr,
+        /// First pivot-store slot owned by this panel.
+        piv: usize,
+    },
+    /// Applies a panel's row interchanges to a block column.
+    LuRowSwap {
+        /// The block-column view.
+        a: MatPtr,
+        /// First pivot-store slot of the owning panel.
+        piv: usize,
+        /// Number of interchanges.
+        len: usize,
+    },
+    /// Solve `L·X = B` in place in `B` (unit lower-triangular `L`).
+    TrsmUnitLower {
+        /// Unit-lower-triangular view.
+        l: MatPtr,
+        /// Right-hand side view.
+        b: MatPtr,
+    },
     /// One block of the LCS table (sequences live on the [`OpTable`]).
     Lcs {
         /// Whole-table view.
@@ -163,27 +201,41 @@ pub struct OpTable {
     ops: Vec<CompiledOp>,
     seq_s: Arc<Vec<u8>>,
     seq_t: Arc<Vec<u8>>,
+    pivots: Arc<PivotStore>,
 }
 
 impl TaskTable for OpTable {
     #[inline]
     fn run_task(&self, task: u32) {
-        dispatch_op(self.ops[task as usize], &self.seq_s, &self.seq_t);
+        dispatch_op(
+            self.ops[task as usize],
+            &self.seq_s,
+            &self.seq_t,
+            &self.pivots,
+        );
     }
 }
 
 /// Runs one resolved block operation.
 #[inline]
-fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8]) {
+fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore) {
     // SAFETY (for every unsafe kernel call below): the algorithm DAG orders
-    // all conflicting block accesses and the executor runs each task after
-    // its predecessors — see the module-level safety section.
+    // all conflicting block and pivot-slot accesses and the executor runs
+    // each task after its predecessors — see the module-level safety section.
     match op {
         CompiledOp::Gemm { c, a, b, alpha } => unsafe { gemm::gemm_block(c, a, b, alpha) },
         CompiledOp::GemmNt { c, a, b, alpha } => unsafe { gemm::gemm_nt_block(c, a, b, alpha) },
         CompiledOp::TrsmLower { t, b } => unsafe { trsm::trsm_lower_block(t, b) },
         CompiledOp::TrsmRightLt { l, b } => unsafe { trsm::trsm_right_lower_trans_block(l, b) },
         CompiledOp::Potrf { a } => unsafe { potrf::potrf_block(a) },
+        CompiledOp::LuPanel { a, piv } => unsafe {
+            let out = pivots.slice_mut(piv, a.cols());
+            getrf::getrf_panel_block_into(a, out);
+        },
+        CompiledOp::LuRowSwap { a, piv, len } => unsafe {
+            getrf::swap_rows_block(a, pivots.slice(piv, len));
+        },
+        CompiledOp::TrsmUnitLower { l, b } => unsafe { getrf::trsm_unit_lower_block(l, b) },
         CompiledOp::Lcs {
             view,
             i0,
@@ -227,6 +279,19 @@ fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
             b: ctx.block(b),
         },
         BlockOp::Potrf { a } => CompiledOp::Potrf { a: ctx.block(a) },
+        BlockOp::LuPanel { a, piv } => CompiledOp::LuPanel {
+            a: ctx.block(a),
+            piv: *piv,
+        },
+        BlockOp::LuRowSwap { a, piv, len } => CompiledOp::LuRowSwap {
+            a: ctx.block(a),
+            piv: *piv,
+            len: *len,
+        },
+        BlockOp::TrsmUnitLower { l, b } => CompiledOp::TrsmUnitLower {
+            l: ctx.block(l),
+            b: ctx.block(b),
+        },
         BlockOp::LcsBlock {
             table,
             i0,
@@ -348,6 +413,7 @@ pub fn compile_algorithm_placed(
             ops: compiled_ops,
             seq_s: Arc::clone(&ctx.seq_s),
             seq_t: Arc::clone(&ctx.seq_t),
+            pivots: Arc::clone(&ctx.pivots),
         }),
     }
 }
@@ -357,7 +423,8 @@ pub fn compile_algorithm_placed(
 pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnMut() + Send + 'static> {
     let compiled = compile_op(op, ctx);
     let (seq_s, seq_t) = (Arc::clone(&ctx.seq_s), Arc::clone(&ctx.seq_t));
-    Box::new(move || dispatch_op(compiled, &seq_s, &seq_t))
+    let pivots = Arc::clone(&ctx.pivots);
+    Box::new(move || dispatch_op(compiled, &seq_s, &seq_t, &pivots))
 }
 
 /// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`]
@@ -389,8 +456,9 @@ pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) 
 /// Executes a built algorithm on a pool against the given runtime data
 /// (compiles the non-boxed form and runs it once; to amortise construction,
 /// keep the [`CompiledAlgorithm`] from [`compile_algorithm`] and re-execute it).
+/// Thin alias for [`crate::driver::run_once`], the shared driver layer.
 pub fn run(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
-    compile_algorithm(&built.dag, &built.ops, ctx).execute(pool)
+    crate::driver::run_once(pool, built, ctx)
 }
 
 #[cfg(test)]

@@ -313,22 +313,22 @@ mod tests {
         let built = build_fw1d(n, 16, Mode::Nd);
         let mut table = Matrix::zeros(n + 1, n + 1);
         let ctx = ExecContext::from_matrices(&mut [&mut table]);
-        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
-        let mut reference: Option<Matrix> = None;
-        for round in 0..3 {
-            table.as_mut_slice().fill(0.0);
-            for i in 1..=n {
-                table[(0, i)] = initial[i];
-            }
-            compiled.execute(&pool);
-            assert!(compiled.counters_are_reset(), "round {round}");
-            match &reference {
-                None => reference = Some(table.clone()),
-                Some(r) => assert_eq!(table.max_abs_diff(r), 0.0, "round {round}"),
-            }
-        }
+        let reference = crate::driver::execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut table,
+            3,
+            |table, _| {
+                table.as_mut_slice().fill(0.0);
+                for i in 1..=n {
+                    table[(0, i)] = initial[i];
+                }
+            },
+            |table, _| table.clone(),
+        );
         let expected = fw1d_parallel(&ThreadPool::new(1), &initial, Mode::Nd, 16);
-        assert_eq!(reference.unwrap().max_abs_diff(&expected), 0.0);
+        assert_eq!(reference.max_abs_diff(&expected), 0.0);
     }
 
     #[test]

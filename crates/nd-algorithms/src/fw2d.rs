@@ -18,39 +18,34 @@
 //! Both variants execute the same set of [`BlockOp::FwUpdate`] kernels, so their
 //! work is identical; the ND DAG has the same or shorter span and a much larger
 //! ready width.
+//!
+//! `build_fw2d` produces a full [`BuiltAlgorithm`] — the access-set DAG plus a
+//! companion spawn tree whose task groups (elimination steps, panel phases,
+//! trailing block rows) carry footprint annotations — so APSP runs on the
+//! compiled flat executor and under `nd-exec`'s `σ·M_i` anchored placement
+//! like every other algorithm in this crate.
 
 use crate::access::AccessDagBuilder;
-use crate::common::{check_power_of_two_ratio, BlockOp, Mode, Rect};
-use crate::exec::{build_task_graph, ExecContext};
-use nd_core::dag::AlgorithmDag;
+use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode, Rect};
+use crate::exec::{run, ExecContext};
+use nd_core::fire::FireTable;
 use nd_linalg::Matrix;
-use nd_runtime::dataflow::execute_graph;
 use nd_runtime::ThreadPool;
 
-/// A built blocked algorithm: the algorithm DAG plus the operations its strands run.
-pub struct BlockedBuilt {
-    /// The algorithm DAG (strand `op` tags index into `ops`).
-    pub dag: AlgorithmDag,
-    /// The block operations.
-    pub ops: Vec<BlockOp>,
-    /// NP or ND.
-    pub mode: Mode,
-    /// Human-readable label.
-    pub label: String,
-}
-
-/// Builds the blocked Floyd–Warshall DAG for an `n × n` distance matrix (matrix id
-/// 0) with block size `base`.
-pub fn build_fw2d(n: usize, base: usize, mode: Mode) -> BlockedBuilt {
+/// Builds the blocked Floyd–Warshall program for an `n × n` distance matrix
+/// (matrix id 0) with block size `base`: spawn tree, algorithm DAG and
+/// block-operation table.
+pub fn build_fw2d(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
     check_power_of_two_ratio(n, base);
     let nb = n / base;
+    let b2 = (base * base) as u64;
     let blk = |i: usize, j: usize| Rect::new(0, i * base, j * base, base, base);
     let cell = |i: usize, j: usize| (i * nb + j) as u64;
     let work = 2 * (base * base * base) as u64;
-    let size = 3 * (base * base) as u64;
+    let size = 3 * b2;
 
     let mut ops = Vec::new();
-    let mut builder = AccessDagBuilder::new();
+    let mut builder = AccessDagBuilder::with_root((n * n) as u64, format!("fw2d-n{n}-b{base}"));
     let add = |builder: &mut AccessDagBuilder,
                ops: &mut Vec<BlockOp>,
                x: (usize, usize),
@@ -75,36 +70,48 @@ pub fn build_fw2d(n: usize, base: usize, mode: Mode) -> BlockedBuilt {
     };
 
     for k in 0..nb {
-        // Diagonal block.
+        // Every elimination step touches the whole matrix.
+        builder.open_task((n * n) as u64, format!("step{k}"));
+        // Diagonal block plus the row and column panels that read it.
+        builder.open_task((2 * (nb - 1) as u64 + 1) * b2, format!("panels{k}"));
         add(&mut builder, &mut ops, (k, k), (k, k), (k, k));
         if mode == Mode::Np {
             builder.barrier();
         }
-        // Row and column panels.
         for j in 0..nb {
             if j != k {
                 add(&mut builder, &mut ops, (k, j), (k, k), (k, j));
                 add(&mut builder, &mut ops, (j, k), (j, k), (k, k));
             }
         }
+        builder.close_task();
         if mode == Mode::Np {
             builder.barrier();
         }
-        // Trailing updates.
+        // Trailing updates, grouped per block row for the anchoring.
         for i in 0..nb {
+            if i == k {
+                continue;
+            }
+            builder.open_task((2 * (nb - 1) as u64 + 1) * b2, format!("trail{k},{i}"));
             for j in 0..nb {
-                if i != k && j != k {
+                if j != k {
                     add(&mut builder, &mut ops, (i, j), (i, k), (k, j));
                 }
             }
+            builder.close_task();
         }
         if mode == Mode::Np {
             builder.barrier();
         }
+        builder.close_task();
     }
 
-    BlockedBuilt {
-        dag: builder.finish(),
+    let (tree, dag) = builder.finish_parts();
+    BuiltAlgorithm {
+        tree,
+        dag,
+        fires: FireTable::new().resolved(),
         ops,
         mode,
         label: format!("fw2d-{}-n{}-b{}", mode.name(), n, base),
@@ -117,13 +124,13 @@ pub fn apsp_parallel(pool: &ThreadPool, d: &mut Matrix, mode: Mode, base: usize)
     assert_eq!(d.cols(), n);
     let built = build_fw2d(n, base, mode);
     let ctx = ExecContext::from_matrices(&mut [d]);
-    let graph = build_task_graph(&built.dag, &built.ops, &ctx);
-    execute_graph(pool, graph);
+    run(pool, &built, &ctx);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::execute_reuse_rounds;
     use nd_core::work_span::WorkSpan;
     use nd_linalg::fw::{floyd_warshall_naive, random_digraph};
 
@@ -131,7 +138,7 @@ mod tests {
     fn np_and_nd_have_identical_ops_and_work() {
         let np = build_fw2d(64, 16, Mode::Np);
         let nd = build_fw2d(64, 16, Mode::Nd);
-        assert_eq!(np.ops.len(), nd.ops.len());
+        assert_eq!(np.ops, nd.ops);
         assert_eq!(np.dag.work(), nd.dag.work());
         assert!(np.dag.is_acyclic());
         assert!(nd.dag.is_acyclic());
@@ -155,6 +162,14 @@ mod tests {
             nd.dag.greedy_makespan(p),
             np.dag.greedy_makespan(p)
         );
+    }
+
+    #[test]
+    fn spawn_tree_leaves_match_dag_strands() {
+        let built = build_fw2d(64, 16, Mode::Nd);
+        assert_eq!(built.tree.strand_count(), built.dag.strand_count());
+        assert_eq!(built.dag.strand_count(), built.ops.len());
+        assert_eq!(built.tree.effective_size(built.tree.root()), 64 * 64);
     }
 
     #[test]
@@ -190,5 +205,29 @@ mod tests {
         // Per step: 1 diagonal + 2(nb−1) panels + (nb−1)² trailing.
         let per_step = 1 + 2 * (nb - 1) + (nb - 1) * (nb - 1);
         assert_eq!(built.ops.len(), nb * per_step);
+    }
+
+    /// One compiled APSP graph re-solves the instance (re-seeded in place
+    /// between runs) three times bit-identically, counters restored.
+    #[test]
+    fn compiled_fw2d_reuse_is_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let n = 32;
+        let d0 = random_digraph(n, 3, 13);
+        let built = build_fw2d(n, 8, Mode::Nd);
+        let mut d = d0.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut d]);
+        let result = execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut d,
+            3,
+            |d, _| d.as_mut_slice().copy_from_slice(d0.as_slice()),
+            |d, _| d.clone(),
+        );
+        let mut reference = d0.clone();
+        floyd_warshall_naive(&mut reference);
+        assert!(result.max_abs_diff(&reference) < 1e-12);
     }
 }

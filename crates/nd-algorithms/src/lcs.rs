@@ -240,18 +240,16 @@ mod tests {
         let built = build_lcs(n, 16, Mode::Nd);
         let mut table = Matrix::zeros(n + 1, n + 1);
         let ctx = ExecContext::with_sequences(&mut [&mut table], s.clone(), t.clone());
-        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
-        let mut reference: Option<Matrix> = None;
-        for round in 0..3 {
-            table.as_mut_slice().fill(0.0);
-            compiled.execute(&pool);
-            assert!(compiled.counters_are_reset(), "round {round}");
-            match &reference {
-                None => reference = Some(table.clone()),
-                Some(r) => assert_eq!(table.max_abs_diff(r), 0.0, "round {round}"),
-            }
-        }
-        assert_eq!(reference.unwrap()[(n, n)] as u64, lcs_naive(&s, &t));
+        let reference = crate::driver::execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut table,
+            3,
+            |table, _| table.as_mut_slice().fill(0.0),
+            |table, _| table.clone(),
+        );
+        assert_eq!(reference[(n, n)] as u64, lcs_naive(&s, &t));
     }
 
     #[test]

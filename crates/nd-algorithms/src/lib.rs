@@ -11,7 +11,7 @@
 //!   (Eqs. 1, 4–8, 14, 17–21) or derived from the data dependencies where the
 //!   paper's listing is ambiguous (each module documents its table).
 //!
-//! Each algorithm module produces a [`BuiltAlgorithm`](common::BuiltAlgorithm): the
+//! Each algorithm module produces a [`BuiltAlgorithm`]: the
 //! spawn tree, the algorithm DAG produced by the DAG Rewriting System, and the table
 //! of block operations attached to the strands.  The same object feeds
 //!
@@ -36,6 +36,7 @@
 pub mod access;
 pub mod cholesky;
 pub mod common;
+pub mod driver;
 pub mod exec;
 pub mod fw1d;
 pub mod fw2d;

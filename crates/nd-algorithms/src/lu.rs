@@ -17,86 +17,61 @@
 //! own block column is updated, long before step `k`'s trailing updates finish.
 //! Both run the same kernels and are checked against the sequential pivoted LU.
 //!
-//! Because the row interchanges chosen by `P_k` are runtime data, the executor
-//! closures communicate them through a mutex-protected per-panel slot; the DAG
-//! guarantees the slot is written (by `P_k`) before any `S_{k,j}` reads it.
+//! ## Runtime pivots on the lock-free hot path
+//!
+//! The row interchanges chosen by `P_k` are runtime data.  They travel through
+//! the pre-sized, index-disjoint [`PivotStore`] of the
+//! execution context: panel `k` owns slots `k·base .. (k+1)·base`, the DAG
+//! orders the panel's write before every `S_{k,j}` read, and distinct panels
+//! own disjoint slots — so the executor hot path stays free of mutexes and
+//! per-strand allocation, exactly like the matrix blocks themselves.  (An
+//! earlier revision used a mutex-protected `Vec` per panel and boxed
+//! closures through the one-shot executor.)
+//!
+//! `build_lu` produces a full [`BuiltAlgorithm`] — the access-set DAG *plus* a
+//! companion spawn tree whose task groups (elimination steps, trailing block
+//! rows) carry footprint annotations — so LU runs on the compiled flat
+//! executor and under `nd-exec`'s `σ·M_i` anchored placement like every other
+//! algorithm in this crate.
 
 use crate::access::AccessDagBuilder;
-use crate::common::{check_power_of_two_ratio, Mode};
-use nd_core::dag::{AlgorithmDag, DagVertex};
+use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode, Rect};
+use crate::exec::{run, ExecContext};
+use nd_core::fire::FireTable;
 use nd_core::work_span::WorkSpan;
-use nd_linalg::gemm::gemm_block;
-use nd_linalg::getrf::{getrf_panel_block, swap_rows_block, trsm_unit_lower_block};
-use nd_linalg::Matrix;
-use nd_runtime::dataflow::{execute_graph, TaskGraph, TaskId};
+use nd_linalg::{Matrix, PivotStore};
 use nd_runtime::ThreadPool;
-use std::sync::{Arc, Mutex};
 
-/// One block operation of the blocked LU, with enough information to build both the
-/// analysis DAG and the runtime closure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LuOp {
-    /// Factor panel `k` (rows `k·b ..`, columns of block `k`).
-    Panel {
-        /// Panel index.
-        k: usize,
-    },
-    /// Apply panel `k`'s interchanges to block column `j` (rows `k·b ..`).
-    Swap {
-        /// Panel index.
-        k: usize,
-        /// Block column.
-        j: usize,
-    },
-    /// Solve for the `U` block in block row `k`, block column `j > k`.
-    Solve {
-        /// Panel index.
-        k: usize,
-        /// Block column.
-        j: usize,
-    },
-    /// Trailing update of block `(i, j)` at step `k`.
-    Update {
-        /// Panel index.
-        k: usize,
-        /// Block row.
-        i: usize,
-        /// Block column.
-        j: usize,
-    },
-}
-
-/// A built blocked LU: the analysis DAG plus the operation list (strand `op` tags
-/// index into `ops`).
-pub struct LuBuilt {
-    /// The algorithm DAG.
-    pub dag: AlgorithmDag,
-    /// The operations.
-    pub ops: Vec<LuOp>,
-    /// NP or ND.
-    pub mode: Mode,
-    /// Human-readable label.
-    pub label: String,
-}
-
-/// Builds the blocked LU DAG for an `n × n` matrix with panel width `base`.
-pub fn build_lu(n: usize, base: usize, mode: Mode) -> LuBuilt {
+/// Builds the blocked LU program for an `n × n` matrix (matrix id 0) with panel
+/// width `base`: spawn tree, algorithm DAG and block-operation table.
+pub fn build_lu(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
     check_power_of_two_ratio(n, base);
     let nb = n / base;
-    let cell = |i: usize, j: usize| (i * nb + j) as u64;
-    let pivot_cell = |k: usize| (nb * nb + k) as u64;
+    let b2 = (base * base) as u64;
     let b3 = (base * base * base) as u64;
+    let cell = |i: usize, j: usize| (i * nb + j) as u64;
+    // Pivot slots live past the matrix cells in the abstract access space.
+    let pivot_cell = |k: usize| (nb * nb + k) as u64;
+    let blk = |i: usize, j: usize| Rect::new(0, i * base, j * base, base, base);
 
-    let mut ops = Vec::new();
-    let mut builder = AccessDagBuilder::new();
+    let mut ops: Vec<BlockOp> = Vec::new();
+    let mut builder = AccessDagBuilder::with_root((n * n + n) as u64, format!("lu-n{n}-b{base}"));
     for k in 0..nb {
+        let rows_below = n - k * base; // rows k·b .. n
+                                       // Step k touches the row band below the pivot row across all columns,
+                                       // plus the panel's pivot slots.
+        builder.open_task((rows_below * n + base) as u64, format!("step{k}"));
+
         // Panel factorization: touches block cells (i, k) for i ≥ k, produces pivots.
         let col_cells: Vec<u64> = (k..nb).map(|i| cell(i, k)).collect();
         let idx = ops.len() as u64;
-        ops.push(LuOp::Panel { k });
+        ops.push(BlockOp::LuPanel {
+            a: Rect::new(0, k * base, k * base, rows_below, base),
+            piv: k * base,
+        });
         builder.add_task(
             (nb - k) as u64 * b3,
-            (nb - k) as u64 * (base * base) as u64,
+            (nb - k) as u64 * b2 + base as u64,
             Some(idx),
             format!("P{k}"),
             &col_cells,
@@ -112,10 +87,14 @@ pub fn build_lu(n: usize, base: usize, mode: Mode) -> LuBuilt {
             }
             let cells: Vec<u64> = (k..nb).map(|i| cell(i, j)).collect();
             let idx = ops.len() as u64;
-            ops.push(LuOp::Swap { k, j });
+            ops.push(BlockOp::LuRowSwap {
+                a: Rect::new(0, k * base, j * base, rows_below, base),
+                piv: k * base,
+                len: base,
+            });
             builder.add_task(
                 (nb - k) as u64 * base as u64,
-                (nb - k) as u64 * (base * base) as u64,
+                (nb - k) as u64 * b2 + base as u64,
                 Some(idx),
                 format!("S{k},{j}"),
                 &[cells.clone(), vec![pivot_cell(k)]].concat(),
@@ -128,10 +107,13 @@ pub fn build_lu(n: usize, base: usize, mode: Mode) -> LuBuilt {
         // Triangular solves for the U blocks of block row k.
         for j in (k + 1)..nb {
             let idx = ops.len() as u64;
-            ops.push(LuOp::Solve { k, j });
+            ops.push(BlockOp::TrsmUnitLower {
+                l: blk(k, k),
+                b: blk(k, j),
+            });
             builder.add_task(
                 b3,
-                2 * (base * base) as u64,
+                2 * b2,
                 Some(idx),
                 format!("T{k},{j}"),
                 &[cell(k, k), cell(k, j)],
@@ -141,31 +123,64 @@ pub fn build_lu(n: usize, base: usize, mode: Mode) -> LuBuilt {
         if mode == Mode::Np {
             builder.barrier();
         }
-        // Trailing updates.
+        // Trailing updates, grouped per block row so the anchoring has a task
+        // level between "whole step" and "single block".  Row i's group
+        // touches (nb−k−1) c-blocks, one a-block and (nb−k−1) b-blocks.
         for i in (k + 1)..nb {
+            builder.open_task((2 * (nb - k) as u64 - 1) * b2, format!("G{k},{i}"));
             for j in (k + 1)..nb {
                 let idx = ops.len() as u64;
-                ops.push(LuOp::Update { k, i, j });
+                ops.push(BlockOp::Gemm {
+                    c: blk(i, j),
+                    a: blk(i, k),
+                    b: blk(k, j),
+                    alpha: -1.0,
+                });
                 builder.add_task(
                     2 * b3,
-                    3 * (base * base) as u64,
+                    3 * b2,
                     Some(idx),
                     format!("G{k},{i},{j}"),
                     &[cell(i, k), cell(k, j), cell(i, j)],
                     &[cell(i, j)],
                 );
             }
+            builder.close_task();
         }
         if mode == Mode::Np {
             builder.barrier();
         }
+        builder.close_task();
     }
-    LuBuilt {
-        dag: builder.finish(),
+    let (tree, dag) = builder.finish_parts();
+    BuiltAlgorithm {
+        tree,
+        dag,
+        fires: FireTable::new().resolved(),
         ops,
         mode,
         label: format!("lu-{}-n{}-b{}", mode.name(), n, base),
     }
+}
+
+/// Assembles the global pivot vector (LAPACK convention: at step `r`, row `r`
+/// was swapped with `piv[r]`) from the per-panel local pivots left in a
+/// context's store after an LU execution.
+///
+/// # Safety
+/// The caller must uphold the [`PivotStore`] contract: no LU execution
+/// writing this store may be in flight.  In practice, call this only after
+/// the executor has returned (as `lu_parallel` and `lu_anchored` do).
+pub unsafe fn assemble_global_pivots(pivots: &PivotStore, n: usize, base: usize) -> Vec<usize> {
+    assert_eq!(pivots.len(), n, "store must have one slot per column");
+    let mut piv = Vec::with_capacity(n);
+    for k in 0..n / base {
+        let local = pivots.slice(k * base, base);
+        for &p in local {
+            piv.push(k * base + p);
+        }
+    }
+    piv
 }
 
 /// Factors `a` in place in parallel with partial pivoting and returns the global
@@ -174,81 +189,10 @@ pub fn lu_parallel(pool: &ThreadPool, a: &mut Matrix, mode: Mode, base: usize) -
     let n = a.rows();
     assert_eq!(a.cols(), n);
     let built = build_lu(n, base, mode);
-    let nb = n / base;
-    let view = a.as_ptr_view();
-    let pivots: Arc<Vec<Mutex<Vec<usize>>>> =
-        Arc::new((0..nb).map(|_| Mutex::new(Vec::new())).collect());
-
-    let mut graph = TaskGraph::with_capacity(built.dag.vertex_count());
-    for v in built.dag.vertex_ids() {
-        match built.dag.vertex(v) {
-            DagVertex::Strand { op: Some(op), .. } => {
-                let op = built.ops[*op as usize];
-                let pivots = Arc::clone(&pivots);
-                graph.add_task(move || {
-                    execute_lu_op(op, view, base, n, &pivots);
-                });
-            }
-            _ => {
-                graph.add_empty_task();
-            }
-        }
-    }
-    for v in built.dag.vertex_ids() {
-        for s in built.dag.successors(v) {
-            graph.add_dependency(TaskId(v.0), TaskId(s.0));
-        }
-    }
-    execute_graph(pool, graph);
-
-    // Assemble the global pivot vector from the per-panel local ones.
-    let mut piv = Vec::with_capacity(n);
-    for k in 0..nb {
-        let local = pivots[k].lock().unwrap();
-        for (t, &p) in local.iter().enumerate() {
-            piv.push(k * base + p);
-            debug_assert!(k * base + t < n);
-        }
-    }
-    piv
-}
-
-fn execute_lu_op(
-    op: LuOp,
-    view: nd_linalg::MatPtr,
-    base: usize,
-    n: usize,
-    pivots: &Arc<Vec<Mutex<Vec<usize>>>>,
-) {
-    match op {
-        LuOp::Panel { k } => {
-            let r0 = k * base;
-            let panel = view.block(r0, r0, n - r0, base);
-            // SAFETY: the LU DAG gives this task exclusive access to the panel.
-            let local = unsafe { getrf_panel_block(panel) };
-            *pivots[k].lock().unwrap() = local;
-        }
-        LuOp::Swap { k, j } => {
-            let r0 = k * base;
-            let block = view.block(r0, j * base, n - r0, base);
-            let local = pivots[k].lock().unwrap().clone();
-            // SAFETY: exclusive access to the block column below row r0 by the DAG.
-            unsafe { swap_rows_block(block, &local) };
-        }
-        LuOp::Solve { k, j } => {
-            let l = view.block(k * base, k * base, base, base);
-            let b = view.block(k * base, j * base, base, base);
-            // SAFETY: the DAG orders this after the panel and the block's swap.
-            unsafe { trsm_unit_lower_block(l, b) };
-        }
-        LuOp::Update { k, i, j } => {
-            let c = view.block(i * base, j * base, base, base);
-            let a = view.block(i * base, k * base, base, base);
-            let b = view.block(k * base, j * base, base, base);
-            // SAFETY: the DAG orders this after the producing solve/panel tasks.
-            unsafe { gemm_block(c, a, b, -1.0) };
-        }
-    }
+    let ctx = ExecContext::with_pivots(&mut [a], n);
+    run(pool, &built, &ctx);
+    // SAFETY: the execution above has completed; no writer holds the store.
+    unsafe { assemble_global_pivots(&ctx.pivots, n, base) }
 }
 
 /// Work/span summary of the NP and ND variants (used by the benchmark harness).
@@ -261,6 +205,7 @@ pub fn lu_span_comparison(n: usize, base: usize) -> (WorkSpan, WorkSpan) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::execute_reuse_rounds;
     use nd_linalg::getrf::{getrf_naive, lu_residual};
 
     #[test]
@@ -288,6 +233,22 @@ mod tests {
             nd_dag.greedy_makespan(p),
             np_dag.greedy_makespan(p)
         );
+    }
+
+    #[test]
+    fn spawn_tree_leaves_match_dag_strands() {
+        let built = build_lu(64, 16, Mode::Nd);
+        assert_eq!(built.tree.strand_count(), built.dag.strand_count());
+        assert_eq!(built.dag.strand_count(), built.ops.len());
+        for v in built.dag.vertex_ids() {
+            if let Some(node) = built.dag.vertex(v).tree_node() {
+                if built.dag.vertex(v).is_strand() {
+                    assert!(built.tree.node(node).is_strand());
+                }
+            }
+        }
+        // The root footprint annotation is the whole matrix plus the pivots.
+        assert_eq!(built.tree.effective_size(built.tree.root()), 64 * 64 + 64);
     }
 
     #[test]
@@ -325,5 +286,33 @@ mod tests {
         let mut lu = a.clone();
         let piv = lu_parallel(&pool, &mut lu, Mode::Nd, 4);
         assert!(lu_residual(&lu, &piv, &a) < 1e-10);
+    }
+
+    /// One compiled LU graph re-factors the matrix (restored in place between
+    /// runs) three times bit-identically, counters restored every round.
+    #[test]
+    fn compiled_lu_reuse_is_bit_identical() {
+        let pool = ThreadPool::new(4);
+        let n = 32;
+        let a0 = Matrix::random(n, n, 61);
+        let built = build_lu(n, 8, Mode::Nd);
+        let mut a = a0.clone();
+        let ctx = ExecContext::with_pivots(&mut [&mut a], n);
+        let pivots = std::sync::Arc::clone(&ctx.pivots);
+        let result = execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut a,
+            3,
+            |a, _| a.as_mut_slice().copy_from_slice(a0.as_slice()),
+            // SAFETY: capture runs between executions; no writer is in flight.
+            |a, _| (a.clone(), unsafe { assemble_global_pivots(&pivots, n, 8) }),
+        );
+        let (lu, piv) = result;
+        let mut seq = a0.clone();
+        let seq_piv = getrf_naive(&mut seq);
+        assert_eq!(piv, seq_piv);
+        assert!(lu.max_abs_diff(&seq) < 1e-9);
     }
 }

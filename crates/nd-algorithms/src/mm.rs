@@ -311,21 +311,19 @@ mod tests {
         let mut am = a.clone();
         let mut bm = b.clone();
         let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
-        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
-        let mut reference: Option<Matrix> = None;
-        for round in 0..3 {
+        let reference = crate::driver::execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut c,
+            3,
             // Reset C in place (the compiled table holds raw views into it).
-            c.as_mut_slice().fill(0.0);
-            compiled.execute(&pool);
-            assert!(compiled.counters_are_reset(), "round {round}");
-            match &reference {
-                None => reference = Some(c.clone()),
-                Some(r) => assert_eq!(c.max_abs_diff(r), 0.0, "round {round}"),
-            }
-        }
+            |c, _| c.as_mut_slice().fill(0.0),
+            |c, _| c.clone(),
+        );
         let mut expected = Matrix::zeros(n, n);
         nd_linalg::gemm::gemm_naive(&mut expected, &a, &b, 1.0, 0.0);
-        assert!(reference.unwrap().max_abs_diff(&expected) < 1e-9);
+        assert!(reference.max_abs_diff(&expected) < 1e-9);
     }
 
     #[test]

@@ -306,20 +306,18 @@ mod tests {
         let mut tm = t.clone();
         let mut b = b0.clone();
         let ctx = crate::exec::ExecContext::from_matrices(&mut [&mut tm, &mut b]);
-        let compiled = crate::exec::compile_algorithm(&built.dag, &built.ops, &ctx);
-        let mut reference: Option<Matrix> = None;
-        for round in 0..3 {
-            b.as_mut_slice().copy_from_slice(b0.as_slice());
-            compiled.execute(&pool);
-            assert!(compiled.counters_are_reset(), "round {round}");
-            match &reference {
-                None => reference = Some(b.clone()),
-                Some(r) => assert_eq!(b.max_abs_diff(r), 0.0, "round {round}"),
-            }
-        }
+        let reference = crate::driver::execute_reuse_rounds(
+            &pool,
+            &built,
+            &ctx,
+            &mut b,
+            3,
+            |b, _| b.as_mut_slice().copy_from_slice(b0.as_slice()),
+            |b, _| b.clone(),
+        );
         let mut expected = b0.clone();
         nd_linalg::trsm::trsm_lower_naive(&t, &mut expected);
-        assert!(reference.unwrap().max_abs_diff(&expected) < 1e-9);
+        assert!(reference.max_abs_diff(&expected) < 1e-9);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! E14: real wall-clock execution — flat work stealing versus the
-//! hierarchy-aware space-bounded executor of `nd-exec`, on MM and Cholesky —
-//! plus E15: executor hot-path microbenchmarks (per-task scheduling overhead,
-//! tasks/second, and rebuild-vs-reuse of compiled graphs).
+//! hierarchy-aware space-bounded executor of `nd-exec`, on MM, Cholesky, LU
+//! (partial pivoting) and 2-D Floyd–Warshall — plus E15: executor hot-path
+//! microbenchmarks (per-task scheduling overhead, tasks/second, and
+//! rebuild-vs-reuse of compiled graphs), and E16: rebuild-vs-reuse of the
+//! compiled LU and FW-2D drivers (the loop-blocked algorithms this repo
+//! lowers through the same compiled path as the recursive ones).
 //!
 //! Both executors run the *same* deterministic ND task graph; only the
 //! scheduling differs: the flat baseline steals blindly in ring order (but its
@@ -26,12 +29,16 @@
 //! Usage: `cargo run --release --bin exp_exec -- [n] [reps]` (default 256, 3).
 
 use nd_algorithms::cholesky::cholesky_parallel;
-use nd_algorithms::common::Mode;
+use nd_algorithms::common::{BuiltAlgorithm, Mode};
+use nd_algorithms::driver;
 use nd_algorithms::exec::{compile_algorithm, ExecContext};
+use nd_algorithms::fw2d::{apsp_parallel, build_fw2d};
+use nd_algorithms::lu::{build_lu, lu_parallel};
 use nd_algorithms::mm::{build_mm, multiply_parallel};
-use nd_exec::execute::{cholesky_anchored, multiply_anchored};
+use nd_exec::execute::{apsp_anchored, cholesky_anchored, lu_anchored, multiply_anchored};
 use nd_exec::pool::flat_topology_with_distances;
 use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+use nd_linalg::fw::random_digraph;
 use nd_linalg::Matrix;
 use nd_pmh::machine::MachineTree;
 use nd_pmh::topology::detect_host;
@@ -182,6 +189,55 @@ fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> Schedu
         per_task_ns,
         tasks_per_sec,
         chain_task_ns,
+        rebuild_seconds,
+        reuse_seconds,
+        reuse_speedup: rebuild_seconds / reuse_seconds,
+    }
+}
+
+/// Rebuild-vs-reuse of one compiled algorithm driver (E16): the old path paid
+/// build + compile on every execution; the compiled path pays it once.
+struct ReuseBench {
+    algorithm: &'static str,
+    rebuild_seconds: f64,
+    reuse_seconds: f64,
+    reuse_speedup: f64,
+}
+
+impl ReuseBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"rebuild_seconds\":{:.6},\"reuse_seconds\":{:.6},\
+\"reuse_speedup\":{:.2}}}",
+            self.algorithm, self.rebuild_seconds, self.reuse_seconds, self.reuse_speedup
+        )
+    }
+}
+
+/// Measures rebuild-every-run versus build-once/execute-many for one
+/// algorithm through the shared driver layer.  `reinit` restores the bound
+/// buffers in place before every execution (charged to both sides equally).
+fn bench_algorithm_reuse(
+    pool: &ThreadPool,
+    reps: usize,
+    algorithm: &'static str,
+    build: impl Fn() -> BuiltAlgorithm,
+    ctx: &ExecContext,
+    mut reinit: impl FnMut(),
+) -> ReuseBench {
+    let (_, rebuild_seconds) = time_reps(reps, || {
+        reinit();
+        let built = build();
+        driver::compile(&built, ctx).execute(pool);
+    });
+    let built = build();
+    let compiled = driver::compile(&built, ctx);
+    let (_, reuse_seconds) = time_reps(reps, || {
+        reinit();
+        compiled.execute(pool);
+    });
+    ReuseBench {
+        algorithm,
         rebuild_seconds,
         reuse_seconds,
         reuse_speedup: rebuild_seconds / reuse_seconds,
@@ -349,6 +405,110 @@ fn main() {
         "cholesky", "nd-exec", &layout, workers, &m,
     ));
 
+    // ------------------------------------------------------------------ LU ----
+    let lua = Matrix::random(n, n, 5);
+
+    let mut lu_flat = lua.clone();
+    {
+        let pool = ThreadPool::new(workers);
+        lu_parallel(&pool, &mut lu_flat, Mode::Nd, base);
+    }
+    {
+        let pool = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+        let mut lu_hier = lua.clone();
+        lu_anchored(&pool, &mut lu_hier, base, &cfg);
+        assert_eq!(
+            lu_flat.max_abs_diff(&lu_hier),
+            0.0,
+            "executors disagree on LU — scheduling must not change results"
+        );
+    }
+
+    let m = measure_flat(&machine, reps, |pool| {
+        let mut a = lua.clone();
+        lu_parallel(pool, &mut a, Mode::Nd, base);
+        std::hint::black_box(&a);
+    });
+    record(measurement_json("lu", "flat-ws", &layout, workers, &m));
+
+    let m = measure_anchored(&machine, reps, |pool| {
+        let mut a = lua.clone();
+        lu_anchored(pool, &mut a, base, &cfg);
+        std::hint::black_box(&a);
+    });
+    record(measurement_json("lu", "nd-exec", &layout, workers, &m));
+
+    // ------------------------------------------------------------- 2-D FW ----
+    let d0 = random_digraph(n, 4, 6);
+
+    let mut d_flat = d0.clone();
+    {
+        let pool = ThreadPool::new(workers);
+        apsp_parallel(&pool, &mut d_flat, Mode::Nd, base);
+    }
+    {
+        let pool = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+        let mut d_hier = d0.clone();
+        apsp_anchored(&pool, &mut d_hier, base, &cfg);
+        assert_eq!(
+            d_flat.max_abs_diff(&d_hier),
+            0.0,
+            "executors disagree on APSP — scheduling must not change results"
+        );
+    }
+
+    let m = measure_flat(&machine, reps, |pool| {
+        let mut d = d0.clone();
+        apsp_parallel(pool, &mut d, Mode::Nd, base);
+        std::hint::black_box(&d);
+    });
+    record(measurement_json("fw2d", "flat-ws", &layout, workers, &m));
+
+    let m = measure_anchored(&machine, reps, |pool| {
+        let mut d = d0.clone();
+        apsp_anchored(pool, &mut d, base, &cfg);
+        std::hint::black_box(&d);
+    });
+    record(measurement_json("fw2d", "nd-exec", &layout, workers, &m));
+
+    // -------------------------------- LU / FW-2D rebuild-vs-reuse (E16) ----
+    eprintln!("exp_exec: LU / FW-2D rebuild-vs-reuse (compiled drivers)");
+    let fine_base = base.min(8);
+    let reuse_pool = ThreadPool::new(workers);
+    let mut algorithm_reuse = Vec::new();
+    {
+        let mut a = lua.clone();
+        let ctx = ExecContext::with_pivots(&mut [&mut a], n);
+        let bench = bench_algorithm_reuse(
+            &reuse_pool,
+            reps,
+            "lu",
+            || build_lu(n, fine_base, Mode::Nd),
+            &ctx,
+            || a.as_mut_slice().copy_from_slice(lua.as_slice()),
+        );
+        algorithm_reuse.push(bench.json());
+    }
+    {
+        let mut d = d0.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut d]);
+        let bench = bench_algorithm_reuse(
+            &reuse_pool,
+            reps,
+            "fw2d",
+            || build_fw2d(n, fine_base, Mode::Nd),
+            &ctx,
+            || d.as_mut_slice().copy_from_slice(d0.as_slice()),
+        );
+        algorithm_reuse.push(bench.json());
+    }
+    drop(reuse_pool);
+    for line in &algorithm_reuse {
+        println!(
+            "{{\"experiment\":\"exp_exec\",\"section\":\"algorithm_reuse\",\"bench\":{line}}}"
+        );
+    }
+
     // -------------------------------------------- scheduler hot path ----
     eprintln!("exp_exec: scheduler microbenchmarks (empty tasks + rebuild-vs-reuse)");
     let sched = bench_scheduler(workers, n, base, reps);
@@ -361,8 +521,9 @@ fn main() {
     let file = format!(
         "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
 \"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
-\"scheduler\": {sched_json}\n}}\n",
-        measurements.join(",\n    ")
+\"algorithm_reuse\": [\n    {}\n  ],\n  \"scheduler\": {sched_json}\n}}\n",
+        measurements.join(",\n    "),
+        algorithm_reuse.join(",\n    ")
     );
     std::fs::write("BENCH_exec.json", &file).expect("failed to write BENCH_exec.json");
     eprintln!("exp_exec: wrote BENCH_exec.json");

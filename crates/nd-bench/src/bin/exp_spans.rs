@@ -4,7 +4,7 @@
 //! `Θ(n log n) → Θ(n)`, MM `Θ(n)` in both models, LU / 2-D FW as dataflow
 //! (makespan) improvements.
 
-use nd_algorithms::common::Mode;
+use nd_algorithms::common::{BuiltAlgorithm, Mode};
 use nd_algorithms::{cholesky, fw1d, fw2d, lcs, lu, mm, trs};
 use nd_bench::fitted_exponent;
 use nd_core::work_span::WorkSpan;
@@ -86,7 +86,10 @@ fn main() {
     }
 
     println!("\nGreedy makespans on 16 processors (blocked algorithms, shows the ND lookahead):");
-    for (name, build) in [("lu", lu::build_lu as fn(usize, usize, Mode) -> lu::LuBuilt)] {
+    for (name, build) in [(
+        "lu",
+        lu::build_lu as fn(usize, usize, Mode) -> BuiltAlgorithm,
+    )] {
         for &n in &[128usize, 256] {
             let np = build(n, 16, Mode::Np).dag.greedy_makespan(16);
             let nd = build(n, 16, Mode::Nd).dag.greedy_makespan(16);

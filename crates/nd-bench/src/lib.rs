@@ -12,8 +12,12 @@
 //! * `exp_cache_q1` — E13: serial (depth-first) cache misses of the cache-oblivious
 //!   recursive order versus the loop order.
 //! * `exp_exec` — E14: real wall-clock comparison of flat work stealing versus the
-//!   hierarchy-aware space-bounded executor (`nd-exec`) on MM and Cholesky, with
-//!   cross-cluster steal counts, emitted as JSON.
+//!   hierarchy-aware space-bounded executor (`nd-exec`) on MM, Cholesky, LU and
+//!   2-D Floyd–Warshall, with cross-cluster steal counts, emitted as JSON;
+//!   E15: executor hot-path microbenchmarks (per-task overhead, tasks/second,
+//!   serial-chain tail-execution, rebuild-vs-reuse of a compiled MM graph);
+//!   E16: rebuild-vs-reuse of the compiled LU and FW-2D drivers (the
+//!   `algorithm_reuse` section of `BENCH_exec.json`).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

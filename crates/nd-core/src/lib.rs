@@ -20,6 +20,11 @@
 //! execution lives in `nd-runtime`, and machine-model simulation in `nd-pmh` /
 //! `nd-sched`.
 //!
+//! A complete map from the paper's notation (pedigrees, `⤳` fire rules, DRS,
+//! `Q*`, `Q̂_α`, `α_max`, `σ·M_i` anchoring, PMH parameters) to the defining
+//! items in this workspace lives in [NOTATION.md](../../../NOTATION.md) at
+//! the repository root.
+//!
 //! ## Quick tour
 //!
 //! ```

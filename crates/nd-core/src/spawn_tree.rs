@@ -214,6 +214,44 @@ impl SpawnTree {
         }
     }
 
+    /// Manually adds a node to the arena — the builder entry point for
+    /// loop-blocked algorithms (LU, 2-D Floyd–Warshall) whose spawn structure
+    /// is written out directly instead of being produced by
+    /// [`SpawnTree::unfold`].  The first node added becomes the root.
+    ///
+    /// Size annotations follow the same inheritance rule as unfolded trees:
+    /// pass `Some(footprint)` on task roots and strands, `None` on plain
+    /// construct nodes (they inherit via [`SpawnTree::effective_size`]).
+    ///
+    /// # Panics
+    /// Panics if `parent` is `None` but the tree already has a root (a spawn
+    /// tree has exactly one root).
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        parent: Option<NodeId>,
+        size: Option<u64>,
+        label: impl Into<String>,
+    ) -> NodeId {
+        if parent.is_none() {
+            assert!(self.root.is_none(), "a spawn tree has exactly one root");
+        }
+        let id = self.push_with_parent(
+            Node {
+                kind,
+                parent,
+                children: Vec::new(),
+                size,
+                label: label.into(),
+            },
+            parent,
+        );
+        if parent.is_none() {
+            self.root = Some(id);
+        }
+        id
+    }
+
     /// The root node.
     ///
     /// # Panics

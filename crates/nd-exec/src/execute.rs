@@ -13,12 +13,30 @@
 //! The convenience wrappers mirror the flat `*_parallel` drivers of
 //! `nd-algorithms`, so experiments can swap executors without touching the
 //! algorithm code.
+//!
+//! Anchored quickstart — all-pairs shortest paths under `σ·M_i` placement:
+//!
+//! ```
+//! use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+//! use nd_linalg::fw::{floyd_warshall_naive, random_digraph};
+//! use nd_pmh::config::PmhConfig;
+//! use nd_pmh::machine::MachineTree;
+//!
+//! let machine = MachineTree::build(&PmhConfig::experiment_machine(1));
+//! let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+//! let mut d = random_digraph(32, 3, 1);
+//! let mut expected = d.clone();
+//! floyd_warshall_naive(&mut expected);
+//! let stats = nd_exec::execute::apsp_anchored(&pool, &mut d, 8, &AnchorConfig::default());
+//! assert!(d.max_abs_diff(&expected) < 1e-12);
+//! assert!(stats.anchors_per_level.iter().all(|&a| a > 0));
+//! ```
 
 use crate::anchor::{compute_anchoring, AnchorConfig, Anchoring};
 use crate::pool::HierarchicalPool;
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
-use nd_algorithms::exec::{compile_algorithm_placed, ExecContext};
-use nd_algorithms::{cholesky, lcs, mm, trs};
+use nd_algorithms::exec::ExecContext;
+use nd_algorithms::{cholesky, driver, fw2d, lcs, lu, mm, trs};
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::ExecStats;
 
@@ -52,7 +70,7 @@ pub fn run_anchored(
     cfg: &AnchorConfig,
 ) -> HierExecStats {
     let anchoring: Anchoring = compute_anchoring(&built.tree, &built.dag, pool.machine(), cfg);
-    let compiled = compile_algorithm_placed(&built.dag, &built.ops, ctx, anchoring.placement);
+    let compiled = driver::compile_placed(built, ctx, anchoring.placement);
     let before = pool.steals_by_distance();
     let exec = compiled.execute(pool.pool());
     let after = pool.steals_by_distance();
@@ -121,6 +139,44 @@ pub fn cholesky_anchored(
     let stats = run_anchored(pool, &built, &ctx, cfg);
     a.zero_upper_triangle();
     stats
+}
+
+/// Factors `a` in place with partial pivoting on the anchored executor and
+/// returns the global pivot vector (LAPACK convention) with the stats.
+///
+/// The runtime pivots travel through the context's lock-free
+/// [`PivotStore`](nd_linalg::PivotStore); the anchored DAG ordering makes the
+/// panel-to-swap handoff race-free exactly as on the flat executor.
+pub fn lu_anchored(
+    pool: &HierarchicalPool,
+    a: &mut Matrix,
+    base: usize,
+    cfg: &AnchorConfig,
+) -> (Vec<usize>, HierExecStats) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let built = lu::build_lu(n, base, Mode::Nd);
+    let ctx = ExecContext::with_pivots(&mut [a], n);
+    let stats = run_anchored(pool, &built, &ctx, cfg);
+    // SAFETY: the anchored execution above has completed; no writer holds
+    // the store.
+    let piv = unsafe { lu::assemble_global_pivots(&ctx.pivots, n, base) };
+    (piv, stats)
+}
+
+/// Solves all-pairs shortest paths in place on the distance matrix `d` on the
+/// anchored executor (blocked 2-D Floyd–Warshall).
+pub fn apsp_anchored(
+    pool: &HierarchicalPool,
+    d: &mut Matrix,
+    base: usize,
+    cfg: &AnchorConfig,
+) -> HierExecStats {
+    let n = d.rows();
+    assert_eq!(d.cols(), n);
+    let built = fw2d::build_fw2d(n, base, Mode::Nd);
+    let ctx = ExecContext::from_matrices(&mut [d]);
+    run_anchored(pool, &built, &ctx, cfg)
 }
 
 /// Longest common subsequence of `s` and `t` on the anchored executor.
@@ -249,6 +305,69 @@ mod tests {
                 0.0,
                 "anchored Cholesky must be bit-identical to the serial kernels"
             );
+        }
+    }
+
+    #[test]
+    fn lu_matches_the_serial_oracle_bit_for_bit() {
+        let n = 64;
+        let a = Matrix::random(n, n, 41);
+        // The bit-exact reference: the same block kernels executed by one
+        // worker (the blocked accumulation order differs from `getrf_naive`,
+        // which is therefore only checked to rounding accuracy).
+        let serial_pool = HierarchicalPool::new(
+            MachineTree::build(&PmhConfig::flat(1, 1 << 14, 10)),
+            StealPolicy::NearestFirst,
+        );
+        let mut expected = a.clone();
+        let (expected_piv, _) =
+            lu_anchored(&serial_pool, &mut expected, 8, &AnchorConfig::default());
+        let mut naive = a.clone();
+        let naive_piv = nd_linalg::getrf::getrf_naive(&mut naive);
+        assert_eq!(expected_piv, naive_piv, "pivot choices must coincide");
+        assert!(expected.max_abs_diff(&naive) < 1e-9);
+        for machine in layouts() {
+            let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+            let mut lu = a.clone();
+            let (piv, stats) = lu_anchored(&pool, &mut lu, 8, &AnchorConfig::default());
+            assert_eq!(piv, expected_piv);
+            assert_eq!(
+                lu.max_abs_diff(&expected),
+                0.0,
+                "anchored LU must be bit-identical to the serial kernels"
+            );
+            assert!(stats.anchors_per_level.iter().all(|&a| a > 0));
+        }
+    }
+
+    #[test]
+    fn apsp_matches_the_serial_oracle_bit_for_bit() {
+        let n = 64;
+        let d0 = nd_linalg::fw::random_digraph(n, 3, 17);
+        // The bit-exact reference: the same block kernels executed by one
+        // worker.  The blocked elimination's candidate-path association order
+        // differs from the textbook triple loop, so the naive oracle is only
+        // checked to rounding accuracy.
+        let serial_pool = HierarchicalPool::new(
+            MachineTree::build(&PmhConfig::flat(1, 1 << 14, 10)),
+            StealPolicy::NearestFirst,
+        );
+        let mut expected = d0.clone();
+        apsp_anchored(&serial_pool, &mut expected, 8, &AnchorConfig::default());
+        let mut naive = d0.clone();
+        nd_linalg::fw::floyd_warshall_naive(&mut naive);
+        assert!(expected.max_abs_diff(&naive) < 1e-12);
+        for machine in layouts() {
+            let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+            let mut d = d0.clone();
+            let stats = apsp_anchored(&pool, &mut d, 8, &AnchorConfig::default());
+            assert_eq!(
+                d.max_abs_diff(&expected),
+                0.0,
+                "anchored APSP must be bit-identical to the serial kernels"
+            );
+            assert!(stats.exec.tasks > 0);
+            assert!(stats.anchors_per_level.iter().all(|&a| a > 0));
         }
     }
 

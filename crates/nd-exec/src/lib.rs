@@ -9,7 +9,7 @@
 //! 1. the host's memory hierarchy is detected (or synthesized) by
 //!    [`nd_pmh::topology`] and instantiated as a
 //!    [`MachineTree`](nd_pmh::machine::MachineTree);
-//! 2. a [`HierarchicalPool`](pool::HierarchicalPool) lays a topology over
+//! 2. a [`HierarchicalPool`] lays a topology over
 //!    `nd-runtime`'s work-stealing pool: workers are grouped into subclusters
 //!    mirroring the machine tree, each subcluster gets its own task queue, and
 //!    idle workers steal **nearest-cluster-first**;
@@ -27,10 +27,15 @@
 //!    successor runs in place only when the finishing worker belongs to the
 //!    successor's anchor group, otherwise it is routed to that group's queue.
 //!
-//! The result is the repository's first *paper-faithful real execution path*:
-//! MM, TRS, Cholesky and LCS run end-to-end on the anchored executor and the
-//! tests check their outputs bit-for-bit against the serial kernels of
-//! `nd-linalg`.
+//! The result is the repository's *paper-faithful real execution path*: all
+//! seven algorithms — MM, TRS, Cholesky, LCS, 1-D Floyd–Warshall, LU with
+//! partial pivoting and 2-D Floyd–Warshall (APSP) — run end-to-end on the
+//! anchored executor and the tests check their outputs bit-for-bit against
+//! the serial kernels of `nd-linalg`.  The loop-blocked algorithms (LU,
+//! FW-2D) get their spawn trees from the access-set builder of
+//! `nd-algorithms`, so the same `σ·M_i`-maximal decomposition anchors them
+//! too; LU's runtime pivots travel through a lock-free
+//! [`PivotStore`](nd_linalg::PivotStore) ordered by the DAG.
 //!
 //! ```
 //! use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};

@@ -7,6 +7,76 @@
 //! `nd-algorithms` is built from.
 
 use crate::matrix::{MatPtr, Matrix};
+use std::cell::UnsafeCell;
+
+/// A pre-sized, index-disjoint store for LU's runtime pivot data.
+///
+/// Partial pivoting makes LU the one algorithm in this repository whose block
+/// kernels communicate *runtime data* (the row interchanges chosen by each
+/// panel factorization) and not just matrix elements.  `PivotStore` carries
+/// that data in the same lock-free style as [`MatPtr`]: panel `k` of width `b`
+/// owns the slots `k·b .. (k+1)·b`, the algorithm DAG orders the panel's write
+/// before every read by the step's row swaps, and distinct panels touch
+/// disjoint slots — so no mutex or atomic is needed on the executor hot path.
+///
+/// # Safety contract
+///
+/// Same shape as [`MatPtr`]: two accesses to the same slot must not race.  In
+/// this repository that is guaranteed by executing the LU block operations in
+/// the order of the algorithm DAG (panel `k` → swaps of step `k`), which the
+/// dataflow executor's acquire/release dependency counters turn into
+/// happens-before edges.
+pub struct PivotStore {
+    slots: Box<[UnsafeCell<usize>]>,
+}
+
+// SAFETY: PivotStore is a raw slot store; synchronisation is provided
+// externally by the algorithm DAG (see the type-level documentation).
+unsafe impl Send for PivotStore {}
+unsafe impl Sync for PivotStore {}
+
+impl PivotStore {
+    /// A store of `len` slots, all zero.
+    pub fn new(len: usize) -> Self {
+        PivotStore {
+            slots: (0..len).map(|_| UnsafeCell::new(0)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Exclusive view of the slots `offset .. offset + len` (one panel's
+    /// pivot vector).
+    ///
+    /// # Safety
+    /// The caller must uphold the [`PivotStore`] safety contract: no other
+    /// access to these slots may overlap the returned borrow.  The range must
+    /// be in bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [usize] {
+        debug_assert!(offset + len <= self.slots.len());
+        std::slice::from_raw_parts_mut(self.slots[offset].get(), len)
+    }
+
+    /// Shared view of the slots `offset .. offset + len`.
+    ///
+    /// # Safety
+    /// The caller must uphold the [`PivotStore`] safety contract: no write to
+    /// these slots may overlap the returned borrow.  The range must be in
+    /// bounds.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[usize] {
+        debug_assert!(offset + len <= self.slots.len());
+        std::slice::from_raw_parts(self.slots[offset].get(), len)
+    }
+}
 
 /// In-place LU factorization with partial pivoting (safe reference
 /// implementation).  On return `a` holds `L` (unit lower, below the diagonal) and
@@ -109,11 +179,31 @@ pub fn lu_residual(lu: &Matrix, piv: &[usize], a: &Matrix) -> f64 {
 /// The caller must uphold the [`MatPtr`] safety contract: exclusive access to the
 /// panel for the duration of the call.
 pub unsafe fn getrf_panel_block(a: MatPtr) -> Vec<usize> {
+    let mut piv = vec![0usize; a.rows().min(a.cols())];
+    getrf_panel_block_into(a, &mut piv);
+    piv
+}
+
+/// Allocation-free form of [`getrf_panel_block`]: writes the local pivot rows
+/// into `piv` (one entry per factored column) instead of allocating a vector —
+/// the form the compiled executor dispatches, with `piv` a panel-owned slice
+/// of a [`PivotStore`].
+///
+/// # Safety
+/// Same as [`getrf_panel_block`], plus exclusive access to `piv`.
+///
+/// # Panics
+/// Panics if `piv.len()` differs from `min(rows, cols)`.
+pub unsafe fn getrf_panel_block_into(a: MatPtr, piv: &mut [usize]) {
     let n = a.rows();
     let m = a.cols();
     let steps = n.min(m);
-    let mut piv = Vec::with_capacity(steps);
-    for k in 0..steps {
+    assert_eq!(
+        piv.len(),
+        steps,
+        "pivot slice must cover the factored columns"
+    );
+    for (k, piv_k) in piv.iter_mut().enumerate() {
         let mut p = k;
         let mut best = a.get(k, k).abs();
         for i in (k + 1)..n {
@@ -124,7 +214,7 @@ pub unsafe fn getrf_panel_block(a: MatPtr) -> Vec<usize> {
             }
         }
         debug_assert!(best > 0.0, "panel is singular at column {k}");
-        piv.push(p);
+        *piv_k = p;
         if p != k {
             for j in 0..m {
                 let tmp = a.get(k, j);
@@ -141,7 +231,6 @@ pub unsafe fn getrf_panel_block(a: MatPtr) -> Vec<usize> {
             }
         }
     }
-    piv
 }
 
 /// Block kernel: applies local row interchanges to a block (the trailing columns of
@@ -257,6 +346,24 @@ mod tests {
         let mut c = a.clone();
         apply_pivots(&mut c, &piv);
         assert!(b.max_abs_diff(&c) < 1e-15);
+    }
+
+    #[test]
+    fn panel_block_into_store_matches_vec_form() {
+        let a = Matrix::random(16, 4, 17);
+        let mut vec_lu = a.clone();
+        let vec_piv = unsafe { getrf_panel_block(vec_lu.as_ptr_view()) };
+        let mut store_lu = a.clone();
+        let store = PivotStore::new(8);
+        unsafe {
+            getrf_panel_block_into(store_lu.as_ptr_view(), store.slice_mut(4, 4));
+        }
+        assert_eq!(unsafe { store.slice(4, 4) }, &vec_piv[..]);
+        assert_eq!(vec_lu.max_abs_diff(&store_lu), 0.0);
+        // Slots outside the panel's range are untouched.
+        assert_eq!(unsafe { store.slice(0, 4) }, &[0usize; 4]);
+        assert_eq!(store.len(), 8);
+        assert!(!store.is_empty());
     }
 
     #[test]

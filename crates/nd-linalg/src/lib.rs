@@ -7,8 +7,8 @@
 //!
 //! Contents:
 //!
-//! * [`matrix`] — row-major [`Matrix`](matrix::Matrix), random/SPD generators, norms,
-//!   and the raw block view [`MatPtr`](matrix::MatPtr) used by parallel executors.
+//! * [`matrix`] — row-major [`Matrix`], random/SPD generators, norms,
+//!   and the raw block view [`MatPtr`] used by parallel executors.
 //! * [`gemm`] — matrix multiply(-subtract) kernels (`C ± A·B`, `C ± A·Bᵀ`).
 //! * [`trsm`] — triangular solves (left lower, and right lower-transposed).
 //! * [`potrf`] — Cholesky factorization.
@@ -19,7 +19,7 @@
 //!
 //! Every module has a *naive* (triple-loop / textbook) reference implementation used
 //! by tests and by the benchmark harness as ground truth, plus block kernels on
-//! [`MatPtr`](matrix::MatPtr) views.  The block kernels are `unsafe fn`: they write
+//! [`MatPtr`] views.  The block kernels are `unsafe fn`: they write
 //! through raw pointers and the caller must guarantee that concurrent invocations
 //! never overlap — the guarantee the Nested Dataflow algorithm DAG provides by
 //! construction.
@@ -35,4 +35,5 @@ pub mod matrix;
 pub mod potrf;
 pub mod trsm;
 
+pub use getrf::PivotStore;
 pub use matrix::{MatPtr, Matrix};

@@ -7,9 +7,9 @@
 //!
 //! This crate provides:
 //!
-//! * [`config`] — machine descriptions ([`PmhConfig`](config::PmhConfig)) and presets,
+//! * [`config`] — machine descriptions ([`PmhConfig`]) and presets,
 //! * [`machine`] — the instantiated cache/processor tree
-//!   ([`MachineTree`](machine::MachineTree)) that the schedulers in `nd-sched`
+//!   ([`MachineTree`]) that the schedulers in `nd-sched`
 //!   allocate anchors and subclusters on,
 //! * [`cache`] — an ideal (fully-associative, LRU) cache simulator,
 //! * [`hierarchy`] — a serial multi-level inclusive cache simulator,

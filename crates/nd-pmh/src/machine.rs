@@ -1,6 +1,6 @@
 //! The instantiated PMH tree: concrete cache instances and processors.
 //!
-//! [`MachineTree`] expands a [`PmhConfig`](crate::config::PmhConfig) into the actual
+//! [`MachineTree`] expands a [`PmhConfig`] into the actual
 //! symmetric tree of Figure 2 of the paper: one node per cache instance, one leaf
 //! per processor.  The space-bounded scheduler in `nd-sched` anchors tasks to these
 //! cache instances and allocates subclusters (subtrees) below them.

@@ -2,7 +2,7 @@
 //! process is actually running on.
 //!
 //! The simulated schedulers of `nd-sched` run on hand-written
-//! [`PmhConfig`](crate::config::PmhConfig)s; the *real* hierarchy-aware
+//! [`PmhConfig`]s; the *real* hierarchy-aware
 //! executor (`nd-exec`) instead wants the PMH of the host.  On Linux this
 //! module reads it from sysfs (`/sys/devices/system/cpu/cpu*/cache/index*`);
 //! everywhere else — and whenever sysfs is absent, unreadable, or describes an

@@ -29,6 +29,33 @@
 //!    already reset and can be executed again without rebuilding.  An explicit
 //!    [`CompiledGraph::reset`] exists for recovery after a panicked run.
 //!
+//! The whole lifecycle in a dozen lines:
+//!
+//! ```
+//! use nd_runtime::dataflow::TaskGraph;
+//! use nd_runtime::ThreadPool;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = ThreadPool::new(2);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! let mut graph = TaskGraph::new();
+//! let (h1, h2) = (Arc::clone(&hits), Arc::clone(&hits));
+//! let a = graph.add_task(move || { h1.fetch_add(1, Ordering::SeqCst); });
+//! let b = graph.add_task(move || { h2.fetch_add(1, Ordering::SeqCst); });
+//! graph.add_dependency(a, b);
+//!
+//! // Build once …
+//! let mut compiled = graph.compile();
+//! // … execute any number of times: the graph auto-resets after every run.
+//! for round in 1..=3 {
+//!     let stats = compiled.execute(&pool);
+//!     assert_eq!(stats.tasks, 2);
+//!     assert!(compiled.counters_are_reset());
+//!     assert_eq!(hits.load(Ordering::SeqCst), 2 * round);
+//! }
+//! ```
+//!
 //! # Inline tail-execution
 //!
 //! When finishing a task makes **exactly one** successor ready (and placement

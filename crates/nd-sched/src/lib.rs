@@ -21,6 +21,10 @@
 //! * [`cost`] — the per-strand cost model (work plus per-level miss charges) shared
 //!   by both simulators;
 //! * [`stats`] — per-level miss counts, completion times and utilisation.
+//!
+//! The paper's scheduler notation (`σ·M_i` anchoring, `g_i(S)`, `Q*(t; σ·M_j)`,
+//! `α′`, PMH parameters) is mapped symbol-by-symbol to code in
+//! [NOTATION.md](../../../NOTATION.md) at the repository root.
 
 #![warn(rust_2018_idioms)]
 #![deny(missing_docs)]

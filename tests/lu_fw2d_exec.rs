@@ -1,0 +1,201 @@
+//! Acceptance tests for the LU and 2-D Floyd–Warshall compiled drivers: flat
+//! and anchored execution against the serial oracles, build-once /
+//! execute-many reuse through the shared driver layer, and randomized-shape
+//! property tests mirroring `tests/graph_reuse.rs`.
+
+use nd_algorithms::common::Mode;
+use nd_algorithms::driver::execute_reuse_rounds;
+use nd_algorithms::exec::ExecContext;
+use nd_algorithms::fw2d::{apsp_parallel, build_fw2d};
+use nd_algorithms::lu::{assemble_global_pivots, build_lu, lu_parallel};
+use nd_exec::execute::{apsp_anchored, lu_anchored};
+use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+use nd_linalg::fw::{floyd_warshall_naive, random_digraph};
+use nd_linalg::getrf::{getrf_naive, lu_residual};
+use nd_linalg::Matrix;
+use nd_pmh::config::{CacheLevelSpec, PmhConfig};
+use nd_pmh::machine::MachineTree;
+use nd_runtime::ThreadPool;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn layouts() -> Vec<MachineTree> {
+    vec![
+        MachineTree::build(&PmhConfig::flat(1, 1 << 14, 10)),
+        MachineTree::build(&PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 10),
+                CacheLevelSpec::new(1 << 14, 2, 100),
+            ],
+            1,
+        )),
+        MachineTree::build(&PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 10),
+                CacheLevelSpec::new(1 << 14, 2, 100),
+            ],
+            2,
+        )),
+    ]
+}
+
+/// Flat pools of several sizes and anchored pools of several layouts all
+/// produce the same LU bits (scheduling must not change results), and the
+/// result factors `P·A` to rounding accuracy.
+#[test]
+fn lu_flat_and_anchored_agree_across_layouts() {
+    let n = 64;
+    let base = 8;
+    let a = Matrix::random(n, n, 7);
+    let mut reference = a.clone();
+    let reference_piv = lu_parallel(&ThreadPool::new(1), &mut reference, Mode::Nd, base);
+    assert!(lu_residual(&reference, &reference_piv, &a) < 1e-10);
+
+    for workers in [2usize, 4] {
+        let mut lu = a.clone();
+        let piv = lu_parallel(&ThreadPool::new(workers), &mut lu, Mode::Nd, base);
+        assert_eq!(piv, reference_piv, "workers={workers}");
+        assert_eq!(lu.max_abs_diff(&reference), 0.0, "workers={workers}");
+    }
+    for (i, machine) in layouts().into_iter().enumerate() {
+        let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+        let mut lu = a.clone();
+        let (piv, stats) = lu_anchored(&pool, &mut lu, base, &AnchorConfig::default());
+        assert_eq!(piv, reference_piv, "layout {i}");
+        assert_eq!(lu.max_abs_diff(&reference), 0.0, "layout {i}");
+        assert_eq!(
+            stats.exec.tasks,
+            stats.exec.tasks_per_worker.iter().sum::<u64>() as usize
+        );
+    }
+}
+
+/// Same for the blocked APSP: every executor produces the 1-worker bits, and
+/// those match the textbook Floyd–Warshall to rounding accuracy.
+#[test]
+fn apsp_flat_and_anchored_agree_across_layouts() {
+    let n = 64;
+    let base = 8;
+    let d0 = random_digraph(n, 3, 11);
+    let mut reference = d0.clone();
+    apsp_parallel(&ThreadPool::new(1), &mut reference, Mode::Nd, base);
+    let mut naive = d0.clone();
+    floyd_warshall_naive(&mut naive);
+    assert!(reference.max_abs_diff(&naive) < 1e-12);
+
+    for workers in [2usize, 4] {
+        let mut d = d0.clone();
+        apsp_parallel(&ThreadPool::new(workers), &mut d, Mode::Nd, base);
+        assert_eq!(d.max_abs_diff(&reference), 0.0, "workers={workers}");
+    }
+    for (i, machine) in layouts().into_iter().enumerate() {
+        let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+        let mut d = d0.clone();
+        apsp_anchored(&pool, &mut d, base, &AnchorConfig::default());
+        assert_eq!(d.max_abs_diff(&reference), 0.0, "layout {i}");
+    }
+}
+
+/// One compiled LU graph, executed three times against the same buffers
+/// (matrix restored in place between rounds): bit-identical results,
+/// counters restored, pivots re-derived each round.
+#[test]
+fn compiled_lu_reuse_three_rounds() {
+    let pool = ThreadPool::new(4);
+    let n = 64;
+    let base = 16;
+    let a0 = Matrix::random(n, n, 21);
+    let built = build_lu(n, base, Mode::Nd);
+    let mut a = a0.clone();
+    let ctx = ExecContext::with_pivots(&mut [&mut a], n);
+    let pivots = Arc::clone(&ctx.pivots);
+    let (lu, piv) = execute_reuse_rounds(
+        &pool,
+        &built,
+        &ctx,
+        &mut a,
+        3,
+        |a, _| a.as_mut_slice().copy_from_slice(a0.as_slice()),
+        // SAFETY: capture runs between executions; no writer is in flight.
+        |a, _| {
+            (a.clone(), unsafe {
+                assemble_global_pivots(&pivots, n, base)
+            })
+        },
+    );
+    let mut seq = a0.clone();
+    let seq_piv = getrf_naive(&mut seq);
+    assert_eq!(piv, seq_piv);
+    assert!(lu.max_abs_diff(&seq) < 1e-9);
+}
+
+/// One compiled APSP graph, executed three times (distance matrix re-seeded
+/// in place between rounds): bit-identical results, counters restored.
+#[test]
+fn compiled_fw2d_reuse_three_rounds() {
+    let pool = ThreadPool::new(4);
+    let n = 64;
+    let d0 = random_digraph(n, 4, 23);
+    let built = build_fw2d(n, 16, Mode::Nd);
+    let mut d = d0.clone();
+    let ctx = ExecContext::from_matrices(&mut [&mut d]);
+    let result = execute_reuse_rounds(
+        &pool,
+        &built,
+        &ctx,
+        &mut d,
+        3,
+        |d, _| d.as_mut_slice().copy_from_slice(d0.as_slice()),
+        |d, _| d.clone(),
+    );
+    let mut naive = d0.clone();
+    floyd_warshall_naive(&mut naive);
+    assert!(result.max_abs_diff(&naive) < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized shapes: for any power-of-two (n, base) pair, parallel LU
+    /// reproduces the sequential pivoted factorization.
+    #[test]
+    fn randomized_shapes_lu_matches_naive(
+        seed in 0u64..10_000,
+        base_exp in 2u32..5,     // base in {4, 8, 16}
+        ratio_exp in 1u32..4,    // n / base in {2, 4, 8}
+        workers in 1usize..5,
+    ) {
+        let base = 1usize << base_exp;
+        let n = base << ratio_exp;
+        let a = Matrix::random(n, n, seed);
+        let mut seq = a.clone();
+        let seq_piv = getrf_naive(&mut seq);
+        let pool = ThreadPool::new(workers);
+        let mut par = a.clone();
+        let par_piv = lu_parallel(&pool, &mut par, Mode::Nd, base);
+        prop_assert_eq!(par_piv, seq_piv);
+        prop_assert!(par.max_abs_diff(&seq) < 1e-9,
+            "n={} base={} workers={}: diff {}", n, base, workers, par.max_abs_diff(&seq));
+    }
+
+    /// Randomized shapes: for any power-of-two (n, base) pair, parallel APSP
+    /// reproduces the textbook Floyd–Warshall distances.
+    #[test]
+    fn randomized_shapes_apsp_matches_naive(
+        seed in 0u64..10_000,
+        base_exp in 2u32..5,
+        ratio_exp in 1u32..4,
+        workers in 1usize..5,
+    ) {
+        let base = 1usize << base_exp;
+        let n = base << ratio_exp;
+        let d0 = random_digraph(n, 3, seed);
+        let mut naive = d0.clone();
+        floyd_warshall_naive(&mut naive);
+        let pool = ThreadPool::new(workers);
+        let mut d = d0.clone();
+        apsp_parallel(&pool, &mut d, Mode::Nd, base);
+        prop_assert!(d.max_abs_diff(&naive) < 1e-12,
+            "n={} base={} workers={}: diff {}", n, base, workers, d.max_abs_diff(&naive));
+    }
+}

@@ -17,8 +17,16 @@
 //! algorithms the same `(tree, dag)` pair the recursive algorithms get from
 //! [`SpawnTree::unfold`] — which is what the `σ·M_i`-maximal decomposition of
 //! `nd-sched`, and therefore the anchored executor of `nd-exec`, operate on.
+//!
+//! For the recursive algorithms the DAG authority is the fire-rule frontend
+//! ([`crate::frontend`]); here the tracker serves as their independent
+//! **cross-check oracle**: [`access_oracle_dag`] replays a DRS-built program's
+//! recorded block operations through [`op_accesses`], and the workspace test
+//! `tests/drs_frontend.rs` asserts both constructions induce the same
+//! precedence relation over strands.
 
-use nd_core::dag::{AlgorithmDag, DagVertexId};
+use crate::common::{BlockOp, BuiltAlgorithm, Rect};
+use nd_core::dag::{AlgorithmDag, DagVertex, DagVertexId};
 use nd_core::spawn_tree::{NodeId, NodeKind, SpawnTree};
 use std::collections::HashMap;
 
@@ -175,6 +183,159 @@ impl AccessDagBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The access-set cross-check oracle for DRS-built programs.
+//
+// The fire-rule frontend (`crate::frontend`) is the DAG authority for the
+// recursive algorithms; the functions below recover the *data-dependency
+// ground truth* of the same program independently, by replaying its recorded
+// block operations in program order through the access tracker.  The
+// `tests/drs_frontend.rs` workspace suite asserts both constructions induce
+// the same precedence relation over strands.
+// ---------------------------------------------------------------------------
+
+/// Pseudo-matrix index used for the cells of the runtime pivot store (LU).
+const PIVOT_MAT: usize = (1 << 20) - 1;
+
+/// Encodes one abstract memory cell `(matrix, row, column)` as a `u64`.
+#[inline]
+fn cell(mat: usize, r: usize, c: usize) -> u64 {
+    debug_assert!(r < (1 << 22) && c < (1 << 22) && mat < (1 << 20));
+    ((mat as u64) << 44) | ((r as u64) << 22) | c as u64
+}
+
+/// Appends every cell of a rectangular block.
+fn rect_cells(out: &mut Vec<u64>, r: &Rect) {
+    for i in 0..r.rows {
+        for j in 0..r.cols {
+            out.push(cell(r.mat, r.r + i, r.c + j));
+        }
+    }
+}
+
+/// The abstract read and write sets of one block operation, at cell
+/// granularity — exactly the cells the corresponding `nd-linalg` kernel
+/// touches (DP-table operations read only their boundary, not the whole
+/// table, so the oracle is as sharp as the fire rules it cross-checks).
+pub fn op_accesses(op: &BlockOp) -> (Vec<u64>, Vec<u64>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    match op {
+        BlockOp::Gemm { c, a, b, .. } | BlockOp::GemmNt { c, a, b, .. } => {
+            rect_cells(&mut reads, a);
+            rect_cells(&mut reads, b);
+            rect_cells(&mut reads, c); // accumulation reads the output block
+            rect_cells(&mut writes, c);
+        }
+        BlockOp::TrsmLower { t, b } => {
+            rect_cells(&mut reads, t);
+            rect_cells(&mut reads, b);
+            rect_cells(&mut writes, b);
+        }
+        BlockOp::TrsmRightLt { l, b } | BlockOp::TrsmUnitLower { l, b } => {
+            rect_cells(&mut reads, l);
+            rect_cells(&mut reads, b);
+            rect_cells(&mut writes, b);
+        }
+        BlockOp::Potrf { a } => {
+            rect_cells(&mut reads, a);
+            rect_cells(&mut writes, a);
+        }
+        BlockOp::LuPanel { a, piv } => {
+            rect_cells(&mut reads, a);
+            rect_cells(&mut writes, a);
+            for k in 0..a.cols {
+                writes.push(cell(PIVOT_MAT, 0, piv + k));
+            }
+        }
+        BlockOp::LuRowSwap { a, piv, len } => {
+            rect_cells(&mut reads, a);
+            for k in 0..*len {
+                reads.push(cell(PIVOT_MAT, 0, piv + k));
+            }
+            rect_cells(&mut writes, a);
+        }
+        BlockOp::LcsBlock {
+            table,
+            i0,
+            i1,
+            j0,
+            j1,
+        } => {
+            // Reads: the top boundary row (including the corner) and the left
+            // boundary column of the block.
+            for j in (j0 - 1)..*j1 {
+                reads.push(cell(*table, i0 - 1, j));
+            }
+            for i in *i0..*i1 {
+                reads.push(cell(*table, i, j0 - 1));
+            }
+            for i in *i0..*i1 {
+                for j in *j0..*j1 {
+                    writes.push(cell(*table, i, j));
+                }
+            }
+        }
+        BlockOp::Fw1dBlock {
+            table,
+            t0,
+            t1,
+            i0,
+            i1,
+        } => {
+            // Reads: the row above the block, plus the previous diagonal cell
+            // of every time step (`d(t−1, t−1)`).
+            for i in *i0..*i1 {
+                reads.push(cell(*table, t0 - 1, i));
+            }
+            for t in *t0..*t1 {
+                reads.push(cell(*table, t - 1, t - 1));
+            }
+            for t in *t0..*t1 {
+                for i in *i0..*i1 {
+                    writes.push(cell(*table, t, i));
+                }
+            }
+        }
+        BlockOp::FwUpdate { x, u, v } => {
+            rect_cells(&mut reads, u);
+            rect_cells(&mut reads, v);
+            rect_cells(&mut reads, x);
+            rect_cells(&mut writes, x);
+        }
+        BlockOp::Nop => {}
+    }
+    (reads, writes)
+}
+
+/// Rebuilds the dependency structure of a DRS-built algorithm from its block
+/// operations' access sets alone — the cross-check oracle for the fire-rule
+/// frontend.
+///
+/// The built algorithm's strand vertices appear in spawn-tree pre-order,
+/// which is the program's sequential-elision order, so replaying them in
+/// vertex order through the tracker serialises exactly the conflicting
+/// accesses.  The returned DAG's strands carry the same `op` tags as
+/// `built.dag`, which is how `tests/drs_frontend.rs` matches leaves when
+/// comparing the two precedence relations.
+pub fn access_oracle_dag(built: &BuiltAlgorithm) -> AlgorithmDag {
+    let mut b = AccessDagBuilder::new();
+    for v in built.dag.vertex_ids() {
+        if let DagVertex::Strand {
+            work,
+            size,
+            op: Some(op),
+            label,
+            ..
+        } = built.dag.vertex(v)
+        {
+            let (reads, writes) = op_accesses(&built.ops[*op as usize]);
+            b.add_task(*work, *size, Some(*op), label.clone(), &reads, &writes);
+        }
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +431,54 @@ mod tests {
     fn unbalanced_close_panics() {
         let mut b = AccessDagBuilder::new();
         b.close_task();
+    }
+
+    #[test]
+    fn gemm_accesses_cover_all_three_blocks() {
+        let op = BlockOp::Gemm {
+            c: Rect::new(0, 0, 0, 2, 2),
+            a: Rect::new(1, 2, 0, 2, 3),
+            b: Rect::new(2, 0, 4, 3, 2),
+            alpha: 1.0,
+        };
+        let (reads, writes) = op_accesses(&op);
+        assert_eq!(reads.len(), 2 * 3 + 3 * 2 + 2 * 2);
+        assert_eq!(writes.len(), 4);
+        // Writes are exactly the C block, disjoint from the A/B read cells.
+        for w in &writes {
+            assert_eq!(w >> 44, 0, "writes stay in matrix 0");
+        }
+    }
+
+    #[test]
+    fn lcs_accesses_read_only_the_boundary() {
+        let op = BlockOp::LcsBlock {
+            table: 0,
+            i0: 3,
+            i1: 5,
+            j0: 3,
+            j1: 5,
+        };
+        let (reads, writes) = op_accesses(&op);
+        // Top boundary row: columns 2..5 (3 cells); left column: rows 3..5
+        // (2 cells).  Writes: the 2×2 block.
+        assert_eq!(reads.len(), 3 + 2);
+        assert_eq!(writes.len(), 4);
+        assert!(reads.iter().all(|r| !writes.contains(r)));
+    }
+
+    #[test]
+    fn fw1d_accesses_include_the_previous_diagonal() {
+        let op = BlockOp::Fw1dBlock {
+            table: 0,
+            t0: 5,
+            t1: 7,
+            i0: 1,
+            i1: 3,
+        };
+        let (reads, _) = op_accesses(&op);
+        // d(t−1, t−1) for t ∈ {5, 6}: cells (4,4) and (5,5).
+        assert!(reads.contains(&cell(0, 4, 4)));
+        assert!(reads.contains(&cell(0, 5, 5)));
     }
 }

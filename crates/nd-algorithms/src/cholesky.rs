@@ -36,14 +36,12 @@
 
 use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode, Rect};
 use crate::exec::{run, ExecContext};
+use crate::frontend::{build_program, FireProgram, OpRecorder};
 use crate::mm::register_mm_fire_types;
-use nd_core::drs::DagRewriter;
 use nd_core::fire::{FireRuleSpec, FireTable};
 use nd_core::program::{Composition, Expansion, NdProgram};
-use nd_core::spawn_tree::SpawnTree;
 use nd_linalg::Matrix;
 use nd_runtime::ThreadPool;
-use std::cell::RefCell;
 
 /// A task of the Cholesky program.
 #[derive(Clone, Debug)]
@@ -205,7 +203,7 @@ pub struct CholeskyProgram {
     /// NP or ND.
     pub mode: Mode,
     fires: FireTable,
-    ops: RefCell<Vec<BlockOp>>,
+    ops: OpRecorder,
 }
 
 impl CholeskyProgram {
@@ -218,20 +216,12 @@ impl CholeskyProgram {
             base,
             mode,
             fires,
-            ops: RefCell::new(Vec::new()),
+            ops: OpRecorder::new(),
         }
     }
 
-    /// The operations recorded so far.
-    pub fn take_ops(&self) -> Vec<BlockOp> {
-        self.ops.take()
-    }
-
     fn strand(&self, op: BlockOp, work: u64, size: u64) -> Expansion<ChoTask> {
-        let mut ops = self.ops.borrow_mut();
-        let idx = ops.len() as u64;
-        ops.push(op);
-        Expansion::strand_op(work, size, idx)
+        self.ops.strand(work, size, op)
     }
 
     fn expand_cho(&self, a: &Rect) -> Expansion<ChoTask> {
@@ -378,6 +368,18 @@ impl CholeskyProgram {
     }
 }
 
+impl FireProgram for CholeskyProgram {
+    fn recorder(&self) -> &OpRecorder {
+        &self.ops
+    }
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+    fn max_construct_arity(&self) -> u8 {
+        3 // the SYRK groups are ternary (SYRK ‖ GNT ‖ SYRK)
+    }
+}
+
 impl NdProgram for CholeskyProgram {
     type Task = ChoTask;
 
@@ -421,17 +423,11 @@ pub fn build_cholesky(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
     let root = ChoTask::Cho {
         a: Rect::new(0, 0, 0, n, n),
     };
-    let tree = SpawnTree::unfold(&program, root);
-    let dag = DagRewriter::new(&tree, program.fire_table()).build();
-    let ops = program.take_ops();
-    BuiltAlgorithm {
-        tree,
-        dag,
-        fires: program.fires,
-        ops,
-        mode,
-        label: format!("cholesky-{}-n{}-b{}", mode.name(), n, base),
-    }
+    build_program(
+        &program,
+        root,
+        format!("cholesky-{}-n{}-b{}", mode.name(), n, base),
+    )
 }
 
 /// Factors `a` in place in parallel: on return the lower triangle holds `L` (the

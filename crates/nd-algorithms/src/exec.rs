@@ -31,7 +31,7 @@
 //! comparing parallel results against the sequential reference kernels.
 
 use crate::common::{BlockOp, BuiltAlgorithm, Rect};
-use nd_core::dag::{AlgorithmDag, DagVertex};
+use nd_core::dag::AlgorithmDag;
 use nd_linalg::getrf::{self, PivotStore};
 use nd_linalg::matrix::{MatPtr, Matrix};
 use nd_linalg::{fw, gemm, lcs, potrf, trsm};
@@ -393,22 +393,17 @@ pub fn compile_algorithm_placed(
     ctx: &ExecContext,
     placement: Vec<Placement>,
 ) -> CompiledAlgorithm {
-    let n = dag.vertex_count();
-    let mut compiled_ops = Vec::with_capacity(n);
-    let mut edges = Vec::new();
-    for v in dag.vertex_ids() {
-        match dag.vertex(v) {
-            DagVertex::Strand { op: Some(op), .. } => {
-                compiled_ops.push(compile_op(&ops[*op as usize], ctx));
-            }
-            _ => compiled_ops.push(CompiledOp::Nop),
-        }
-        for s in dag.successors(v) {
-            edges.push((v.0, s.0));
-        }
-    }
+    let lowered = nd_runtime::lower::lower_dag(dag, placement);
+    let compiled_ops = lowered
+        .op_tags
+        .iter()
+        .map(|tag| match tag {
+            Some(op) => compile_op(&ops[*op as usize], ctx),
+            None => CompiledOp::Nop,
+        })
+        .collect();
     CompiledAlgorithm {
-        graph: Arc::new(CompiledGraph::from_edges(n, &edges, placement)),
+        graph: Arc::new(lowered.graph),
         table: Arc::new(OpTable {
             ops: compiled_ops,
             seq_s: Arc::clone(&ctx.seq_s),
@@ -430,27 +425,7 @@ pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnMut() + Send + '
 /// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`]
 /// (the boxed builder form).
 pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) -> TaskGraph {
-    let mut graph = TaskGraph::with_capacity(dag.vertex_count());
-    for v in dag.vertex_ids() {
-        match dag.vertex(v) {
-            DagVertex::Strand { op: Some(op), .. } => {
-                let closure = op_closure(&ops[*op as usize], ctx);
-                graph.add_task(closure);
-            }
-            _ => {
-                graph.add_empty_task();
-            }
-        }
-    }
-    for v in dag.vertex_ids() {
-        for s in dag.successors(v) {
-            graph.add_dependency(
-                nd_runtime::dataflow::TaskId(v.0),
-                nd_runtime::dataflow::TaskId(s.0),
-            );
-        }
-    }
-    graph
+    nd_runtime::lower::lower_dag_boxed(dag, |op| op_closure(&ops[op as usize], ctx))
 }
 
 /// Executes a built algorithm on a pool against the given runtime data

@@ -30,13 +30,11 @@
 
 use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode};
 use crate::exec::{run, ExecContext};
-use nd_core::drs::DagRewriter;
+use crate::frontend::{build_program, FireProgram, OpRecorder};
 use nd_core::fire::{FireRuleSpec, FireTable};
 use nd_core::program::{Composition, Expansion, NdProgram};
-use nd_core::spawn_tree::SpawnTree;
 use nd_linalg::Matrix;
 use nd_runtime::ThreadPool;
-use std::cell::RefCell;
 
 /// Which kind of block a task covers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -153,7 +151,7 @@ pub struct Fw1dProgram {
     /// NP or ND.
     pub mode: Mode,
     fires: FireTable,
-    ops: RefCell<Vec<BlockOp>>,
+    ops: OpRecorder,
 }
 
 impl Fw1dProgram {
@@ -166,13 +164,17 @@ impl Fw1dProgram {
             base,
             mode,
             fires,
-            ops: RefCell::new(Vec::new()),
+            ops: OpRecorder::new(),
         }
     }
+}
 
-    /// The operations recorded so far.
-    pub fn take_ops(&self) -> Vec<BlockOp> {
-        self.ops.take()
+impl FireProgram for Fw1dProgram {
+    fn recorder(&self) -> &OpRecorder {
+        &self.ops
+    }
+    fn mode(&self) -> Mode {
+        self.mode
     }
 }
 
@@ -189,19 +191,16 @@ impl NdProgram for Fw1dProgram {
 
     fn expand(&self, t: &Fw1dTask) -> Expansion<Fw1dTask> {
         if t.rows() <= self.base {
-            let mut ops = self.ops.borrow_mut();
-            let idx = ops.len() as u64;
-            ops.push(BlockOp::Fw1dBlock {
-                table: 0,
-                t0: t.t0,
-                t1: t.t1,
-                i0: t.i0,
-                i1: t.i1,
-            });
-            return Expansion::strand_op(
+            return self.ops.strand(
                 (t.rows() * t.cols()) as u64,
                 (t.rows() * t.cols()) as u64 + t.rows() as u64,
-                idx,
+                BlockOp::Fw1dBlock {
+                    table: 0,
+                    t0: t.t0,
+                    t1: t.t1,
+                    i0: t.i0,
+                    i1: t.i1,
+                },
             );
         }
         let tm = t.t0 + t.rows() / 2;
@@ -270,17 +269,11 @@ pub fn build_fw1d(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
         i0: 1,
         i1: n + 1,
     };
-    let tree = SpawnTree::unfold(&program, root);
-    let dag = DagRewriter::new(&tree, program.fire_table()).build();
-    let ops = program.take_ops();
-    BuiltAlgorithm {
-        tree,
-        dag,
-        fires: program.fires,
-        ops,
-        mode,
-        label: format!("fw1d-{}-n{}-b{}", mode.name(), n, base),
-    }
+    build_program(
+        &program,
+        root,
+        format!("fw1d-{}-n{}-b{}", mode.name(), n, base),
+    )
 }
 
 /// Runs the 1-D Floyd–Warshall in parallel from the given initial row

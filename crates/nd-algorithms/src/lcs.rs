@@ -22,14 +22,12 @@
 
 use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode};
 use crate::exec::{run, ExecContext};
-use nd_core::drs::DagRewriter;
+use crate::frontend::{build_program, FireProgram, OpRecorder};
 use nd_core::fire::{FireRuleSpec, FireTable};
 use nd_core::program::{Composition, Expansion, NdProgram};
-use nd_core::spawn_tree::SpawnTree;
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::ExecStats;
 use nd_runtime::ThreadPool;
-use std::cell::RefCell;
 
 /// One LCS task: a block of the dynamic-programming table, as 1-based half-open row
 /// and column ranges.
@@ -103,7 +101,7 @@ pub struct LcsProgram {
     /// NP or ND.
     pub mode: Mode,
     fires: FireTable,
-    ops: RefCell<Vec<BlockOp>>,
+    ops: OpRecorder,
 }
 
 impl LcsProgram {
@@ -116,13 +114,17 @@ impl LcsProgram {
             base,
             mode,
             fires,
-            ops: RefCell::new(Vec::new()),
+            ops: OpRecorder::new(),
         }
     }
+}
 
-    /// The operations recorded so far.
-    pub fn take_ops(&self) -> Vec<BlockOp> {
-        self.ops.take()
+impl FireProgram for LcsProgram {
+    fn recorder(&self) -> &OpRecorder {
+        &self.ops
+    }
+    fn mode(&self) -> Mode {
+        self.mode
     }
 }
 
@@ -139,19 +141,16 @@ impl NdProgram for LcsProgram {
 
     fn expand(&self, t: &LcsTask) -> Expansion<LcsTask> {
         if t.rows() <= self.base {
-            let mut ops = self.ops.borrow_mut();
-            let idx = ops.len() as u64;
-            ops.push(BlockOp::LcsBlock {
-                table: 0,
-                i0: t.i0,
-                i1: t.i1,
-                j0: t.j0,
-                j1: t.j1,
-            });
-            return Expansion::strand_op(
+            return self.ops.strand(
                 2 * (t.rows() * t.cols()) as u64,
                 (t.rows() * t.cols()) as u64,
-                idx,
+                BlockOp::LcsBlock {
+                    table: 0,
+                    i0: t.i0,
+                    i1: t.i1,
+                    j0: t.j0,
+                    j1: t.j1,
+                },
             );
         }
         let x00 = Composition::task(t.quadrant(0, 0));
@@ -188,17 +187,11 @@ pub fn build_lcs(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
         j0: 1,
         j1: n + 1,
     };
-    let tree = SpawnTree::unfold(&program, root);
-    let dag = DagRewriter::new(&tree, program.fire_table()).build();
-    let ops = program.take_ops();
-    BuiltAlgorithm {
-        tree,
-        dag,
-        fires: program.fires,
-        ops,
-        mode,
-        label: format!("lcs-{}-n{}-b{}", mode.name(), n, base),
-    }
+    build_program(
+        &program,
+        root,
+        format!("lcs-{}-n{}-b{}", mode.name(), n, base),
+    )
 }
 
 /// Computes the LCS length of two equal-length sequences in parallel.  Returns the

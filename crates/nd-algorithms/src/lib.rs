@@ -11,9 +11,14 @@
 //!   (Eqs. 1, 4–8, 14, 17–21) or derived from the data dependencies where the
 //!   paper's listing is ambiguous (each module documents its table).
 //!
-//! Each algorithm module produces a [`BuiltAlgorithm`]: the
+//! Each recursive algorithm is a [`FireProgram`]: a spawn recipe plus a
+//! fire-rule table, taken through the executable frontend
+//! ([`frontend::build_program`]: unfold → [validate](nd_core::fire::FireTable::validate)
+//! → DRS) to a [`BuiltAlgorithm`] — the
 //! spawn tree, the algorithm DAG produced by the DAG Rewriting System, and the table
-//! of block operations attached to the strands.  The same object feeds
+//! of block operations attached to the strands.  The [`access`] tracker stays on
+//! as the independent cross-check oracle for those DAGs (and as the builder for
+//! the loop-blocked LU / 2-D Floyd–Warshall).  The same object feeds
 //!
 //! 1. the analysis passes of `nd-core` (work/span, `Q*`, `Q̂_α`, `α_max`),
 //! 2. the simulated schedulers of `nd-sched`, and
@@ -38,6 +43,7 @@ pub mod cholesky;
 pub mod common;
 pub mod driver;
 pub mod exec;
+pub mod frontend;
 pub mod fw1d;
 pub mod fw2d;
 pub mod lcs;
@@ -46,3 +52,4 @@ pub mod mm;
 pub mod trs;
 
 pub use common::{BlockOp, BuiltAlgorithm, Mode, Rect};
+pub use frontend::{build_program, FireProgram, OpRecorder};

@@ -32,13 +32,11 @@
 
 use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode, Rect};
 use crate::exec::{run, ExecContext};
-use nd_core::drs::DagRewriter;
+use crate::frontend::{build_program, FireProgram, OpRecorder};
 use nd_core::fire::{FireRuleSpec, FireTable};
 use nd_core::program::{Composition, Expansion, NdProgram};
-use nd_core::spawn_tree::SpawnTree;
 use nd_linalg::Matrix;
 use nd_runtime::ThreadPool;
-use std::cell::RefCell;
 
 /// One multiply task: `C += α·A·B` on the given blocks.
 #[derive(Clone, Debug)]
@@ -125,7 +123,7 @@ pub struct MmProgram {
     /// Scale factor (use `-1.0` for the paper's MMS).
     pub alpha: f64,
     fires: FireTable,
-    ops: RefCell<Vec<BlockOp>>,
+    ops: OpRecorder,
 }
 
 impl MmProgram {
@@ -139,13 +137,17 @@ impl MmProgram {
             mode,
             alpha,
             fires,
-            ops: RefCell::new(Vec::new()),
+            ops: OpRecorder::new(),
         }
     }
+}
 
-    /// The operations recorded so far (one per strand, in creation order).
-    pub fn take_ops(&self) -> Vec<BlockOp> {
-        self.ops.take()
+impl FireProgram for MmProgram {
+    fn recorder(&self) -> &OpRecorder {
+        &self.ops
+    }
+    fn mode(&self) -> Mode {
+        self.mode
     }
 }
 
@@ -163,15 +165,16 @@ impl NdProgram for MmProgram {
     fn expand(&self, t: &MmTask) -> Expansion<MmTask> {
         let d = t.c.rows;
         if d <= self.base {
-            let mut ops = self.ops.borrow_mut();
-            let idx = ops.len() as u64;
-            ops.push(BlockOp::Gemm {
-                c: t.c,
-                a: t.a,
-                b: t.b,
-                alpha: self.alpha,
-            });
-            return Expansion::strand_op(mm_work(t.c.rows, t.c.cols, t.a.cols), mm_size(t), idx);
+            return self.ops.strand(
+                mm_work(t.c.rows, t.c.cols, t.a.cols),
+                mm_size(t),
+                BlockOp::Gemm {
+                    c: t.c,
+                    a: t.a,
+                    b: t.b,
+                    alpha: self.alpha,
+                },
+            );
         }
         Expansion::compose(mm_composition(t, self.mode, &self.fires, Composition::task))
     }
@@ -187,7 +190,9 @@ impl NdProgram for MmProgram {
 }
 
 /// Builds the spawn tree, DAG and operation table for `C += α·A·B` on `n × n`
-/// matrices (matrix ids: `C = 0`, `A = 1`, `B = 2`).
+/// matrices (matrix ids: `C = 0`, `A = 1`, `B = 2`) — through the fire-rule
+/// frontend ([`crate::frontend::build_program`]), like every recursive
+/// algorithm in this crate.
 pub fn build_mm(n: usize, base: usize, mode: Mode, alpha: f64) -> BuiltAlgorithm {
     check_power_of_two_ratio(n, base);
     let program = MmProgram::new(base, mode, alpha);
@@ -196,17 +201,11 @@ pub fn build_mm(n: usize, base: usize, mode: Mode, alpha: f64) -> BuiltAlgorithm
         a: Rect::new(1, 0, 0, n, n),
         b: Rect::new(2, 0, 0, n, n),
     };
-    let tree = SpawnTree::unfold(&program, root);
-    let dag = DagRewriter::new(&tree, program.fire_table()).build();
-    let ops = program.take_ops();
-    BuiltAlgorithm {
-        tree,
-        dag,
-        fires: program.fires,
-        ops,
-        mode,
-        label: format!("mm-{}-n{}-b{}", mode.name(), n, base),
-    }
+    build_program(
+        &program,
+        root,
+        format!("mm-{}-n{}-b{}", mode.name(), n, base),
+    )
 }
 
 /// Computes `C += A·B` in parallel on the pool using the given model and base case.

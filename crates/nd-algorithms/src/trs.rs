@@ -38,14 +38,12 @@
 
 use crate::common::{check_power_of_two_ratio, BlockOp, BuiltAlgorithm, Mode, Rect};
 use crate::exec::{run, ExecContext};
+use crate::frontend::{build_program, FireProgram, OpRecorder};
 use crate::mm::{mm_composition, mm_size, mm_work, register_mm_fire_types, MmTask};
-use nd_core::drs::DagRewriter;
 use nd_core::fire::{FireRuleSpec, FireTable};
 use nd_core::program::{Composition, Expansion, NdProgram};
-use nd_core::spawn_tree::SpawnTree;
 use nd_linalg::Matrix;
 use nd_runtime::ThreadPool;
-use std::cell::RefCell;
 
 /// A task of the TRS program.
 #[derive(Clone, Debug)]
@@ -116,7 +114,7 @@ pub struct TrsProgram {
     /// NP or ND.
     pub mode: Mode,
     fires: FireTable,
-    ops: RefCell<Vec<BlockOp>>,
+    ops: OpRecorder,
 }
 
 impl TrsProgram {
@@ -129,22 +127,18 @@ impl TrsProgram {
             base,
             mode,
             fires,
-            ops: RefCell::new(Vec::new()),
+            ops: OpRecorder::new(),
         }
-    }
-
-    /// The operations recorded so far.
-    pub fn take_ops(&self) -> Vec<BlockOp> {
-        self.ops.take()
     }
 
     fn expand_trs(&self, t: &Rect, b: &Rect) -> Expansion<TrsTask> {
         let d = t.rows;
         if d <= self.base {
-            let mut ops = self.ops.borrow_mut();
-            let idx = ops.len() as u64;
-            ops.push(BlockOp::TrsmLower { t: *t, b: *b });
-            return Expansion::strand_op(trs_work(d, b.cols), trs_size(t, b), idx);
+            return self.ops.strand(
+                trs_work(d, b.cols),
+                trs_size(t, b),
+                BlockOp::TrsmLower { t: *t, b: *b },
+            );
         }
         let t00 = t.quadrant(0, 0);
         let t10 = t.quadrant(1, 0);
@@ -184,23 +178,29 @@ impl TrsProgram {
     fn expand_mms(&self, task: &MmTask) -> Expansion<TrsTask> {
         let d = task.c.rows;
         if d <= self.base {
-            let mut ops = self.ops.borrow_mut();
-            let idx = ops.len() as u64;
-            ops.push(BlockOp::Gemm {
-                c: task.c,
-                a: task.a,
-                b: task.b,
-                alpha: -1.0,
-            });
-            return Expansion::strand_op(
+            return self.ops.strand(
                 mm_work(task.c.rows, task.c.cols, task.a.cols),
                 mm_size(task),
-                idx,
+                BlockOp::Gemm {
+                    c: task.c,
+                    a: task.a,
+                    b: task.b,
+                    alpha: -1.0,
+                },
             );
         }
         Expansion::compose(mm_composition(task, self.mode, &self.fires, |t| {
             Composition::task(TrsTask::Mms(t))
         }))
+    }
+}
+
+impl FireProgram for TrsProgram {
+    fn recorder(&self) -> &OpRecorder {
+        &self.ops
+    }
+    fn mode(&self) -> Mode {
+        self.mode
     }
 }
 
@@ -254,17 +254,11 @@ pub fn build_trs(n: usize, base: usize, mode: Mode) -> BuiltAlgorithm {
         t: Rect::new(0, 0, 0, n, n),
         b: Rect::new(1, 0, 0, n, n),
     };
-    let tree = SpawnTree::unfold(&program, root);
-    let dag = DagRewriter::new(&tree, program.fire_table()).build();
-    let ops = program.take_ops();
-    BuiltAlgorithm {
-        tree,
-        dag,
-        fires: program.fires,
-        ops,
-        mode,
-        label: format!("trs-{}-n{}-b{}", mode.name(), n, base),
-    }
+    build_program(
+        &program,
+        root,
+        format!("trs-{}-n{}-b{}", mode.name(), n, base),
+    )
 }
 
 /// Solves `T·X = B` in parallel, overwriting `b` with the solution.

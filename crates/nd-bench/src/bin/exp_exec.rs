@@ -2,9 +2,12 @@
 //! hierarchy-aware space-bounded executor of `nd-exec`, on MM, Cholesky, LU
 //! (partial pivoting) and 2-D Floyd–Warshall — plus E15: executor hot-path
 //! microbenchmarks (per-task scheduling overhead, tasks/second, and
-//! rebuild-vs-reuse of compiled graphs), and E16: rebuild-vs-reuse of the
+//! rebuild-vs-reuse of compiled graphs), E16: rebuild-vs-reuse of the
 //! compiled LU and FW-2D drivers (the loop-blocked algorithms this repo
-//! lowers through the same compiled path as the recursive ones).
+//! lowers through the same compiled path as the recursive ones), and E17: the
+//! fire-rule frontend — DRS expansion + compile cost versus the access-set
+//! oracle rebuilding the same dependency structure, plus the reuse speedup of
+//! a DRS-built graph (MM and LCS).
 //!
 //! Both executors run the *same* deterministic ND task graph; only the
 //! scheduling differs: the flat baseline steals blindly in ring order (but its
@@ -28,11 +31,13 @@
 //!
 //! Usage: `cargo run --release --bin exp_exec -- [n] [reps]` (default 256, 3).
 
+use nd_algorithms::access::access_oracle_dag;
 use nd_algorithms::cholesky::cholesky_parallel;
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
 use nd_algorithms::driver;
 use nd_algorithms::exec::{compile_algorithm, ExecContext};
 use nd_algorithms::fw2d::{apsp_parallel, build_fw2d};
+use nd_algorithms::lcs::build_lcs;
 use nd_algorithms::lu::{build_lu, lu_parallel};
 use nd_algorithms::mm::{build_mm, multiply_parallel};
 use nd_exec::execute::{apsp_anchored, cholesky_anchored, lu_anchored, multiply_anchored};
@@ -241,6 +246,76 @@ fn bench_algorithm_reuse(
         rebuild_seconds,
         reuse_seconds,
         reuse_speedup: rebuild_seconds / reuse_seconds,
+    }
+}
+
+/// The fire-rule frontend (E17): DRS expansion cost versus the access-oracle
+/// rebuild of the same dependency structure, compile cost, and the reuse
+/// speedup of the DRS-built graph.
+struct FrontendBench {
+    algorithm: &'static str,
+    /// Mean seconds to unfold + validate + DRS-rewrite the ND program.
+    drs_build_seconds: f64,
+    /// Mean seconds the access-set oracle takes to rebuild the same
+    /// dependency structure from the recorded block operations.
+    access_build_seconds: f64,
+    /// Mean seconds to lower the built algorithm to its compiled form.
+    compile_seconds: f64,
+    /// Mean seconds of build + compile + execute on every run (the old path).
+    rebuild_seconds: f64,
+    /// Mean seconds to re-execute the already-compiled graph.
+    reuse_seconds: f64,
+    /// `rebuild_seconds / reuse_seconds`.
+    reuse_speedup: f64,
+}
+
+impl FrontendBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"drs_build_seconds\":{:.6},\
+\"access_build_seconds\":{:.6},\"compile_seconds\":{:.6},\
+\"rebuild_seconds\":{:.6},\"reuse_seconds\":{:.6},\"reuse_speedup\":{:.2}}}",
+            self.algorithm,
+            self.drs_build_seconds,
+            self.access_build_seconds,
+            self.compile_seconds,
+            self.rebuild_seconds,
+            self.reuse_seconds,
+            self.reuse_speedup
+        )
+    }
+}
+
+/// Measures one algorithm's fire-rule frontend: program build (unfold + DRS),
+/// the access-oracle rebuild of the same structure, compile cost, and
+/// rebuild-vs-reuse through the shared driver layer.
+fn bench_frontend(
+    pool: &ThreadPool,
+    reps: usize,
+    algorithm: &'static str,
+    build: impl Fn() -> BuiltAlgorithm,
+    ctx: &ExecContext,
+    reinit: impl FnMut(),
+) -> FrontendBench {
+    let (_, drs_build_seconds) = time_reps(reps, || {
+        std::hint::black_box(&build());
+    });
+    let built = build();
+    let (_, access_build_seconds) = time_reps(reps, || {
+        std::hint::black_box(&access_oracle_dag(&built));
+    });
+    let (_, compile_seconds) = time_reps(reps, || {
+        std::hint::black_box(&driver::compile(&built, ctx));
+    });
+    let reuse = bench_algorithm_reuse(pool, reps, algorithm, &build, ctx, reinit);
+    FrontendBench {
+        algorithm,
+        drs_build_seconds,
+        access_build_seconds,
+        compile_seconds,
+        rebuild_seconds: reuse.rebuild_seconds,
+        reuse_seconds: reuse.reuse_seconds,
+        reuse_speedup: reuse.reuse_speedup,
     }
 }
 
@@ -502,11 +577,48 @@ fn main() {
         );
         algorithm_reuse.push(bench.json());
     }
-    drop(reuse_pool);
     for line in &algorithm_reuse {
         println!(
             "{{\"experiment\":\"exp_exec\",\"section\":\"algorithm_reuse\",\"bench\":{line}}}"
         );
+    }
+
+    // ----------------------------- DRS fire-rule frontend (E17) ----
+    eprintln!("exp_exec: DRS frontend (fire-rule build vs access oracle, reuse)");
+    let mut drs_frontend = Vec::new();
+    {
+        let mut c = Matrix::zeros(n, n);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
+        let bench = bench_frontend(
+            &reuse_pool,
+            reps,
+            "mm",
+            || build_mm(n, fine_base, Mode::Nd, 1.0),
+            &ctx,
+            || c.as_mut_slice().fill(0.0),
+        );
+        drs_frontend.push(bench.json());
+    }
+    {
+        let s = nd_linalg::lcs::random_sequence(n, 41);
+        let t = nd_linalg::lcs::random_sequence(n, 42);
+        let mut table = Matrix::zeros(n + 1, n + 1);
+        let ctx = ExecContext::with_sequences(&mut [&mut table], s, t);
+        let bench = bench_frontend(
+            &reuse_pool,
+            reps,
+            "lcs",
+            || build_lcs(n, fine_base, Mode::Nd),
+            &ctx,
+            || table.as_mut_slice().fill(0.0),
+        );
+        drs_frontend.push(bench.json());
+    }
+    drop(reuse_pool);
+    for line in &drs_frontend {
+        println!("{{\"experiment\":\"exp_exec\",\"section\":\"drs_frontend\",\"bench\":{line}}}");
     }
 
     // -------------------------------------------- scheduler hot path ----
@@ -521,9 +633,11 @@ fn main() {
     let file = format!(
         "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
 \"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
-\"algorithm_reuse\": [\n    {}\n  ],\n  \"scheduler\": {sched_json}\n}}\n",
+\"algorithm_reuse\": [\n    {}\n  ],\n  \"drs_frontend\": [\n    {}\n  ],\n  \
+\"scheduler\": {sched_json}\n}}\n",
         measurements.join(",\n    "),
-        algorithm_reuse.join(",\n    ")
+        algorithm_reuse.join(",\n    "),
+        drs_frontend.join(",\n    ")
     );
     std::fs::write("BENCH_exec.json", &file).expect("failed to write BENCH_exec.json");
     eprintln!("exp_exec: wrote BENCH_exec.json");

@@ -17,7 +17,11 @@
 //!   E15: executor hot-path microbenchmarks (per-task overhead, tasks/second,
 //!   serial-chain tail-execution, rebuild-vs-reuse of a compiled MM graph);
 //!   E16: rebuild-vs-reuse of the compiled LU and FW-2D drivers (the
-//!   `algorithm_reuse` section of `BENCH_exec.json`).
+//!   `algorithm_reuse` section of `BENCH_exec.json`);
+//!   E17: the fire-rule frontend — DRS expansion + compile cost versus the
+//!   access-set oracle rebuilding the same dependency structure, plus the
+//!   reuse speedup of DRS-built MM and LCS graphs (the `drs_frontend`
+//!   section of `BENCH_exec.json`).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

@@ -93,6 +93,87 @@ impl FireRuleSpec {
     }
 }
 
+/// A malformed fire-rule table, as rejected by [`FireTable::validate`].
+///
+/// Every variant names the offending fire type and (where applicable) the index of
+/// the offending rule within that type's rule set, so frontends can report the
+/// exact construct a programmer got wrong instead of silently rewriting a wrong
+/// DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FireTableError {
+    /// A rule references a fire type *name* that was never declared (the table
+    /// still has pending, unresolvable definitions).
+    UnresolvedName {
+        /// The fire type whose rule set contains the dangling reference.
+        ty: String,
+        /// The referenced but undeclared name.
+        name: String,
+    },
+    /// The same `(src, dep, dst)` rule appears twice in one type's rule set.
+    DuplicateRule {
+        /// The fire type containing the duplicate.
+        ty: String,
+        /// Index of the *second* occurrence in the rule set.
+        rule: usize,
+    },
+    /// A resolved rule carries a recursive [`FireTypeId`] that is not registered
+    /// in this table (possible when rules are assembled by hand rather than
+    /// through [`FireTable::define`]).
+    UnknownTypeId {
+        /// The fire type containing the bad reference.
+        ty: String,
+        /// Index of the offending rule.
+        rule: usize,
+        /// The unregistered id.
+        id: u16,
+    },
+    /// A rule pedigree contains a child index outside `1..=max_arity` — it can
+    /// never name a child of a construct in the program (index `0` is invalid
+    /// because pedigrees are 1-based).
+    PedigreeIndexOutOfArity {
+        /// The fire type containing the offending rule.
+        ty: String,
+        /// Index of the offending rule.
+        rule: usize,
+        /// The out-of-range child index.
+        index: u8,
+        /// The maximum construct arity the table was validated against.
+        max_arity: u8,
+    },
+}
+
+impl fmt::Display for FireTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FireTableError::UnresolvedName { ty, name } => {
+                write!(
+                    f,
+                    "fire type `{ty}` references undeclared fire type `{name}`"
+                )
+            }
+            FireTableError::DuplicateRule { ty, rule } => {
+                write!(f, "fire type `{ty}` repeats rule #{rule}")
+            }
+            FireTableError::UnknownTypeId { ty, rule, id } => write!(
+                f,
+                "fire type `{ty}` rule #{rule} references unregistered fire type id {id}"
+            ),
+            FireTableError::PedigreeIndexOutOfArity {
+                ty,
+                rule,
+                index,
+                max_arity,
+            } => write!(
+                f,
+                "fire type `{ty}` rule #{rule} uses child index {index}, \
+outside the constructs' arity 1..={max_arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FireTableError {}
+
 /// A registry of fire-construct types.
 ///
 /// Algorithms define their fire types once (by name, so that rule sets may refer to
@@ -219,6 +300,88 @@ impl FireTable {
         self.resolve();
         self
     }
+
+    /// Rejects malformed rule sets with a typed [`FireTableError`] instead of
+    /// letting the DRS silently rewrite a wrong DAG.
+    ///
+    /// `max_arity` is the widest construct the program actually spawns (see
+    /// [`SpawnTree::max_construct_arity`](crate::spawn_tree::SpawnTree::max_construct_arity));
+    /// every child index in every rule pedigree must lie in `1..=max_arity`.
+    /// The check also covers pending (not yet [resolved](FireTable::resolve))
+    /// definitions, so a frontend can validate before resolving.  Checks, in
+    /// order: dangling name references, duplicate rules, unregistered
+    /// [`FireTypeId`]s, and out-of-arity pedigree indices.
+    pub fn validate(&self, max_arity: u8) -> Result<(), FireTableError> {
+        // Pending definitions: names must be declared, and (src, dep, dst)
+        // triples must be unique within a type.
+        for (id, specs) in &self.pending {
+            let ty = self.types[id.0 as usize].name.clone();
+            let mut seen: Vec<(&Pedigree, Option<&str>, &Pedigree)> = Vec::new();
+            for (i, s) in specs.iter().enumerate() {
+                if let Some(name) = &s.dep {
+                    if !self.by_name.contains_key(name) {
+                        return Err(FireTableError::UnresolvedName {
+                            ty,
+                            name: name.clone(),
+                        });
+                    }
+                }
+                let key = (&s.src, s.dep.as_deref(), &s.dst);
+                if seen.contains(&key) {
+                    return Err(FireTableError::DuplicateRule { ty, rule: i });
+                }
+                seen.push(key);
+                check_rule_pedigrees(&ty, i, &s.src, &s.dst, max_arity)?;
+            }
+        }
+        // Resolved rule sets.
+        for (_, t) in self.iter() {
+            let mut seen: Vec<&FireRule> = Vec::new();
+            for (i, r) in t.rules.iter().enumerate() {
+                if let DepKind::Fire(id) = r.dep {
+                    if id.0 as usize >= self.types.len() {
+                        return Err(FireTableError::UnknownTypeId {
+                            ty: t.name.clone(),
+                            rule: i,
+                            id: id.0,
+                        });
+                    }
+                }
+                if seen.contains(&r) {
+                    return Err(FireTableError::DuplicateRule {
+                        ty: t.name.clone(),
+                        rule: i,
+                    });
+                }
+                seen.push(r);
+                check_rule_pedigrees(&t.name, i, &r.src, &r.dst, max_arity)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks both pedigrees of one rule against the arity bound.
+fn check_rule_pedigrees(
+    ty: &str,
+    rule: usize,
+    src: &Pedigree,
+    dst: &Pedigree,
+    max_arity: u8,
+) -> Result<(), FireTableError> {
+    for p in [src, dst] {
+        for index in p.indices() {
+            if index == 0 || index > max_arity {
+                return Err(FireTableError::PedigreeIndexOutOfArity {
+                    ty: ty.to_string(),
+                    rule,
+                    index,
+                    max_arity,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for FireType {
@@ -317,6 +480,111 @@ mod tests {
         t.define("PAR", vec![]);
         t.resolve();
         assert!(t.get(t.id("PAR")).rules.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_tables() {
+        let mut t = FireTable::new();
+        t.define(
+            "MM",
+            vec![
+                FireRuleSpec::fire(&[1], "MM", &[1]),
+                FireRuleSpec::fire(&[2], "MM", &[2]),
+            ],
+        );
+        // Valid both before and after resolution.
+        assert_eq!(t.validate(2), Ok(()));
+        t.resolve();
+        assert_eq!(t.validate(2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_undeclared_names_without_panicking() {
+        let mut t = FireTable::new();
+        t.define("A", vec![FireRuleSpec::fire(&[1], "NOPE", &[1])]);
+        assert_eq!(
+            t.validate(2),
+            Err(FireTableError::UnresolvedName {
+                ty: "A".into(),
+                name: "NOPE".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_rules() {
+        let mut t = FireTable::new();
+        t.define(
+            "A",
+            vec![
+                FireRuleSpec::fire(&[1], "A", &[1]),
+                FireRuleSpec::full(&[2], &[1]),
+                FireRuleSpec::fire(&[1], "A", &[1]),
+            ],
+        );
+        assert_eq!(
+            t.validate(2),
+            Err(FireTableError::DuplicateRule {
+                ty: "A".into(),
+                rule: 2,
+            })
+        );
+        // The duplicate survives resolution and is still caught there.
+        t.resolve();
+        assert_eq!(
+            t.validate(2),
+            Err(FireTableError::DuplicateRule {
+                ty: "A".into(),
+                rule: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unknown_type_ids() {
+        // Hand-assembled rule with a dangling id (bypassing `define`).
+        let mut t = FireTable::new();
+        let a = t.declare("A");
+        t.types[a.0 as usize].rules.push(FireRule {
+            src: Pedigree::new(&[1]),
+            dep: DepKind::Fire(FireTypeId(99)),
+            dst: Pedigree::new(&[1]),
+        });
+        assert_eq!(
+            t.validate(2),
+            Err(FireTableError::UnknownTypeId {
+                ty: "A".into(),
+                rule: 0,
+                id: 99,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_arity_pedigree_indices() {
+        let mut t = FireTable::new();
+        t.define("A", vec![FireRuleSpec::fire(&[1, 3], "A", &[1])]);
+        assert_eq!(
+            t.validate(2),
+            Err(FireTableError::PedigreeIndexOutOfArity {
+                ty: "A".into(),
+                rule: 0,
+                index: 3,
+                max_arity: 2,
+            })
+        );
+        // The same table is fine against ternary constructs.
+        assert_eq!(t.validate(3), Ok(()));
+    }
+
+    #[test]
+    fn validate_errors_render_the_offending_construct() {
+        let mut t = FireTable::new();
+        t.define("TM", vec![FireRuleSpec::fire(&[1, 4], "TM", &[1])]);
+        let err = t.validate(2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("TM"), "{msg}");
+        assert!(msg.contains('4'), "{msg}");
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub mod work_span;
 
 pub use dag::AlgorithmDag;
 pub use drs::DagRewriter;
-pub use fire::{DepKind, FireRule, FireRuleSpec, FireTable, FireType, FireTypeId};
+pub use fire::{DepKind, FireRule, FireRuleSpec, FireTable, FireTableError, FireType, FireTypeId};
 pub use pedigree::Pedigree;
 pub use program::{Composition, Expansion, NdProgram};
 pub use spawn_tree::{NodeId, NodeKind, SpawnTree};

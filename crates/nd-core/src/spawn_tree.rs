@@ -315,6 +315,21 @@ impl SpawnTree {
         (cur, true)
     }
 
+    /// The widest construct in the tree: the maximum child count over all
+    /// internal (non-strand) nodes, clamped to `u8::MAX`.  This is the arity
+    /// bound fire-rule pedigrees are checked against by
+    /// [`FireTable::validate`](crate::fire::FireTable::validate) — a rule
+    /// naming child `<k>` with `k` beyond this bound can never match a node of
+    /// the program.  Returns `0` for a tree without constructs.
+    pub fn max_construct_arity(&self) -> u8 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_strand())
+            .map(|n| n.children.len().min(u8::MAX as usize) as u8)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The size annotation in effect for a node: its own annotation, or the
     /// annotation of its lowest annotated ancestor (paper, Section 4, "Terminology").
     pub fn effective_size(&self, id: NodeId) -> u64 {
@@ -612,6 +627,34 @@ mod tests {
         let s = t.render(10);
         assert!(s.contains('‖'));
         assert!(s.contains("strand"));
+    }
+
+    #[test]
+    fn max_construct_arity_reports_the_widest_node() {
+        // The BinaryProgram spawns Par/Seq nodes of arity 2 only.
+        assert_eq!(tree(2).max_construct_arity(), 2);
+        // A strand-only tree has no constructs.
+        struct Leafy {
+            fires: FireTable,
+        }
+        #[derive(Clone)]
+        struct L;
+        impl NdProgram for Leafy {
+            type Task = L;
+            fn fire_table(&self) -> &FireTable {
+                &self.fires
+            }
+            fn expand(&self, _t: &L) -> Expansion<L> {
+                Expansion::strand(1, 1)
+            }
+            fn task_size(&self, _t: &L) -> u64 {
+                1
+            }
+        }
+        let p = Leafy {
+            fires: FireTable::new().resolved(),
+        };
+        assert_eq!(SpawnTree::unfold(&p, L).max_construct_arity(), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::anchor::{compute_anchoring, AnchorConfig, Anchoring};
 use crate::pool::HierarchicalPool;
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
 use nd_algorithms::exec::ExecContext;
-use nd_algorithms::{cholesky, driver, fw2d, lcs, lu, mm, trs};
+use nd_algorithms::{cholesky, driver, fw1d, fw2d, lcs, lu, mm, trs};
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::ExecStats;
 
@@ -177,6 +177,28 @@ pub fn apsp_anchored(
     let built = fw2d::build_fw2d(n, base, Mode::Nd);
     let ctx = ExecContext::from_matrices(&mut [d]);
     run_anchored(pool, &built, &ctx, cfg)
+}
+
+/// Runs the 1-D Floyd–Warshall recurrence on the anchored executor from the
+/// given initial row (`initial[1..=n]` are the `d(0, ·)` values) and returns
+/// the full table with the stats.  With this entry point every algorithm the
+/// paper proves an asymptotic span bound for (MM, TRS, FW-1D, LCS) runs from
+/// its fire-rule ND program through the `σ·M_i` anchoring discipline.
+pub fn fw1d_anchored(
+    pool: &HierarchicalPool,
+    initial: &[f64],
+    base: usize,
+    cfg: &AnchorConfig,
+) -> (Matrix, HierExecStats) {
+    let n = initial.len() - 1;
+    let built = fw1d::build_fw1d(n, base, Mode::Nd);
+    let mut table = Matrix::zeros(n + 1, n + 1);
+    for i in 1..=n {
+        table[(0, i)] = initial[i];
+    }
+    let ctx = ExecContext::from_matrices(&mut [&mut table]);
+    let stats = run_anchored(pool, &built, &ctx, cfg);
+    (table, stats)
 }
 
 /// Longest common subsequence of `s` and `t` on the anchored executor.
@@ -365,6 +387,26 @@ mod tests {
                 d.max_abs_diff(&expected),
                 0.0,
                 "anchored APSP must be bit-identical to the serial kernels"
+            );
+            assert!(stats.exec.tasks > 0);
+            assert!(stats.anchors_per_level.iter().all(|&a| a > 0));
+        }
+    }
+
+    #[test]
+    fn fw1d_matches_the_serial_kernel_exactly() {
+        // Every table cell is a pure function of the previous row, computed
+        // exactly once, so any schedule is bit-identical to the naive loop.
+        let n = 64;
+        let initial: Vec<f64> = (0..=n).map(|i| ((i * 7) % 13) as f64).collect();
+        let expected = nd_linalg::fw::fw1d_naive(&initial);
+        for machine in layouts() {
+            let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+            let (table, stats) = fw1d_anchored(&pool, &initial, 8, &AnchorConfig::default());
+            assert_eq!(
+                table.max_abs_diff(&expected),
+                0.0,
+                "anchored 1-D FW must be bit-identical to the serial kernel"
             );
             assert!(stats.exec.tasks > 0);
             assert!(stats.anchors_per_level.iter().all(|&a| a > 0));

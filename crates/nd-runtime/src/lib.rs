@@ -22,6 +22,10 @@
 //!   finishing worker's own deque (depth-first-ish execution for locality,
 //!   stealing for load balance — the NP-style intra-processor order the paper
 //!   advocates).
+//! * [`lower`] — the lowering from the model layer's ground-truth object (the
+//!   DRS-produced `AlgorithmDag` of `nd-core`) into both executable graph
+//!   forms, preserving vertex indexing so per-vertex side tables (kernel
+//!   tables, anchoring placements) line up without translation.
 //! * [`join`] — a minimal fork-join façade built on the same pool, used by examples
 //!   and by the NP wall-clock baselines.
 //!
@@ -37,9 +41,11 @@
 pub mod dataflow;
 pub mod join;
 pub mod latch;
+pub mod lower;
 pub mod pool;
 
 pub use dataflow::{
     CompiledGraph, ExecStats, Placement, ReusableGraph, TaskGraph, TaskId, TaskTable,
 };
+pub use lower::{lower_dag, lower_dag_boxed, LoweredDag};
 pub use pool::{PoolTopology, ThreadPool};

@@ -1,0 +1,14 @@
+//! Helpers shared by the workspace integration-test binaries.
+
+/// Worker counts the executor suites exercise.  `ND_POOL_WORKERS` (set by the
+/// CI pool-size matrix) pins a single count; without it the suites run 1, 2
+/// and 8 workers.
+pub fn pool_sizes() -> Vec<usize> {
+    match std::env::var("ND_POOL_WORKERS") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("ND_POOL_WORKERS must be a worker count")],
+        Err(_) => vec![1, 2, 8],
+    }
+}

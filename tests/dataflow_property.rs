@@ -8,6 +8,9 @@ use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
+mod common;
+use common::pool_sizes;
+
 /// Deterministic random predecessor lists: task `j` depends on each task in a
 /// window of earlier tasks with probability `density_percent`%.  (Edges always
 /// point forward, so the graph is acyclic by construction.)
@@ -81,7 +84,7 @@ proptest! {
         density in 5u64..60,
     ) {
         let preds = random_preds(n, density, seed);
-        for pool_size in [1usize, 2, 8] {
+        for pool_size in pool_sizes() {
             let (graph, runs, violations) = instrumented_graph(&preds);
             prop_assert!(graph.is_acyclic());
             let pool = ThreadPool::new(pool_size);

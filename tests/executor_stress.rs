@@ -8,6 +8,9 @@ use nd_runtime::ThreadPool;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
+mod common;
+use common::pool_sizes;
+
 /// Deterministic random predecessor lists: task `j` depends on each task in a
 /// window of earlier tasks with probability `density_percent`%.  (Edges always
 /// point forward, so the graph is acyclic by construction.)
@@ -97,7 +100,7 @@ fn boxed_and_table_modes_agree_on_randomized_dags() {
     for (seed, density) in [(1u64, 10u64), (2, 45), (3, 85)] {
         let n = 400usize;
         let preds = random_preds(n, density, seed);
-        for workers in [1usize, 2, 8] {
+        for workers in pool_sizes() {
             let pool = ThreadPool::new(workers);
 
             // Boxed mode: closures over a shared probe.

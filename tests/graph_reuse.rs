@@ -11,6 +11,9 @@ use nd_runtime::ThreadPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+mod common;
+use common::pool_sizes;
+
 /// Boxed mode: a `ReusableGraph` of `FnMut` closures executed three times.
 /// Every round runs every task exactly once and leaves the counters restored.
 #[test]
@@ -101,7 +104,7 @@ fn compiled_graph_reuse_across_pool_sizes() {
     let compiled = compile_algorithm(&built.dag, &built.ops, &ctx);
 
     let mut reference: Option<Matrix> = None;
-    for workers in [1usize, 2, 8] {
+    for workers in pool_sizes() {
         let pool = ThreadPool::new(workers);
         c.as_mut_slice().fill(0.0);
         compiled.execute(&pool);

@@ -12,9 +12,13 @@
 //! modules did before LU and 2-D Floyd–Warshall joined the compiled path).
 
 use crate::common::BuiltAlgorithm;
-use crate::exec::{compile_algorithm_placed, CompiledAlgorithm, ExecContext};
+use crate::exec::{compile_algorithm_placed, CompiledAlgorithm, ExecContext, Layout};
+use nd_linalg::getrf::PivotStore;
+use nd_linalg::tile::TileMatrix;
+use nd_linalg::Matrix;
 use nd_runtime::dataflow::{ExecStats, Placement};
 use nd_runtime::ThreadPool;
+use std::sync::Arc;
 
 /// Lowers a built algorithm to its compiled form against `ctx` (no placement
 /// constraints — the flat executor's fast path).
@@ -38,6 +42,87 @@ pub fn compile_placed(
 /// re-execute it.
 pub fn run_once(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
     compile(built, ctx).execute(pool)
+}
+
+/// The non-matrix runtime state an algorithm binds besides its matrices.
+pub enum ContextExtras {
+    /// Matrices only (MM, TRS, Cholesky, 2-D Floyd–Warshall).
+    None,
+    /// The two LCS sequences.
+    Sequences(Vec<u8>, Vec<u8>),
+    /// A pre-sized pivot store of the given length (LU).
+    Pivots(usize),
+}
+
+/// What [`run_once_on_layout`] returns: the execution statistics plus the
+/// pivot store the run wrote into (empty unless the algorithm binds
+/// [`ContextExtras::Pivots`]).
+pub struct LayoutRun {
+    /// The underlying dataflow execution statistics.
+    pub stats: ExecStats,
+    /// The context's pivot store after the run.
+    pub pivots: Arc<PivotStore>,
+}
+
+/// Binds row-major matrices into a context on the chosen layout.  For
+/// [`Layout::Tiled`] the matrices are packed into tile-packed storage with
+/// tile dimension `tile`; the returned storage must outlive the context (the
+/// context holds raw views into it).
+pub fn bind_layout(
+    mats: &mut [&mut Matrix],
+    tile: usize,
+    layout: Layout,
+    extras: ContextExtras,
+) -> (Vec<TileMatrix>, ExecContext) {
+    match layout {
+        Layout::RowMajor => {
+            let ctx = match extras {
+                ContextExtras::None => ExecContext::from_matrices(mats),
+                ContextExtras::Sequences(s, t) => ExecContext::with_sequences(mats, s, t),
+                ContextExtras::Pivots(len) => ExecContext::with_pivots(mats, len),
+            };
+            (Vec::new(), ctx)
+        }
+        Layout::Tiled => {
+            let mut tiles: Vec<TileMatrix> =
+                mats.iter().map(|m| TileMatrix::pack(m, tile)).collect();
+            let mut refs: Vec<&mut TileMatrix> = tiles.iter_mut().collect();
+            let ctx = match extras {
+                ContextExtras::None => ExecContext::tiled(&mut refs),
+                ContextExtras::Sequences(s, t) => {
+                    ExecContext::tiled_with_sequences(&mut refs, s, t)
+                }
+                ContextExtras::Pivots(len) => ExecContext::tiled_with_pivots(&mut refs, len),
+            };
+            (tiles, ctx)
+        }
+    }
+}
+
+/// The layout knob: executes `built` once against row-major matrices on
+/// either layout.  For [`Layout::Tiled`] the matrices are packed into
+/// tile-packed storage (tile dimension `tile`, normally the algorithm's
+/// base-case size so every base block is one contiguous slab), executed, and
+/// unpacked back — so results land in `mats` on both layouts and can be
+/// compared bit-for-bit.  All seven algorithms run through this entry point
+/// (their extras are [`ContextExtras`]).
+pub fn run_once_on_layout(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    mats: &mut [&mut Matrix],
+    tile: usize,
+    layout: Layout,
+    extras: ContextExtras,
+) -> LayoutRun {
+    let (tiles, ctx) = bind_layout(mats, tile, layout, extras);
+    let stats = run_once(pool, built, &ctx);
+    for (tile_mat, m) in tiles.iter().zip(mats.iter_mut()) {
+        tile_mat.unpack_into(m);
+    }
+    LayoutRun {
+        stats,
+        pivots: Arc::clone(&ctx.pivots),
+    }
 }
 
 /// The shared build-once / execute-many harness: compiles `built` once, then
@@ -101,6 +186,39 @@ mod tests {
     use crate::common::Mode;
     use crate::mm::build_mm;
     use nd_linalg::Matrix;
+
+    /// The layout knob: the same built algorithm executed against row-major
+    /// and tile-packed bindings must produce bit-identical results.
+    #[test]
+    fn layout_knob_is_bit_identical_for_mm() {
+        let pool = ThreadPool::new(4);
+        let n = 32;
+        let base = 8;
+        let built = build_mm(n, base, Mode::Nd, 1.0);
+        let a = Matrix::random(n, n, 5);
+        let b = Matrix::random(n, n, 6);
+        let mut results = Vec::new();
+        for layout in [Layout::RowMajor, Layout::Tiled] {
+            let mut c = Matrix::zeros(n, n);
+            let mut am = a.clone();
+            let mut bm = b.clone();
+            let run = run_once_on_layout(
+                &pool,
+                &built,
+                &mut [&mut c, &mut am, &mut bm],
+                base,
+                layout,
+                ContextExtras::None,
+            );
+            assert!(run.stats.tasks > 0);
+            results.push(c);
+        }
+        assert_eq!(
+            results[0].max_abs_diff(&results[1]),
+            0.0,
+            "layouts must agree bit-for-bit"
+        );
+    }
 
     #[test]
     fn reuse_rounds_detects_counters_and_identity() {

@@ -34,16 +34,44 @@ use crate::common::{BlockOp, BuiltAlgorithm, Rect};
 use nd_core::dag::AlgorithmDag;
 use nd_linalg::getrf::{self, PivotStore};
 use nd_linalg::matrix::{MatPtr, Matrix};
+use nd_linalg::tile::{TileMatrix, TileSubView, TileView};
 use nd_linalg::{fw, gemm, lcs, potrf, trsm};
-use nd_runtime::dataflow::{CompiledGraph, ExecStats, Placement, TaskGraph, TaskTable};
-use nd_runtime::pool::ThreadPool;
-use std::sync::Arc;
+use nd_runtime::dataflow::{
+    CompiledGraph, ExecStats, PersistentRun, Placement, SteadyStats, TaskGraph, TaskTable,
+};
+use nd_runtime::pool::{with_pack_scratch, ThreadPool};
+use std::sync::{Arc, OnceLock};
+
+/// How an execution context's matrices are stored in memory.
+///
+/// The layout is a property of the *bound data*, not of the algorithm: the
+/// same [`BuiltAlgorithm`] compiles against either layout and produces
+/// bit-identical results (packing moves bytes, never changes a floating-point
+/// operation).  `Tiled` is the cache-friendly choice the paper's locality
+/// bounds assume: every base-case operand is one contiguous slab.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// One row-major allocation per matrix; base-case blocks are strided views.
+    RowMajor,
+    /// Tile-packed (block-major) storage; tile-aligned base-case blocks are
+    /// contiguous `b × b` slabs (see [`TileMatrix`]).
+    Tiled,
+}
+
+/// One matrix of an execution context: a raw view in either layout.
+#[derive(Clone, Copy)]
+pub enum MatSlot {
+    /// A strided row-major view.
+    Row(MatPtr),
+    /// A tile-addressed view of tile-packed storage.
+    Tiled(TileView),
+}
 
 /// The runtime data an algorithm's block operations refer to.
 #[derive(Clone)]
 pub struct ExecContext {
-    /// Raw views of the matrices, indexed by [`Rect::mat`].
-    pub mats: Vec<MatPtr>,
+    /// Raw views of the matrices (either layout), indexed by [`Rect::mat`].
+    pub mats: Vec<MatSlot>,
     /// First sequence (LCS).
     pub seq_s: Arc<Vec<u8>>,
     /// Second sequence (LCS).
@@ -53,34 +81,117 @@ pub struct ExecContext {
 }
 
 impl ExecContext {
-    /// A context over matrices only.
+    /// A context over row-major matrices only.
     pub fn from_matrices(mats: &mut [&mut Matrix]) -> Self {
         Self::with_pivots(mats, 0)
     }
 
-    /// A context over matrices plus the two LCS sequences.
+    /// A context over row-major matrices plus the two LCS sequences.
     pub fn with_sequences(mats: &mut [&mut Matrix], s: Vec<u8>, t: Vec<u8>) -> Self {
         ExecContext {
-            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
+            mats: mats
+                .iter_mut()
+                .map(|m| MatSlot::Row(m.as_ptr_view()))
+                .collect(),
             seq_s: Arc::new(s),
             seq_t: Arc::new(t),
             pivots: Arc::new(PivotStore::new(0)),
         }
     }
 
-    /// A context over matrices plus a pre-sized pivot store of `piv_len`
-    /// slots (LU: one slot per matrix column).
+    /// A context over row-major matrices plus a pre-sized pivot store of
+    /// `piv_len` slots (LU: one slot per matrix column).
     pub fn with_pivots(mats: &mut [&mut Matrix], piv_len: usize) -> Self {
         ExecContext {
-            mats: mats.iter_mut().map(|m| m.as_ptr_view()).collect(),
+            mats: mats
+                .iter_mut()
+                .map(|m| MatSlot::Row(m.as_ptr_view()))
+                .collect(),
             seq_s: Arc::new(Vec::new()),
             seq_t: Arc::new(Vec::new()),
             pivots: Arc::new(PivotStore::new(piv_len)),
         }
     }
 
+    /// A context over tile-packed matrices only.
+    pub fn tiled(mats: &mut [&mut TileMatrix]) -> Self {
+        Self::tiled_with_pivots(mats, 0)
+    }
+
+    /// A context over tile-packed matrices plus the two LCS sequences.
+    pub fn tiled_with_sequences(mats: &mut [&mut TileMatrix], s: Vec<u8>, t: Vec<u8>) -> Self {
+        ExecContext {
+            mats: mats
+                .iter_mut()
+                .map(|m| MatSlot::Tiled(m.as_tile_view()))
+                .collect(),
+            seq_s: Arc::new(s),
+            seq_t: Arc::new(t),
+            pivots: Arc::new(PivotStore::new(0)),
+        }
+    }
+
+    /// A context over tile-packed matrices plus a pre-sized pivot store.
+    pub fn tiled_with_pivots(mats: &mut [&mut TileMatrix], piv_len: usize) -> Self {
+        ExecContext {
+            mats: mats
+                .iter_mut()
+                .map(|m| MatSlot::Tiled(m.as_tile_view()))
+                .collect(),
+            seq_s: Arc::new(Vec::new()),
+            seq_t: Arc::new(Vec::new()),
+            pivots: Arc::new(PivotStore::new(piv_len)),
+        }
+    }
+
+    /// Resolves a rectangle to a strided/contiguous [`MatPtr`] view.
+    ///
+    /// Row-major slots resolve to the classic strided block view.  Tiled
+    /// slots resolve to a **contiguous tile base pointer** (stride = tile
+    /// width) when the rectangle lies within one tile — the fast path every
+    /// tile-aligned base case takes.
+    ///
+    /// # Panics
+    /// Panics if a tiled slot's rectangle spans a tile seam (those operations
+    /// must resolve through [`ExecContext::tile_view`] instead; `compile_op`
+    /// does).
     fn block(&self, r: &Rect) -> MatPtr {
-        self.mats[r.mat].block(r.r, r.c, r.rows, r.cols)
+        match &self.mats[r.mat] {
+            MatSlot::Row(m) => m.block(r.r, r.c, r.rows, r.cols),
+            MatSlot::Tiled(v) => v.tile_block(r.r, r.c, r.rows, r.cols).unwrap_or_else(|| {
+                panic!(
+                    "block ({},{}) {}x{} of matrix {} spans a tile seam (tile = {}); \
+                     tile-packed execution requires tile-aligned base-case blocks for this \
+                     operation — bind the data with tile dimension == base-case size",
+                    r.r,
+                    r.c,
+                    r.rows,
+                    r.cols,
+                    r.mat,
+                    v.tile_dim()
+                )
+            }),
+        }
+    }
+
+    /// `true` if this rectangle resolves to a contiguous single-tile view or
+    /// a row-major block; `false` if it needs tile-seam addressing.
+    fn spans_tile_seam(&self, r: &Rect) -> bool {
+        match &self.mats[r.mat] {
+            MatSlot::Row(_) => false,
+            MatSlot::Tiled(v) => v.tile_block(r.r, r.c, r.rows, r.cols).is_none(),
+        }
+    }
+
+    /// The tiled whole-matrix view of slot `mat`.
+    ///
+    /// # Panics
+    /// Panics if the slot is row-major.
+    fn tile_view(&self, mat: usize) -> TileView {
+        match &self.mats[mat] {
+            MatSlot::Tiled(v) => *v,
+            MatSlot::Row(_) => panic!("matrix {mat} is row-major, not tile-packed"),
+        }
     }
 }
 
@@ -140,10 +251,29 @@ pub enum CompiledOp {
         /// First pivot-store slot owned by this panel.
         piv: usize,
     },
+    /// [`CompiledOp::LuPanel`] on a tall panel of a tile-packed matrix (the
+    /// panel spans a column of tiles, so it runs through tile addressing —
+    /// same generic kernel body, bit-identical result).
+    LuPanelTiled {
+        /// Tile-addressed panel view.
+        a: TileSubView,
+        /// First pivot-store slot owned by this panel.
+        piv: usize,
+    },
     /// Applies a panel's row interchanges to a block column.
     LuRowSwap {
         /// The block-column view.
         a: MatPtr,
+        /// First pivot-store slot of the owning panel.
+        piv: usize,
+        /// Number of interchanges.
+        len: usize,
+    },
+    /// [`CompiledOp::LuRowSwap`] on a tall block column of a tile-packed
+    /// matrix.
+    LuRowSwapTiled {
+        /// Tile-addressed block-column view.
+        a: TileSubView,
         /// First pivot-store slot of the owning panel.
         piv: usize,
         /// Number of interchanges.
@@ -155,6 +285,33 @@ pub enum CompiledOp {
         l: MatPtr,
         /// Right-hand side view.
         b: MatPtr,
+    },
+    /// [`CompiledOp::Lcs`] on a tile-packed table (boundary reads cross tile
+    /// seams, so the block runs through tile addressing).
+    LcsTiled {
+        /// Tile-addressed whole-table view.
+        view: TileView,
+        /// First row (inclusive).
+        i0: usize,
+        /// Last row (exclusive).
+        i1: usize,
+        /// First column (inclusive).
+        j0: usize,
+        /// Last column (exclusive).
+        j1: usize,
+    },
+    /// [`CompiledOp::Fw1d`] on a tile-packed table.
+    Fw1dTiled {
+        /// Tile-addressed whole-table view.
+        view: TileView,
+        /// First time step (inclusive).
+        t0: usize,
+        /// Last time step (exclusive).
+        t1: usize,
+        /// First cell (inclusive).
+        i0: usize,
+        /// Last cell (exclusive).
+        i1: usize,
     },
     /// One block of the LCS table (sequences live on the [`OpTable`]).
     Lcs {
@@ -202,6 +359,12 @@ pub struct OpTable {
     seq_s: Arc<Vec<u8>>,
     seq_t: Arc<Vec<u8>>,
     pivots: Arc<PivotStore>,
+    /// Scratch elements GEMM panel packing needs for the largest strided
+    /// multiply in the table (0 = no strided multiply, packing never runs).
+    /// Computed once at compile time; each worker's arena grows to it on the
+    /// worker's first packed strand and is never touched by the allocator
+    /// again.
+    pack_len: usize,
 }
 
 impl TaskTable for OpTable {
@@ -212,19 +375,32 @@ impl TaskTable for OpTable {
             &self.seq_s,
             &self.seq_t,
             &self.pivots,
+            self.pack_len,
         );
     }
 }
 
 /// Runs one resolved block operation.
 #[inline]
-fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore) {
+fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore, pack_len: usize) {
     // SAFETY (for every unsafe kernel call below): the algorithm DAG orders
     // all conflicting block and pivot-slot accesses and the executor runs
     // each task after its predecessors — see the module-level safety section.
     match op {
-        CompiledOp::Gemm { c, a, b, alpha } => unsafe { gemm::gemm_block(c, a, b, alpha) },
-        CompiledOp::GemmNt { c, a, b, alpha } => unsafe { gemm::gemm_nt_block(c, a, b, alpha) },
+        CompiledOp::Gemm { c, a, b, alpha } => unsafe {
+            if a.is_contiguous() && b.is_contiguous() {
+                gemm::gemm_block(c, a, b, alpha)
+            } else {
+                with_pack_scratch(pack_len, |s| gemm::gemm_block_packed(c, a, b, alpha, s))
+            }
+        },
+        CompiledOp::GemmNt { c, a, b, alpha } => unsafe {
+            if a.is_contiguous() && b.is_contiguous() {
+                gemm::gemm_nt_block(c, a, b, alpha)
+            } else {
+                with_pack_scratch(pack_len, |s| gemm::gemm_nt_block_packed(c, a, b, alpha, s))
+            }
+        },
         CompiledOp::TrsmLower { t, b } => unsafe { trsm::trsm_lower_block(t, b) },
         CompiledOp::TrsmRightLt { l, b } => unsafe { trsm::trsm_right_lower_trans_block(l, b) },
         CompiledOp::Potrf { a } => unsafe { potrf::potrf_block(a) },
@@ -232,7 +408,35 @@ fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore) 
             let out = pivots.slice_mut(piv, a.cols());
             getrf::getrf_panel_block_into(a, out);
         },
+        CompiledOp::LuPanelTiled { a, piv } => unsafe {
+            // The tall panel spans a column of tiles.  Pack it into the
+            // worker's scratch, factor the contiguous copy, and write it
+            // back: copies are O(rows·b) tile-addressed accesses where
+            // factoring in place would pay tile addressing on all
+            // O(rows·b²) accesses — and copying changes no floating-point
+            // operation, so pivots and factors stay bit-identical.
+            use nd_linalg::MatView;
+            let (rows, cols) = (MatView::rows(&a), MatView::cols(&a));
+            with_pack_scratch(pack_len, |s| {
+                for i in 0..rows {
+                    for j in 0..cols {
+                        s[i * cols + j] = a.get(i, j);
+                    }
+                }
+                let panel = MatPtr::from_raw_parts(s.as_mut_ptr(), cols, rows, cols);
+                let out = pivots.slice_mut(piv, cols);
+                getrf::getrf_panel_block_into(panel, out);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        a.set(i, j, s[i * cols + j]);
+                    }
+                }
+            });
+        },
         CompiledOp::LuRowSwap { a, piv, len } => unsafe {
+            getrf::swap_rows_block(a, pivots.slice(piv, len));
+        },
+        CompiledOp::LuRowSwapTiled { a, piv, len } => unsafe {
             getrf::swap_rows_block(a, pivots.slice(piv, len));
         },
         CompiledOp::TrsmUnitLower { l, b } => unsafe { getrf::trsm_unit_lower_block(l, b) },
@@ -243,7 +447,21 @@ fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore) 
             j0,
             j1,
         } => unsafe { lcs::lcs_block(view, seq_s, seq_t, i0, i1, j0, j1) },
+        CompiledOp::LcsTiled {
+            view,
+            i0,
+            i1,
+            j0,
+            j1,
+        } => unsafe { lcs::lcs_block(view, seq_s, seq_t, i0, i1, j0, j1) },
         CompiledOp::Fw1d {
+            view,
+            t0,
+            t1,
+            i0,
+            i1,
+        } => unsafe { fw::fw1d_block(view, t0, t1, i0, i1) },
+        CompiledOp::Fw1dTiled {
             view,
             t0,
             t1,
@@ -279,15 +497,34 @@ fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
             b: ctx.block(b),
         },
         BlockOp::Potrf { a } => CompiledOp::Potrf { a: ctx.block(a) },
-        BlockOp::LuPanel { a, piv } => CompiledOp::LuPanel {
-            a: ctx.block(a),
-            piv: *piv,
-        },
-        BlockOp::LuRowSwap { a, piv, len } => CompiledOp::LuRowSwap {
-            a: ctx.block(a),
-            piv: *piv,
-            len: *len,
-        },
+        BlockOp::LuPanel { a, piv } => {
+            if ctx.spans_tile_seam(a) {
+                CompiledOp::LuPanelTiled {
+                    a: ctx.tile_view(a.mat).sub_view(a.r, a.c, a.rows, a.cols),
+                    piv: *piv,
+                }
+            } else {
+                CompiledOp::LuPanel {
+                    a: ctx.block(a),
+                    piv: *piv,
+                }
+            }
+        }
+        BlockOp::LuRowSwap { a, piv, len } => {
+            if ctx.spans_tile_seam(a) {
+                CompiledOp::LuRowSwapTiled {
+                    a: ctx.tile_view(a.mat).sub_view(a.r, a.c, a.rows, a.cols),
+                    piv: *piv,
+                    len: *len,
+                }
+            } else {
+                CompiledOp::LuRowSwap {
+                    a: ctx.block(a),
+                    piv: *piv,
+                    len: *len,
+                }
+            }
+        }
         BlockOp::TrsmUnitLower { l, b } => CompiledOp::TrsmUnitLower {
             l: ctx.block(l),
             b: ctx.block(b),
@@ -298,12 +535,21 @@ fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
             i1,
             j0,
             j1,
-        } => CompiledOp::Lcs {
-            view: ctx.mats[*table],
-            i0: *i0,
-            i1: *i1,
-            j0: *j0,
-            j1: *j1,
+        } => match &ctx.mats[*table] {
+            MatSlot::Row(m) => CompiledOp::Lcs {
+                view: *m,
+                i0: *i0,
+                i1: *i1,
+                j0: *j0,
+                j1: *j1,
+            },
+            MatSlot::Tiled(v) => CompiledOp::LcsTiled {
+                view: *v,
+                i0: *i0,
+                i1: *i1,
+                j0: *j0,
+                j1: *j1,
+            },
         },
         BlockOp::Fw1dBlock {
             table,
@@ -311,12 +557,21 @@ fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
             t1,
             i0,
             i1,
-        } => CompiledOp::Fw1d {
-            view: ctx.mats[*table],
-            t0: *t0,
-            t1: *t1,
-            i0: *i0,
-            i1: *i1,
+        } => match &ctx.mats[*table] {
+            MatSlot::Row(m) => CompiledOp::Fw1d {
+                view: *m,
+                t0: *t0,
+                t1: *t1,
+                i0: *i0,
+                i1: *i1,
+            },
+            MatSlot::Tiled(v) => CompiledOp::Fw1dTiled {
+                view: *v,
+                t0: *t0,
+                t1: *t1,
+                i0: *i0,
+                i1: *i1,
+            },
         },
         BlockOp::FwUpdate { x, u, v } => CompiledOp::FwUpdate {
             x: ctx.block(x),
@@ -344,6 +599,9 @@ fn compile_op(op: &BlockOp, ctx: &ExecContext) -> CompiledOp {
 pub struct CompiledAlgorithm {
     graph: Arc<CompiledGraph>,
     table: Arc<OpTable>,
+    /// The persistent run state behind [`CompiledAlgorithm::execute_steady`],
+    /// created on the first call (sized to that call's pool).
+    runner: OnceLock<PersistentRun<OpTable>>,
 }
 
 impl CompiledAlgorithm {
@@ -351,6 +609,29 @@ impl CompiledAlgorithm {
     /// The graph is left reset, ready for the next call.
     pub fn execute(&self, pool: &ThreadPool) -> ExecStats {
         self.graph.execute(pool, &self.table)
+    }
+
+    /// Steady-state execution: like [`CompiledAlgorithm::execute`], but
+    /// through a persistent run state created on the first call — every
+    /// subsequent call performs **zero heap allocations** (the run state is
+    /// re-armed in place, ready tasks are `(Arc, index)` pairs, GEMM packing
+    /// reuses the per-worker scratch arenas, and the returned
+    /// [`SteadyStats`] is `Copy`).
+    ///
+    /// # Panics
+    /// Panics if called with a pool larger than the first call's pool (the
+    /// per-worker state was sized to that).
+    pub fn execute_steady(&self, pool: &ThreadPool) -> SteadyStats {
+        self.runner
+            .get_or_init(|| PersistentRun::new(&self.graph, &self.table, pool.num_threads()))
+            .execute(pool)
+    }
+
+    /// Scratch elements GEMM panel packing needs per worker (0 when every
+    /// multiply operand is contiguous, e.g. on the tile-packed layout).
+    /// Computed when the algorithm was compiled.
+    pub fn pack_scratch_len(&self) -> usize {
+        self.table.pack_len
     }
 
     /// Number of tasks (strands plus barrier vertices).
@@ -394,7 +675,7 @@ pub fn compile_algorithm_placed(
     placement: Vec<Placement>,
 ) -> CompiledAlgorithm {
     let lowered = nd_runtime::lower::lower_dag(dag, placement);
-    let compiled_ops = lowered
+    let compiled_ops: Vec<CompiledOp> = lowered
         .op_tags
         .iter()
         .map(|tag| match tag {
@@ -402,6 +683,10 @@ pub fn compile_algorithm_placed(
             None => CompiledOp::Nop,
         })
         .collect();
+    // The packing high-water mark: the largest scratch any strided multiply in
+    // this table will ask its worker's arena for.  Known here — at compile
+    // time — so steady-state execution never grows the arena more than once.
+    let pack_len = compiled_ops.iter().map(op_pack_len).max().unwrap_or(0);
     CompiledAlgorithm {
         graph: Arc::new(lowered.graph),
         table: Arc::new(OpTable {
@@ -409,7 +694,25 @@ pub fn compile_algorithm_placed(
             seq_s: Arc::clone(&ctx.seq_s),
             seq_t: Arc::clone(&ctx.seq_t),
             pivots: Arc::clone(&ctx.pivots),
+            pack_len,
         }),
+        runner: OnceLock::new(),
+    }
+}
+
+/// Scratch elements `op` will ask its worker's packing arena for (0 when the
+/// operation never packs).
+fn op_pack_len(op: &CompiledOp) -> usize {
+    match op {
+        CompiledOp::Gemm { c, a, b, .. } | CompiledOp::GemmNt { c, a, b, .. }
+            if !(a.is_contiguous() && b.is_contiguous()) =>
+        {
+            gemm::gemm_pack_len(c.rows(), c.cols(), a.cols())
+        }
+        CompiledOp::LuPanelTiled { a, .. } => {
+            nd_linalg::MatView::rows(a) * nd_linalg::MatView::cols(a)
+        }
+        _ => 0,
     }
 }
 
@@ -417,9 +720,10 @@ pub fn compile_algorithm_placed(
 /// compiled path goes through [`compile_algorithm`] instead).
 pub fn op_closure(op: &BlockOp, ctx: &ExecContext) -> Box<dyn FnMut() + Send + 'static> {
     let compiled = compile_op(op, ctx);
+    let pack_len = op_pack_len(&compiled);
     let (seq_s, seq_t) = (Arc::clone(&ctx.seq_s), Arc::clone(&ctx.seq_t));
     let pivots = Arc::clone(&ctx.pivots);
-    Box::new(move || dispatch_op(compiled, &seq_s, &seq_t, &pivots))
+    Box::new(move || dispatch_op(compiled, &seq_s, &seq_t, &pivots, pack_len))
 }
 
 /// Lowers an algorithm DAG plus its operation table into a runnable [`TaskGraph`]

@@ -32,10 +32,10 @@
 //! Usage: `cargo run --release --bin exp_exec -- [n] [reps]` (default 256, 3).
 
 use nd_algorithms::access::access_oracle_dag;
-use nd_algorithms::cholesky::cholesky_parallel;
+use nd_algorithms::cholesky::{build_cholesky, cholesky_parallel};
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
-use nd_algorithms::driver;
-use nd_algorithms::exec::{compile_algorithm, ExecContext};
+use nd_algorithms::driver::{self, bind_layout, ContextExtras};
+use nd_algorithms::exec::{compile_algorithm, ExecContext, Layout};
 use nd_algorithms::fw2d::{apsp_parallel, build_fw2d};
 use nd_algorithms::lcs::build_lcs;
 use nd_algorithms::lu::{build_lu, lu_parallel};
@@ -44,10 +44,13 @@ use nd_exec::execute::{apsp_anchored, cholesky_anchored, lu_anchored, multiply_a
 use nd_exec::pool::flat_topology_with_distances;
 use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
 use nd_linalg::fw::random_digraph;
+use nd_linalg::gemm::{gemm_block, gemm_block_packed, gemm_pack_len};
+use nd_linalg::tile::TileMatrix;
 use nd_linalg::Matrix;
 use nd_pmh::machine::MachineTree;
 use nd_pmh::topology::detect_host;
 use nd_runtime::dataflow::{CompiledGraph, TaskTable};
+use nd_runtime::pool::with_pack_scratch;
 use nd_runtime::ThreadPool;
 use std::sync::Arc;
 use std::time::Instant;
@@ -319,6 +322,286 @@ fn bench_frontend(
     }
 }
 
+/// E18: the GEMM base case on both storage layouts.  A full blocked multiply
+/// sweep over `sweep_n × sweep_n` matrices at base-case granularity `b` — the
+/// access pattern an executed algorithm's strands actually produce — measured
+/// three ways: strided row-major block views (the pre-tile-packed status
+/// quo), row-major with per-worker panel packing, and contiguous tile-packed
+/// slabs.
+struct GemmLayoutBench {
+    b: usize,
+    /// Size of the in-cache sweep matrices (`16·b`; the whole working set
+    /// exceeds L2 but stays in the outer cache).
+    warm_sweep_n: usize,
+    warm_rowmajor_gflops: f64,
+    warm_rowmajor_packed_gflops: f64,
+    warm_tiled_gflops: f64,
+    warm_tiled_speedup: f64,
+    /// Size of the cold-operand matrices (memory-resident; every sampled tile
+    /// triple is cold — the regime the paper's `Q*(t; σ·M_j)` bounds target).
+    cold_n: usize,
+    cold_samples: usize,
+    /// Headline numbers: the cold regime, where layout dominates.
+    rowmajor_gflops: f64,
+    tiled_gflops: f64,
+    /// `rowmajor_seconds / tiled_seconds` in the cold regime.
+    tiled_speedup: f64,
+}
+
+impl GemmLayoutBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"b\":{},\"warm_sweep_n\":{},\"warm_rowmajor_gflops\":{:.2},\
+\"warm_rowmajor_packed_gflops\":{:.2},\"warm_tiled_gflops\":{:.2},\
+\"warm_tiled_speedup\":{:.3},\"cold_n\":{},\"cold_samples\":{},\
+\"rowmajor_gflops\":{:.2},\"tiled_gflops\":{:.2},\"tiled_speedup\":{:.3}}}",
+            self.b,
+            self.warm_sweep_n,
+            self.warm_rowmajor_gflops,
+            self.warm_rowmajor_packed_gflops,
+            self.warm_tiled_gflops,
+            self.warm_tiled_speedup,
+            self.cold_n,
+            self.cold_samples,
+            self.rowmajor_gflops,
+            self.tiled_gflops,
+            self.tiled_speedup
+        )
+    }
+}
+
+/// Measures one base-case size on both layouts.
+///
+/// Two regimes, identical kernel and op order on each side:
+///
+/// * **warm** — a full blocked-multiply sweep over `16b × 16b` matrices
+///   (working set larger than L2, tiles revisited): the in-cache regime the
+///   repo's default experiment sizes run in.
+/// * **cold** — pseudo-randomly sampled tile triples over memory-resident
+///   matrices, so every operand tile is cold: a strided row-major tile pays
+///   `b` separate page-and-line streams where the packed tile is one
+///   sequential slab.  Row-major and tiled reps are interleaved so ambient
+///   noise on a shared host hits both sides equally.
+fn bench_gemm_layout(b: usize, n: usize, reps: usize) -> GemmLayoutBench {
+    let reps = reps.max(3);
+    let warm_sweep_n = 16 * b;
+    let g = warm_sweep_n / b;
+    let a = Matrix::random(warm_sweep_n, warm_sweep_n, 91);
+    let bm = Matrix::random(warm_sweep_n, warm_sweep_n, 92);
+    let warm_flops = 2.0 * (warm_sweep_n as f64).powi(3);
+
+    let mut am = a.clone();
+    let mut bmm = bm.clone();
+    let mut c = Matrix::zeros(warm_sweep_n, warm_sweep_n);
+    let mut at = TileMatrix::pack(&a, b);
+    let mut bt = TileMatrix::pack(&bm, b);
+    let mut ct = TileMatrix::zeros(warm_sweep_n, warm_sweep_n, b);
+    let (mut row_best, mut packed_best, mut tiled_best) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        {
+            let (cv, av, bv) = (c.as_ptr_view(), am.as_ptr_view(), bmm.as_ptr_view());
+            for bi in 0..g {
+                for bj in 0..g {
+                    for bk in 0..g {
+                        // SAFETY: single-threaded sweep on disjoint C tiles.
+                        unsafe {
+                            gemm_block(
+                                cv.block(bi * b, bj * b, b, b),
+                                av.block(bi * b, bk * b, b, b),
+                                bv.block(bk * b, bj * b, b, b),
+                                1.0,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        row_best = row_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        {
+            let (cv, av, bv) = (c.as_ptr_view(), am.as_ptr_view(), bmm.as_ptr_view());
+            with_pack_scratch(gemm_pack_len(b, b, b), |scratch| {
+                for bi in 0..g {
+                    for bj in 0..g {
+                        for bk in 0..g {
+                            // SAFETY: as above; scratch is this thread's arena.
+                            unsafe {
+                                gemm_block_packed(
+                                    cv.block(bi * b, bj * b, b, b),
+                                    av.block(bi * b, bk * b, b, b),
+                                    bv.block(bk * b, bj * b, b, b),
+                                    1.0,
+                                    scratch,
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        packed_best = packed_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for bi in 0..g {
+            for bj in 0..g {
+                for bk in 0..g {
+                    // SAFETY: single-threaded sweep on disjoint tile slabs.
+                    unsafe {
+                        gemm_block(
+                            ct.tile_ptr(bi, bj).as_mat_ptr(),
+                            at.tile_ptr(bi, bk).as_mat_ptr(),
+                            bt.tile_ptr(bk, bj).as_mat_ptr(),
+                            1.0,
+                        );
+                    }
+                }
+            }
+        }
+        tiled_best = tiled_best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box((&c, &ct));
+    drop((am, bmm, c, at, bt, ct));
+
+    // Cold regime: big matrices (small ones on CI smoke sizes — same
+    // plumbing, truncated magnitudes), sampled tile triples.
+    let (cold_n, cold_samples) = if n >= 256 { (8192, 8192) } else { (2048, 2048) };
+    let cg = cold_n / b;
+    // Hash each sample index into a tile triple.  The three components must
+    // come from *different* bit ranges of the mix: deriving them all as
+    // linear functions of `s % cg` would give the sequence period `cg`,
+    // collapsing the sampled footprint to a few MB that an outer cache keeps
+    // resident after the first rep — silently turning the cold regime warm.
+    let visit = |s: usize| {
+        let h = (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (
+            (h >> 16) as usize % cg,
+            (h >> 32) as usize % cg,
+            (h >> 48) as usize % cg,
+        )
+    };
+    let cold_flops = (cold_samples as f64) * 2.0 * (b as f64).powi(3);
+    // Pack the tiled operands first and then *move* (not clone) the row-major
+    // sources into the strided side, so peak residency is the six matrices
+    // the measurement needs and nothing more.
+    let a = Matrix::random(cold_n, cold_n, 93);
+    let bm = Matrix::random(cold_n, cold_n, 94);
+    let mut at = TileMatrix::pack(&a, b);
+    let mut bt = TileMatrix::pack(&bm, b);
+    let mut ct = TileMatrix::zeros(cold_n, cold_n, b);
+    let mut am = a;
+    let mut bmm = bm;
+    let mut c = Matrix::zeros(cold_n, cold_n);
+    let (mut cold_row_best, mut cold_tiled_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        {
+            let (cv, av, bv) = (c.as_ptr_view(), am.as_ptr_view(), bmm.as_ptr_view());
+            for s in 0..cold_samples {
+                let (bi, bj, bk) = visit(s);
+                // SAFETY: single-threaded sweep.
+                unsafe {
+                    gemm_block(
+                        cv.block(bi * b, bj * b, b, b),
+                        av.block(bi * b, bk * b, b, b),
+                        bv.block(bk * b, bj * b, b, b),
+                        1.0,
+                    );
+                }
+            }
+        }
+        cold_row_best = cold_row_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for s in 0..cold_samples {
+            let (bi, bj, bk) = visit(s);
+            // SAFETY: single-threaded sweep.
+            unsafe {
+                gemm_block(
+                    ct.tile_ptr(bi, bj).as_mat_ptr(),
+                    at.tile_ptr(bi, bk).as_mat_ptr(),
+                    bt.tile_ptr(bk, bj).as_mat_ptr(),
+                    1.0,
+                );
+            }
+        }
+        cold_tiled_best = cold_tiled_best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box((&c, &ct));
+
+    GemmLayoutBench {
+        b,
+        warm_sweep_n,
+        warm_rowmajor_gflops: warm_flops / row_best / 1e9,
+        warm_rowmajor_packed_gflops: warm_flops / packed_best / 1e9,
+        warm_tiled_gflops: warm_flops / tiled_best / 1e9,
+        warm_tiled_speedup: row_best / tiled_best,
+        cold_n,
+        cold_samples,
+        rowmajor_gflops: cold_flops / cold_row_best / 1e9,
+        tiled_gflops: cold_flops / cold_tiled_best / 1e9,
+        tiled_speedup: cold_row_best / cold_tiled_best,
+    }
+}
+
+/// E18: whole-algorithm wall clock on both layouts (compiled once per layout,
+/// re-executed per rep with in-place re-initialisation — the kernel layer and
+/// the scheduler, not build cost, are what differs).
+struct AlgLayoutBench {
+    algorithm: &'static str,
+    rowmajor_seconds: f64,
+    tiled_seconds: f64,
+    tiled_speedup: f64,
+}
+
+impl AlgLayoutBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"rowmajor_seconds\":{:.6},\"tiled_seconds\":{:.6},\
+\"tiled_speedup\":{:.3}}}",
+            self.algorithm, self.rowmajor_seconds, self.tiled_seconds, self.tiled_speedup
+        )
+    }
+}
+
+/// Measures one algorithm on one layout: bind → compile once → (reinit,
+/// execute) × reps, timing only the executions, best-of-reps.
+fn bench_alg_on_layout(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    pristine: &[Matrix],
+    base: usize,
+    layout: Layout,
+    extras: ContextExtras,
+    reps: usize,
+) -> f64 {
+    let mut mats: Vec<Matrix> = pristine.to_vec();
+    let mut refs: Vec<&mut Matrix> = mats.iter_mut().collect();
+    let (mut tiles, ctx) = bind_layout(&mut refs, base, layout, extras);
+    let compiled = driver::compile(built, &ctx);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(2) {
+        match layout {
+            Layout::RowMajor => {
+                for (m, p) in mats.iter_mut().zip(pristine) {
+                    m.as_mut_slice().copy_from_slice(p.as_slice());
+                }
+            }
+            Layout::Tiled => {
+                for (t, p) in tiles.iter_mut().zip(pristine) {
+                    t.pack_from(p);
+                }
+            }
+        }
+        let start = Instant::now();
+        compiled.execute(pool);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
     let mut best = f64::INFINITY;
     let mut total = 0.0;
@@ -546,6 +829,88 @@ fn main() {
     });
     record(measurement_json("fw2d", "nd-exec", &layout, workers, &m));
 
+    // -------------------------------- tile-packed layout (E18) ----
+    eprintln!("exp_exec: layout section (row-major vs tile-packed)");
+    let mut gemm_layout = Vec::new();
+    for b in [32usize, 64] {
+        let bench = bench_gemm_layout(b, n, reps);
+        eprintln!(
+            "exp_exec: gemm base {b}²: warm row {:.2} / packed {:.2} / tiled {:.2} GFLOP/s \
+             ({:.2}x); cold row {:.2} / tiled {:.2} GFLOP/s ({:.2}x)",
+            bench.warm_rowmajor_gflops,
+            bench.warm_rowmajor_packed_gflops,
+            bench.warm_tiled_gflops,
+            bench.warm_tiled_speedup,
+            bench.rowmajor_gflops,
+            bench.tiled_gflops,
+            bench.tiled_speedup
+        );
+        gemm_layout.push(bench.json());
+    }
+    let layout_pool = ThreadPool::new(workers);
+    let mut alg_layout = Vec::new();
+    let alg_cases: Vec<(&'static str, BuiltAlgorithm, Vec<Matrix>, bool)> = vec![
+        (
+            "mm",
+            build_mm(n, base, Mode::Nd, 1.0),
+            vec![Matrix::zeros(n, n), a.clone(), b.clone()],
+            false,
+        ),
+        (
+            "cholesky",
+            build_cholesky(n, base, Mode::Nd),
+            vec![spd.clone()],
+            false,
+        ),
+        ("lu", build_lu(n, base, Mode::Nd), vec![lua.clone()], true),
+        (
+            "fw2d",
+            build_fw2d(n, base, Mode::Nd),
+            vec![d0.clone()],
+            false,
+        ),
+    ];
+    for (algorithm, built, pristine, needs_pivots) in &alg_cases {
+        let extras = || {
+            if *needs_pivots {
+                ContextExtras::Pivots(n)
+            } else {
+                ContextExtras::None
+            }
+        };
+        let row = bench_alg_on_layout(
+            &layout_pool,
+            built,
+            pristine,
+            base,
+            Layout::RowMajor,
+            extras(),
+            reps,
+        );
+        let tiled = bench_alg_on_layout(
+            &layout_pool,
+            built,
+            pristine,
+            base,
+            Layout::Tiled,
+            extras(),
+            reps,
+        );
+        alg_layout.push(
+            AlgLayoutBench {
+                algorithm,
+                rowmajor_seconds: row,
+                tiled_seconds: tiled,
+                tiled_speedup: row / tiled,
+            }
+            .json(),
+        );
+    }
+    drop(layout_pool);
+    for line in gemm_layout.iter().chain(alg_layout.iter()) {
+        println!("{{\"experiment\":\"exp_exec\",\"section\":\"layout\",\"bench\":{line}}}");
+    }
+
     // -------------------------------- LU / FW-2D rebuild-vs-reuse (E16) ----
     eprintln!("exp_exec: LU / FW-2D rebuild-vs-reuse (compiled drivers)");
     let fine_base = base.min(8);
@@ -633,9 +998,12 @@ fn main() {
     let file = format!(
         "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
 \"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
+\"layouts\": {{\n    \"gemm\": [\n      {}\n    ],\n    \"algorithms\": [\n      {}\n    ]\n  }},\n  \
 \"algorithm_reuse\": [\n    {}\n  ],\n  \"drs_frontend\": [\n    {}\n  ],\n  \
 \"scheduler\": {sched_json}\n}}\n",
         measurements.join(",\n    "),
+        gemm_layout.join(",\n      "),
+        alg_layout.join(",\n      "),
         algorithm_reuse.join(",\n    "),
         drs_frontend.join(",\n    ")
     );

@@ -21,7 +21,12 @@
 //!   E17: the fire-rule frontend — DRS expansion + compile cost versus the
 //!   access-set oracle rebuilding the same dependency structure, plus the
 //!   reuse speedup of DRS-built MM and LCS graphs (the `drs_frontend`
-//!   section of `BENCH_exec.json`).
+//!   section of `BENCH_exec.json`);
+//!   E18: storage layouts — the GEMM base case on strided row-major block
+//!   views versus contiguous tile-packed slabs (warm full-sweep and cold
+//!   sampled-tile regimes), plus whole-algorithm wall clock for
+//!   MM / Cholesky / LU / FW-2D on both layouts (the `layouts` section of
+//!   `BENCH_exec.json`).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

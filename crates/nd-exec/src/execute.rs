@@ -35,10 +35,13 @@
 use crate::anchor::{compute_anchoring, AnchorConfig, Anchoring};
 use crate::pool::HierarchicalPool;
 use nd_algorithms::common::{BuiltAlgorithm, Mode};
-use nd_algorithms::exec::ExecContext;
+use nd_algorithms::driver::ContextExtras;
+use nd_algorithms::exec::{ExecContext, Layout};
 use nd_algorithms::{cholesky, driver, fw1d, fw2d, lcs, lu, mm, trs};
+use nd_linalg::getrf::PivotStore;
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::ExecStats;
+use std::sync::Arc;
 
 /// Statistics of one anchored execution.
 #[derive(Clone, Debug)]
@@ -84,6 +87,61 @@ pub fn run_anchored(
             .map(|(a, b)| a - b)
             .collect(),
     }
+}
+
+/// The anchored layout knob: executes `built` under `σ·M_i` anchoring against
+/// row-major matrices on either layout — the anchored counterpart of
+/// [`driver::run_once_on_layout`].  For [`Layout::Tiled`] the matrices are
+/// packed into tile-packed storage (tile dimension `tile`), every strand is
+/// routed to its anchor subcluster, and the result is unpacked back into
+/// `mats` — so anchoring and contiguous tiles compose, and both layouts can
+/// be compared bit-for-bit.
+pub fn run_anchored_on_layout(
+    pool: &HierarchicalPool,
+    built: &BuiltAlgorithm,
+    mats: &mut [&mut Matrix],
+    tile: usize,
+    layout: Layout,
+    extras: ContextExtras,
+    cfg: &AnchorConfig,
+) -> (HierExecStats, Arc<PivotStore>) {
+    let (tiles, ctx) = driver::bind_layout(mats, tile, layout, extras);
+    let stats = run_anchored(pool, built, &ctx, cfg);
+    for (tile_mat, m) in tiles.iter().zip(mats.iter_mut()) {
+        tile_mat.unpack_into(m);
+    }
+    (stats, Arc::clone(&ctx.pivots))
+}
+
+/// Computes `C += A·B` on the anchored executor with the given data layout
+/// (tile dimension = `base`, so every base-case operand is one contiguous
+/// slab when `layout` is [`Layout::Tiled`]).
+pub fn multiply_anchored_on(
+    pool: &HierarchicalPool,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    base: usize,
+    layout: Layout,
+    cfg: &AnchorConfig,
+) -> HierExecStats {
+    let n = c.rows();
+    assert_eq!(a.rows(), n);
+    assert_eq!(b.cols(), n);
+    assert_eq!(a.cols(), b.rows());
+    let built = mm::build_mm(n, base, Mode::Nd, 1.0);
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let (stats, _) = run_anchored_on_layout(
+        pool,
+        &built,
+        &mut [c, &mut a, &mut b],
+        base,
+        layout,
+        ContextExtras::None,
+        cfg,
+    );
+    stats
 }
 
 /// Computes `C += A·B` on the anchored executor.
@@ -145,7 +203,7 @@ pub fn cholesky_anchored(
 /// returns the global pivot vector (LAPACK convention) with the stats.
 ///
 /// The runtime pivots travel through the context's lock-free
-/// [`PivotStore`](nd_linalg::PivotStore); the anchored DAG ordering makes the
+/// [`PivotStore`]; the anchored DAG ordering makes the
 /// panel-to-swap handoff race-free exactly as on the flat executor.
 pub fn lu_anchored(
     pool: &HierarchicalPool,

@@ -10,7 +10,7 @@
 //!   recurrence `d(i, j) = min(d(i, j), d(i, k) + d(k, j))`, together with the block
 //!   update kernel used by the recursive (Gaussian-elimination-paradigm) algorithm.
 
-use crate::matrix::{MatPtr, Matrix};
+use crate::matrix::{MatView, Matrix};
 
 /// The deterministic cost used by the synthetic 1-D Floyd–Warshall `⊕` operator.
 #[inline]
@@ -50,11 +50,11 @@ pub fn fw1d_naive(initial: &[f64]) -> Matrix {
 /// previous diagonal cell from the same table.
 ///
 /// # Safety
-/// The caller must uphold the [`MatPtr`] safety contract and must only call this
+/// The caller must uphold the [`crate::MatPtr`] safety contract and must only call this
 /// once every cell it *reads* — row `t0−1` over the column range and the diagonal
 /// cells `(t−1, t−1)` for `t0 ≤ t < t1` — has been computed.  The Nested Dataflow
 /// DAG provides exactly this ordering.
-pub unsafe fn fw1d_block(table: MatPtr, t0: usize, t1: usize, i0: usize, i1: usize) {
+pub unsafe fn fw1d_block<V: MatView>(table: V, t0: usize, t1: usize, i0: usize, i1: usize) {
     for t in t0..t1 {
         let diag = table.get(t - 1, t - 1);
         for i in i0..i1 {
@@ -94,9 +94,9 @@ pub fn floyd_warshall_naive(d: &mut Matrix) {
 /// aliased cases compute the correct Floyd–Warshall result.
 ///
 /// # Safety
-/// The caller must uphold the [`MatPtr`] safety contract: exclusive access to `X`,
+/// The caller must uphold the [`crate::MatPtr`] safety contract: exclusive access to `X`,
 /// and `U`/`V` must not be concurrently written (they may alias `X`).
-pub unsafe fn fw_update_block(x: MatPtr, u: MatPtr, v: MatPtr) {
+pub unsafe fn fw_update_block<X: MatView, U: MatView, W: MatView>(x: X, u: U, v: W) {
     let m = x.rows();
     let n = x.cols();
     let kk = u.cols();

@@ -43,6 +43,88 @@ const MR: usize = 4;
 /// Columns per register tile of the GEMM microkernels.
 const NR: usize = 4;
 
+/// Scratch elements [`gemm_block_packed`] needs to pack both operands of an
+/// `m × n × k` multiply (`A` is `m × k`, `B` is `k × n`; the `nt` variant's
+/// `B` is `n × k` — same element count).
+#[inline]
+pub fn gemm_pack_len(m: usize, n: usize, k: usize) -> usize {
+    m * k + k * n
+}
+
+/// Copies a (possibly strided) view row by row into the front of `dst` and
+/// returns the packed, contiguous view over it.  Pure data movement — the
+/// values (and therefore every downstream floating-point result) are
+/// unchanged.
+///
+/// # Safety
+/// Same read contract as [`gemm_block`] for `src`; `dst` must hold at least
+/// `src.rows() * src.cols()` elements and must not overlap `src`'s storage.
+#[inline]
+unsafe fn pack_panel(src: MatPtr, dst: &mut [f64]) -> MatPtr {
+    let (m, n) = (src.rows(), src.cols());
+    debug_assert!(dst.len() >= m * n);
+    let out = dst.as_mut_ptr();
+    for i in 0..m {
+        std::ptr::copy_nonoverlapping(src.row_ptr(i), out.add(i * n), n);
+    }
+    MatPtr::from_raw_parts(out, n, m, n)
+}
+
+/// `C += α·A·B` with **panel packing**: strided `A`/`B` operands are first
+/// copied into the caller's scratch (typically a per-worker arena owned by the
+/// thread pool), then the register-tiled [`gemm_block`] runs on the contiguous
+/// copies.  Already-contiguous operands (tile-packed layout, or whole-matrix
+/// views) skip their copy.  Packing moves data without touching a single
+/// floating-point operation, so the result is bit-identical to calling
+/// [`gemm_block`] on the original views.
+///
+/// # Safety
+/// Same contract as [`gemm_block`]; additionally `scratch` must hold at least
+/// [`gemm_pack_len`]`(m, n, k)` elements and must not overlap any operand's
+/// storage.
+pub unsafe fn gemm_block_packed(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64, scratch: &mut [f64]) {
+    let (ap, bp) = pack_operands(a, b, scratch);
+    gemm_block(c, ap, bp, alpha);
+}
+
+/// `C += α·A·Bᵀ` with panel packing — see [`gemm_block_packed`].
+///
+/// # Safety
+/// Same contract as [`gemm_block_packed`] (here `B` is `n × k`).
+pub unsafe fn gemm_nt_block_packed(
+    c: MatPtr,
+    a: MatPtr,
+    b: MatPtr,
+    alpha: f64,
+    scratch: &mut [f64],
+) {
+    let (ap, bp) = pack_operands(a, b, scratch);
+    gemm_nt_block(c, ap, bp, alpha);
+}
+
+/// Packs whichever of the two operands is strided into `scratch` (front:
+/// `A`'s panel, then `B`'s), returning contiguous views over the copies;
+/// already-contiguous operands pass through untouched.
+///
+/// # Safety
+/// Same contract as [`pack_panel`] for each strided operand; `scratch` must
+/// hold both panels ([`gemm_pack_len`]).
+#[inline]
+unsafe fn pack_operands(a: MatPtr, b: MatPtr, scratch: &mut [f64]) -> (MatPtr, MatPtr) {
+    let (ap, rest): (MatPtr, &mut [f64]) = if a.is_contiguous() {
+        (a, scratch)
+    } else {
+        let (head, rest) = scratch.split_at_mut(a.rows() * a.cols());
+        (pack_panel(a, head), rest)
+    };
+    let bp = if b.is_contiguous() {
+        b
+    } else {
+        pack_panel(b, &mut rest[..b.rows() * b.cols()])
+    };
+    (ap, bp)
+}
+
 /// Block kernel: `C += α·A·B` on raw views.
 ///
 /// Register-tiled: full `4×4` tiles of `C` are held in registers while the
@@ -465,6 +547,110 @@ mod tests {
         assert_eq!(c[(1, 2)], 0.0);
         assert_eq!(c[(11, 13)], 0.0);
         assert_eq!(c[(15, 15)], 0.0);
+    }
+
+    /// Packing is pure data movement: the packed kernel must be bit-identical
+    /// to the unpacked one on strided sub-blocks of a larger matrix.
+    #[test]
+    fn packed_gemm_is_bit_identical_to_unpacked_on_strided_blocks() {
+        let mut a = Matrix::random(24, 24, 61);
+        let mut b = Matrix::random(24, 24, 62);
+        let mut c1 = Matrix::random(24, 24, 63);
+        let mut c2 = c1.clone();
+        let (m, n, k) = (9, 10, 7);
+        let mut scratch = vec![0.0; gemm_pack_len(m, n, k)];
+        unsafe {
+            let av = a.as_ptr_view().block(2, 3, m, k);
+            let bv = b.as_ptr_view().block(5, 1, k, n);
+            gemm_block(c1.as_ptr_view().block(4, 6, m, n), av, bv, -1.5);
+            gemm_block_packed(
+                c2.as_ptr_view().block(4, 6, m, n),
+                av,
+                bv,
+                -1.5,
+                &mut scratch,
+            );
+        }
+        assert_eq!(c1.max_abs_diff(&c2), 0.0);
+        // Contiguous operands skip packing and still agree (scratch untouched).
+        let mut c3 = Matrix::zeros(8, 8);
+        let mut c4 = Matrix::zeros(8, 8);
+        let mut am = a.block(0, 0, 8, 8);
+        let mut bm = b.block(0, 0, 8, 8);
+        unsafe {
+            gemm_block(c3.as_ptr_view(), am.as_ptr_view(), bm.as_ptr_view(), 1.0);
+            gemm_block_packed(
+                c4.as_ptr_view(),
+                am.as_ptr_view(),
+                bm.as_ptr_view(),
+                1.0,
+                &mut [],
+            );
+        }
+        assert_eq!(c3.max_abs_diff(&c4), 0.0);
+    }
+
+    #[test]
+    fn packed_gemm_nt_is_bit_identical_to_unpacked() {
+        let mut a = Matrix::random(20, 20, 71);
+        let mut b = Matrix::random(20, 20, 72);
+        let mut c1 = Matrix::random(20, 20, 73);
+        let mut c2 = c1.clone();
+        let (m, n, k) = (6, 5, 9);
+        let mut scratch = vec![0.0; gemm_pack_len(m, n, k)];
+        unsafe {
+            let av = a.as_ptr_view().block(1, 2, m, k);
+            let bv = b.as_ptr_view().block(3, 4, n, k); // Bᵀ is k×n
+            gemm_nt_block(c1.as_ptr_view().block(7, 8, m, n), av, bv, 0.75);
+            gemm_nt_block_packed(
+                c2.as_ptr_view().block(7, 8, m, n),
+                av,
+                bv,
+                0.75,
+                &mut scratch,
+            );
+        }
+        assert_eq!(c1.max_abs_diff(&c2), 0.0);
+    }
+
+    /// The tile-packed layout's single-tile views (stride = tile width) drive
+    /// the same microkernel as row-major views and must agree bit-for-bit.
+    #[test]
+    fn gemm_on_tile_ptr_views_matches_row_major() {
+        use crate::tile::TileMatrix;
+        let n = 16;
+        let b_dim = 8;
+        let a = Matrix::random(n, n, 81);
+        let b = Matrix::random(n, n, 82);
+        let mut c_row = Matrix::zeros(n, n);
+        let mut ct = TileMatrix::zeros(n, n, b_dim);
+        let mut at = TileMatrix::pack(&a, b_dim);
+        let mut bt = TileMatrix::pack(&b, b_dim);
+        let mut am = a.clone();
+        let mut bm = b.clone();
+        for bi in 0..2 {
+            for bj in 0..2 {
+                for bk in 0..2 {
+                    unsafe {
+                        gemm_block(
+                            c_row
+                                .as_ptr_view()
+                                .block(bi * b_dim, bj * b_dim, b_dim, b_dim),
+                            am.as_ptr_view().block(bi * b_dim, bk * b_dim, b_dim, b_dim),
+                            bm.as_ptr_view().block(bk * b_dim, bj * b_dim, b_dim, b_dim),
+                            1.0,
+                        );
+                        gemm_block(
+                            ct.tile_ptr(bi, bj).as_mat_ptr(),
+                            at.tile_ptr(bi, bk).as_mat_ptr(),
+                            bt.tile_ptr(bk, bj).as_mat_ptr(),
+                            1.0,
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(ct.unpack().max_abs_diff(&c_row), 0.0);
     }
 
     #[test]

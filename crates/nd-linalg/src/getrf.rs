@@ -6,7 +6,7 @@
 //! unit-lower triangular solve) that the parallel blocked algorithm in
 //! `nd-algorithms` is built from.
 
-use crate::matrix::{MatPtr, Matrix};
+use crate::matrix::{MatPtr, MatView, Matrix};
 use std::cell::UnsafeCell;
 
 /// A pre-sized, index-disjoint store for LU's runtime pivot data.
@@ -189,12 +189,17 @@ pub unsafe fn getrf_panel_block(a: MatPtr) -> Vec<usize> {
 /// the form the compiled executor dispatches, with `piv` a panel-owned slice
 /// of a [`PivotStore`].
 ///
+/// Generic over [`MatView`]: in the tile-packed layout the panel spans a
+/// column of tiles, so it runs on a tile-addressed
+/// [`TileView`](crate::tile::TileView) — same floating-point sequence, hence
+/// bit-identical pivots and factors.
+///
 /// # Safety
 /// Same as [`getrf_panel_block`], plus exclusive access to `piv`.
 ///
 /// # Panics
 /// Panics if `piv.len()` differs from `min(rows, cols)`.
-pub unsafe fn getrf_panel_block_into(a: MatPtr, piv: &mut [usize]) {
+pub unsafe fn getrf_panel_block_into<V: MatView>(a: V, piv: &mut [usize]) {
     let n = a.rows();
     let m = a.cols();
     let steps = n.min(m);
@@ -238,7 +243,7 @@ pub unsafe fn getrf_panel_block_into(a: MatPtr, piv: &mut [usize]) {
 ///
 /// # Safety
 /// Exclusive access to the block.
-pub unsafe fn swap_rows_block(a: MatPtr, piv: &[usize]) {
+pub unsafe fn swap_rows_block<V: MatView>(a: V, piv: &[usize]) {
     for (k, &p) in piv.iter().enumerate() {
         if p != k {
             for j in 0..a.cols() {
@@ -255,7 +260,7 @@ pub unsafe fn swap_rows_block(a: MatPtr, piv: &[usize]) {
 ///
 /// # Safety
 /// Exclusive access to `B`, shared read access to `L`.
-pub unsafe fn trsm_unit_lower_block(l: MatPtr, b: MatPtr) {
+pub unsafe fn trsm_unit_lower_block<L: MatView, B: MatView>(l: L, b: B) {
     let n = l.rows();
     debug_assert_eq!(l.cols(), n);
     debug_assert_eq!(b.rows(), n);

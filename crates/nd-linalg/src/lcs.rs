@@ -9,10 +9,10 @@
 //! ```
 //!
 //! The table is stored as an `(m+1) × (n+1)` [`Matrix`] of small integers (exact in
-//! `f64`), so the block kernel can use the same [`MatPtr`] machinery as the linear
+//! `f64`), so the block kernel can use the same [`crate::MatPtr`] machinery as the linear
 //! algebra kernels.
 
-use crate::matrix::{MatPtr, Matrix};
+use crate::matrix::{MatView, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,11 +57,11 @@ pub fn lcs_naive(s: &[u8], t: &[u8]) -> u64 {
 /// and the diagonal — all from the same table.
 ///
 /// # Safety
-/// The caller must uphold the [`MatPtr`] safety contract and must only call this
+/// The caller must uphold the [`crate::MatPtr`] safety contract and must only call this
 /// once every cell the block reads (its top and left boundary) has been computed —
 /// the ordering the Nested Dataflow DAG of the LCS algorithm provides.
-pub unsafe fn lcs_block(
-    table: MatPtr,
+pub unsafe fn lcs_block<V: MatView>(
+    table: V,
     s: &[u8],
     t: &[u8],
     i0: usize,

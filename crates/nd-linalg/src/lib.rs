@@ -8,7 +8,12 @@
 //! Contents:
 //!
 //! * [`matrix`] — row-major [`Matrix`], random/SPD generators, norms,
-//!   and the raw block view [`MatPtr`] used by parallel executors.
+//!   the raw block view [`MatPtr`] used by parallel executors, and the
+//!   [`MatView`] accessor trait the get/set kernels are generic over.
+//! * [`tile`] — tile-packed (block-major) storage: [`TileMatrix`] keeps every
+//!   `b × b` tile in one contiguous, 64-byte-aligned slab, with pack/unpack
+//!   conversions, single-tile [`tile::TilePtr`] views (stride = tile width)
+//!   and the tile-addressed whole-matrix [`tile::TileView`].
 //! * [`gemm`] — matrix multiply(-subtract) kernels (`C ± A·B`, `C ± A·Bᵀ`).
 //! * [`trsm`] — triangular solves (left lower, and right lower-transposed).
 //! * [`potrf`] — Cholesky factorization.
@@ -33,7 +38,9 @@ pub mod getrf;
 pub mod lcs;
 pub mod matrix;
 pub mod potrf;
+pub mod tile;
 pub mod trsm;
 
 pub use getrf::PivotStore;
-pub use matrix::{MatPtr, Matrix};
+pub use matrix::{MatPtr, MatView, Matrix};
+pub use tile::TileMatrix;

@@ -118,20 +118,40 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
-    /// Extracts a copy of the block with top-left corner `(r0, c0)` and shape
-    /// `rows × cols`.
-    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
-        Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copies `src` into the block with top-left corner `(r0, c0)`.
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Extracts a copy of the block with top-left corner `(r0, c0)` and shape
+    /// `rows × cols` (row slices copied with `copy_from_slice`, not
+    /// element-by-element).
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            out.row_mut(i)
+                .copy_from_slice(&self.row(r0 + i)[c0..c0 + cols]);
+        }
+        out
+    }
+
+    /// Copies `src` into the block with top-left corner `(r0, c0)` (row slices
+    /// copied with `copy_from_slice`).
     pub fn set_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
         assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols);
         for i in 0..src.rows {
-            for j in 0..src.cols {
-                self[(r0 + i, c0 + j)] = src[(i, j)];
-            }
+            self.row_mut(r0 + i)[c0..c0 + src.cols].copy_from_slice(src.row(i));
         }
     }
 
@@ -260,6 +280,33 @@ unsafe impl Send for MatPtr {}
 unsafe impl Sync for MatPtr {}
 
 impl MatPtr {
+    /// Assembles a raw view from its parts (used by the tile-packed layout of
+    /// [`crate::tile`] to expose a contiguous tile slab as a view whose stride
+    /// is the tile width).
+    ///
+    /// # Safety
+    /// `ptr` must point to an allocation holding at least
+    /// `(rows - 1) * stride + cols` elements, and the caller takes over the
+    /// full [`MatPtr`] safety contract for every accessor of the returned view.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *mut f64, stride: usize, rows: usize, cols: usize) -> MatPtr {
+        debug_assert!(cols <= stride || rows <= 1);
+        MatPtr {
+            ptr,
+            stride,
+            rows,
+            cols,
+        }
+    }
+
+    /// `true` if rows are adjacent in memory (stride equals the column count),
+    /// i.e. the whole view is one contiguous slab — always the case for the
+    /// tile views of a [`crate::tile::TileMatrix`].
+    #[inline]
+    pub fn is_contiguous(&self) -> bool {
+        self.stride == self.cols || self.rows <= 1
+    }
+
     /// Number of rows of the view.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -342,6 +389,71 @@ impl MatPtr {
     pub unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
         *self.ptr.add(i * self.stride + j) += v;
+    }
+}
+
+/// The element-access surface shared by every raw matrix view.
+///
+/// The get/set block kernels (TRSM, POTRF, LU panel, Floyd–Warshall, LCS) are
+/// generic over this trait, so one kernel body monomorphises over both the
+/// strided row-major [`MatPtr`] and the tile-addressed
+/// [`TileView`](crate::tile::TileView) of the tile-packed layout — the two
+/// instantiations perform the identical sequence of floating-point operations,
+/// which is what keeps the layouts bit-identical.  (The register-tiled GEMM
+/// microkernels are *not* generic: they walk rows by raw pointer and only ever
+/// receive [`MatPtr`] operands — in the tile-packed layout those are
+/// contiguous single-tile views.)
+///
+/// # Safety
+///
+/// Implementations are raw views: every accessor inherits the [`MatPtr`]
+/// safety contract (view must outlive the storage, no racing accesses to the
+/// same element — ordering is provided externally by the algorithm DAG).
+pub trait MatView: Copy + Send + Sync {
+    /// Number of rows of the view.
+    fn rows(&self) -> usize;
+    /// Number of columns of the view.
+    fn cols(&self) -> usize;
+    /// Reads element `(i, j)`.
+    ///
+    /// # Safety
+    /// See the trait-level contract; `i < rows`, `j < cols`.
+    unsafe fn get(&self, i: usize, j: usize) -> f64;
+    /// Writes element `(i, j)`.
+    ///
+    /// # Safety
+    /// Same as [`MatView::get`], plus no concurrent reads of this element.
+    unsafe fn set(&self, i: usize, j: usize, v: f64);
+    /// Adds `v` to element `(i, j)`.
+    ///
+    /// # Safety
+    /// Same as [`MatView::set`].
+    #[inline]
+    unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
+        self.set(i, j, self.get(i, j) + v);
+    }
+}
+
+impl MatView for MatPtr {
+    #[inline]
+    fn rows(&self) -> usize {
+        MatPtr::rows(self)
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        MatPtr::cols(self)
+    }
+    #[inline]
+    unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        MatPtr::get(self, i, j)
+    }
+    #[inline]
+    unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        MatPtr::set(self, i, j, v)
+    }
+    #[inline]
+    unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
+        MatPtr::add_assign(self, i, j, v)
     }
 }
 

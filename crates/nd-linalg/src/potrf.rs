@@ -3,7 +3,7 @@
 //! `CHO(A)` computes a lower-triangular `L` with `A = L·Lᵀ` for a symmetric
 //! positive-definite `A` (paper, Section 3).
 
-use crate::matrix::{MatPtr, Matrix};
+use crate::matrix::{MatView, Matrix};
 
 /// In-place Cholesky factorization (safe reference implementation): on return the
 /// lower triangle of `a` holds `L`; the strict upper triangle is zeroed.
@@ -35,10 +35,13 @@ pub fn potrf_naive(a: &mut Matrix) {
 /// Block kernel: in-place Cholesky of a small block (lower triangle overwritten with
 /// `L`, strict upper triangle left untouched).
 ///
+/// Generic over [`MatView`] — the same floating-point sequence runs on
+/// row-major and tile-packed views.
+///
 /// # Safety
-/// The caller must uphold the [`MatPtr`] safety contract: exclusive access to the
-/// block for the duration of the call.
-pub unsafe fn potrf_block(a: MatPtr) {
+/// The caller must uphold the [`crate::MatPtr`] safety contract: exclusive
+/// access to the block for the duration of the call.
+pub unsafe fn potrf_block<V: MatView>(a: V) {
     let n = a.rows();
     debug_assert_eq!(a.cols(), n);
     for j in 0..n {

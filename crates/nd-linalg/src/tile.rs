@@ -1,0 +1,803 @@
+//! Tile-packed (block-major) matrix storage.
+//!
+//! The space-bounded scheduling argument of the paper is entirely about cache
+//! locality — misses at level *j* bounded by `Q*(t; σ·M_j)` — but a base-case
+//! kernel reading a `b × b` block of a big row-major [`Matrix`] touches `b`
+//! separate cache lines per column step (one per row, `stride` elements
+//! apart).  [`TileMatrix`] removes that: storage is **block-major**, every
+//! `b × b` tile is one contiguous, 64-byte-aligned slab, so a base-case strand
+//! streams exactly `b²` consecutive doubles per operand.
+//!
+//! Three views:
+//!
+//! * [`TilePtr`] — one tile as a raw view.  Its stride is *always* the tile
+//!   width `b` (edge tiles are padded to a full slab), so it converts to a
+//!   contiguous [`MatPtr`] and the existing register-tiled GEMM microkernels
+//!   run on it unchanged.
+//! * [`TileView`] — the whole matrix under tile addressing (element `(i, j)`
+//!   lives in tile `(i/b, j/b)` at offset `(i%b, j%b)`).  It implements
+//!   [`MatView`], so the get/set kernels (LU panels spanning several tiles,
+//!   the boundary-reading LCS / 1-D Floyd–Warshall blocks) run on it through
+//!   the same generic kernel bodies as on row-major views — bit-identically.
+//! * [`Matrix`] conversions — [`TileMatrix::pack`] / [`TileMatrix::unpack`]
+//!   (and the in-place [`TileMatrix::pack_from`] for allocation-free
+//!   re-initialisation between compiled-graph executions).
+//!
+//! Tile slabs are rounded up to a multiple of 8 elements and the backing
+//! buffer is 64-byte aligned, so every tile base sits on its own cache-line
+//! boundary regardless of `b`.
+
+use crate::matrix::{MatPtr, MatView, Matrix};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+
+/// Elements per tile slab for tile dimension `b`: `b²` rounded up to a
+/// multiple of 8 doubles (one cache line), so consecutive slabs in a 64-byte
+/// aligned buffer all start on cache-line boundaries.
+#[inline]
+pub fn slab_len(b: usize) -> usize {
+    (b * b).div_ceil(8) * 8
+}
+
+/// A 64-byte-aligned, heap-allocated `f64` buffer (fixed length, zeroed).
+struct AlignedBuf {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf is an owned allocation; it is Send/Sync exactly like a
+// Vec<f64> would be.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: std::ptr::NonNull::<f64>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Layout::from_size_align(len * std::mem::size_of::<f64>(), 64)
+            .expect("tile buffer layout overflow");
+        // SAFETY: layout has non-zero size (len > 0).
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut f64;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedBuf { ptr, len }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        // SAFETY: ptr/len describe the owned allocation (or a dangling ptr
+        // with len 0, for which from_raw_parts is defined).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: as as_slice, plus &mut self gives exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            let layout = Layout::from_size_align(self.len * std::mem::size_of::<f64>(), 64)
+                .expect("tile buffer layout overflow");
+            // SAFETY: ptr was allocated with exactly this layout.
+            unsafe { dealloc(self.ptr as *mut u8, layout) };
+        }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        let mut out = AlignedBuf::zeroed(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+/// A dense matrix in tile-packed (block-major) storage: a row-major grid of
+/// `b × b` tiles, each tile one contiguous, 64-byte-aligned slab.
+///
+/// Edge tiles (when `rows` or `cols` is not a multiple of `b`) still occupy a
+/// full slab; the padding stays zero and is never read by kernels, so every
+/// tile view has stride `b` unconditionally.
+#[derive(Clone)]
+pub struct TileMatrix {
+    buf: AlignedBuf,
+    rows: usize,
+    cols: usize,
+    b: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    slab: usize,
+}
+
+impl TileMatrix {
+    /// A `rows × cols` tile-packed matrix of zeros with tile dimension `b`.
+    ///
+    /// # Panics
+    /// Panics if `b == 0` or if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize, b: usize) -> Self {
+        assert!(b > 0, "tile dimension must be positive");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let tile_rows = rows.div_ceil(b);
+        let tile_cols = cols.div_ceil(b);
+        let slab = slab_len(b);
+        TileMatrix {
+            buf: AlignedBuf::zeroed(tile_rows * tile_cols * slab),
+            rows,
+            cols,
+            b,
+            tile_rows,
+            tile_cols,
+            slab,
+        }
+    }
+
+    /// Packs a row-major matrix into tile-packed storage (tile dimension `b`).
+    pub fn pack(m: &Matrix, b: usize) -> Self {
+        let mut t = TileMatrix::zeros(m.rows(), m.cols(), b);
+        t.pack_from(m);
+        t
+    }
+
+    /// Re-packs `m` into this matrix **in place** (no allocation) — the
+    /// re-initialisation path for compiled graphs whose operation tables hold
+    /// raw views into this storage.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn pack_from(&mut self, m: &Matrix) {
+        assert_eq!(self.rows, m.rows(), "row count mismatch");
+        assert_eq!(self.cols, m.cols(), "column count mismatch");
+        let (b, slab, tile_cols, cols) = (self.b, self.slab, self.tile_cols, self.cols);
+        for i in 0..self.rows {
+            let src = m.row(i);
+            let (ti, ri) = (i / b, i % b);
+            for tj in 0..tile_cols {
+                let c0 = tj * b;
+                let w = b.min(cols - c0);
+                let base = (ti * tile_cols + tj) * slab + ri * b;
+                self.buf.as_mut_slice()[base..base + w].copy_from_slice(&src[c0..c0 + w]);
+            }
+        }
+    }
+
+    /// Unpacks into a freshly allocated row-major [`Matrix`].
+    pub fn unpack(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        self.unpack_into(&mut m);
+        m
+    }
+
+    /// Unpacks into an existing row-major matrix **in place** (no allocation).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn unpack_into(&self, m: &mut Matrix) {
+        assert_eq!(self.rows, m.rows(), "row count mismatch");
+        assert_eq!(self.cols, m.cols(), "column count mismatch");
+        let (b, slab, tile_cols, cols) = (self.b, self.slab, self.tile_cols, self.cols);
+        for i in 0..self.rows {
+            let dst = m.row_mut(i);
+            let (ti, ri) = (i / b, i % b);
+            for tj in 0..tile_cols {
+                let c0 = tj * b;
+                let w = b.min(cols - c0);
+                let base = (ti * tile_cols + tj) * slab + ri * b;
+                dst[c0..c0 + w].copy_from_slice(&self.buf.as_slice()[base..base + w]);
+            }
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile dimension `b`.
+    #[inline]
+    pub fn tile_dim(&self) -> usize {
+        self.b
+    }
+
+    /// Tile-grid shape `(tile_rows, tile_cols)`.
+    #[inline]
+    pub fn tile_grid(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// Reads element `(i, j)` (safe, for tests and debugging).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols);
+        self.buf.as_slice()[self.elem_offset(i, j)]
+    }
+
+    /// Writes element `(i, j)` (safe, for tests and debugging).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols);
+        let off = self.elem_offset(i, j);
+        self.buf.as_mut_slice()[off] = v;
+    }
+
+    #[inline]
+    fn elem_offset(&self, i: usize, j: usize) -> usize {
+        let (b, slab) = (self.b, self.slab);
+        ((i / b) * self.tile_cols + j / b) * slab + (i % b) * b + (j % b)
+    }
+
+    /// A raw view of tile `(ti, tj)` — contiguous, stride = tile width.  Edge
+    /// tiles report their actual (clipped) extent but keep stride `b`.
+    ///
+    /// # Panics
+    /// Panics if the tile indices are out of range.
+    pub fn tile_ptr(&mut self, ti: usize, tj: usize) -> TilePtr {
+        assert!(
+            ti < self.tile_rows && tj < self.tile_cols,
+            "tile ({ti},{tj}) out of range for {}x{} grid",
+            self.tile_rows,
+            self.tile_cols
+        );
+        let base = (ti * self.tile_cols + tj) * self.slab;
+        TilePtr {
+            // SAFETY: base is within the buffer by the assert above.
+            ptr: unsafe { self.buf.ptr.add(base) },
+            b: self.b,
+            rows: self.b.min(self.rows - ti * self.b),
+            cols: self.b.min(self.cols - tj * self.b),
+        }
+    }
+
+    /// The whole matrix as a tile-addressed raw view.  See [`TileView`] for
+    /// the safety contract.
+    pub fn as_tile_view(&mut self) -> TileView {
+        TileView {
+            ptr: self.buf.ptr,
+            b: self.b,
+            shift: pow2_shift(self.b),
+            tile_cols: self.tile_cols,
+            slab: self.slab,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl fmt::Debug for TileMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TileMatrix {}x{} (b={}, grid {}x{})",
+            self.rows, self.cols, self.b, self.tile_rows, self.tile_cols
+        )
+    }
+}
+
+impl PartialEq for TileMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.b == other.b
+            && (0..self.rows).all(|i| {
+                (0..self.cols).all(|j| self.get(i, j).to_bits() == other.get(i, j).to_bits())
+            })
+    }
+}
+
+/// A raw view of **one tile** of a [`TileMatrix`]: contiguous storage whose
+/// stride is always the tile width `b`.
+///
+/// This is the operand type the issue's "tile base pointers resolved at
+/// compile time" refers to: the execution layer computes one `TilePtr` per
+/// base-case operand when an algorithm is compiled, and the kernel reads a
+/// single consecutive slab at run time.  Convert to the kernels' [`MatPtr`]
+/// currency with [`TilePtr::as_mat_ptr`] (the conversion is free — same
+/// pointer, stride `b`).
+///
+/// # Safety contract
+/// Identical to [`MatPtr`]: the view must not outlive its matrix, and
+/// conflicting accesses must be ordered by the algorithm DAG.
+#[derive(Clone, Copy, Debug)]
+pub struct TilePtr {
+    ptr: *mut f64,
+    b: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: raw view, synchronisation provided externally (see type docs).
+unsafe impl Send for TilePtr {}
+unsafe impl Sync for TilePtr {}
+
+impl TilePtr {
+    /// Number of valid rows of this tile (< `b` only on the bottom edge).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of valid columns of this tile (< `b` only on the right edge).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The tile width (and row stride) `b`.
+    #[inline]
+    pub fn tile_dim(&self) -> usize {
+        self.b
+    }
+
+    /// The tile as a [`MatPtr`] with stride `b` — the form every block kernel
+    /// takes.  For full interior tiles this view is exactly contiguous.
+    #[inline]
+    pub fn as_mat_ptr(&self) -> MatPtr {
+        // SAFETY: the slab holds b*b (rounded up) elements; rows/cols are
+        // clipped to the valid extent and stride is b.
+        unsafe { MatPtr::from_raw_parts(self.ptr, self.b, self.rows, self.cols) }
+    }
+}
+
+impl From<TilePtr> for MatPtr {
+    fn from(t: TilePtr) -> MatPtr {
+        t.as_mat_ptr()
+    }
+}
+
+/// `log2(b)` when `b` is a power of two (the shift/mask fast path of tile
+/// addressing), or `u8::MAX` to force the general divide path.
+#[inline]
+fn pow2_shift(b: usize) -> u8 {
+    if b.is_power_of_two() {
+        b.trailing_zeros() as u8
+    } else {
+        u8::MAX
+    }
+}
+
+/// A raw, copyable, tile-addressed view of a whole [`TileMatrix`].
+///
+/// Element `(i, j)` resolves to tile `(i/b, j/b)`, offset `(i%b, j%b)` — the
+/// addressing the get/set kernels use through [`MatView`] when an operation
+/// spans several tiles (LU's tall panels and row swaps) or reads across tile
+/// boundaries (LCS and 1-D Floyd–Warshall neighbour cells).  For power-of-two
+/// tile dimensions (every base case this repository uses) the divide/modulo
+/// reduces to shift/mask, so tile addressing costs a couple of cycles per
+/// access instead of two integer divisions.
+///
+/// # Safety contract
+/// Identical to [`MatPtr`]: the view must not outlive its matrix, and
+/// conflicting accesses must be ordered by the algorithm DAG.
+#[derive(Clone, Copy, Debug)]
+pub struct TileView {
+    ptr: *mut f64,
+    b: usize,
+    /// `log2(b)` for power-of-two `b`, `u8::MAX` otherwise.
+    shift: u8,
+    tile_cols: usize,
+    slab: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: raw view, synchronisation provided externally (see type docs).
+unsafe impl Send for TileView {}
+unsafe impl Sync for TileView {}
+
+impl TileView {
+    /// The tile dimension `b`.
+    #[inline]
+    pub fn tile_dim(&self) -> usize {
+        self.b
+    }
+
+    /// Resolves the rectangle with top-left corner `(r, c)` and shape
+    /// `rows × cols` to a contiguous [`MatPtr`] (stride = tile width) if it
+    /// lies **within a single tile**, or `None` if it spans a tile seam.
+    ///
+    /// This is the compile-time resolution step of the tile-packed execution
+    /// path: an algorithm whose base-case blocks are tile-aligned gets one
+    /// contiguous base pointer per operand when it is compiled, and pays no
+    /// tile addressing at run time.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is out of bounds.
+    pub fn tile_block(&self, r: usize, c: usize, rows: usize, cols: usize) -> Option<MatPtr> {
+        assert!(
+            r + rows <= self.rows && c + cols <= self.cols,
+            "block ({r},{c}) {rows}x{cols} out of bounds for {}x{} tile view",
+            self.rows,
+            self.cols
+        );
+        if rows == 0 || cols == 0 || (r % self.b) + rows > self.b || (c % self.b) + cols > self.b {
+            return None;
+        }
+        // SAFETY: the rect stays inside one slab, whose rows are b apart.
+        Some(unsafe { MatPtr::from_raw_parts(self.ptr.add(self.offset(r, c)), self.b, rows, cols) })
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        if self.shift != u8::MAX {
+            let s = self.shift as usize;
+            let mask = self.b - 1;
+            ((i >> s) * self.tile_cols + (j >> s)) * self.slab + ((i & mask) << s) + (j & mask)
+        } else {
+            ((i / self.b) * self.tile_cols + j / self.b) * self.slab
+                + (i % self.b) * self.b
+                + (j % self.b)
+        }
+    }
+}
+
+impl TileView {
+    /// A rectangular sub-view with its own relative indexing (element `(i, j)`
+    /// of the sub-view is element `(r + i, c + j)` of this view) — the operand
+    /// form for operations that span tile seams, like LU's tall panels.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is out of bounds.
+    pub fn sub_view(&self, r: usize, c: usize, rows: usize, cols: usize) -> TileSubView {
+        assert!(
+            r + rows <= self.rows && c + cols <= self.cols,
+            "sub-view ({r},{c}) {rows}x{cols} out of bounds for {}x{} tile view",
+            self.rows,
+            self.cols
+        );
+        TileSubView {
+            base: *self,
+            r,
+            c,
+            rows,
+            cols,
+        }
+    }
+}
+
+/// A rectangular, relatively-indexed sub-view of a [`TileView`].
+///
+/// Same safety contract as [`TileView`]; accesses go through the base view's
+/// tile addressing with the origin added.
+#[derive(Clone, Copy, Debug)]
+pub struct TileSubView {
+    base: TileView,
+    r: usize,
+    c: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl MatView for TileSubView {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.base.get(self.r + i, self.c + j)
+    }
+    #[inline]
+    unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.base.set(self.r + i, self.c + j, v)
+    }
+    #[inline]
+    unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.base.add_assign(self.r + i, self.c + j, v)
+    }
+}
+
+impl MatView for TileView {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(self.offset(i, j))
+    }
+    #[inline]
+    unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(self.offset(i, j)) = v;
+    }
+    #[inline]
+    unsafe fn add_assign(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(self.offset(i, j)) += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_round_trip_identity() {
+        for &(rows, cols, b) in &[
+            (8usize, 8usize, 4usize), // aligned
+            (9, 7, 4),                // both remainders
+            (5, 5, 8),                // single partial tile
+            (1, 1, 1),                // degenerate
+            (16, 4, 4),               // tall
+            (3, 17, 5),               // wide, non-power-of-two b
+        ] {
+            let m = Matrix::random(rows, cols, (rows * 31 + cols * 7 + b) as u64);
+            let t = TileMatrix::pack(&m, b);
+            let back = t.unpack();
+            assert_eq!(
+                m.max_abs_diff(&back),
+                0.0,
+                "round trip must be exact for {rows}x{cols} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_bases_are_cache_line_aligned() {
+        for b in [1usize, 3, 4, 6, 8, 16, 32] {
+            let mut t = TileMatrix::zeros(3 * b + 1, 2 * b + 1, b);
+            let (tr, tc) = t.tile_grid();
+            for ti in 0..tr {
+                for tj in 0..tc {
+                    let p = t.tile_ptr(ti, tj);
+                    // SAFETY: reading the address only.
+                    let addr = unsafe { p.as_mat_ptr().row_ptr(0) } as usize;
+                    assert_eq!(addr % 64, 0, "tile ({ti},{tj}) of b={b} misaligned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_ptr_is_contiguous_with_stride_b() {
+        let m = Matrix::random(12, 12, 3);
+        let mut t = TileMatrix::pack(&m, 4);
+        let p = t.tile_ptr(1, 2).as_mat_ptr();
+        assert!(p.is_contiguous());
+        assert_eq!(p.stride(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                // SAFETY: exclusive access in this test.
+                assert_eq!(unsafe { p.get(i, j) }, m[(4 + i, 8 + j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_tiles_report_clipped_extent_but_full_stride() {
+        let m = Matrix::random(10, 7, 9);
+        let mut t = TileMatrix::pack(&m, 4);
+        let p = t.tile_ptr(2, 1);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.cols(), 3);
+        assert_eq!(p.tile_dim(), 4);
+        assert_eq!(p.as_mat_ptr().stride(), 4);
+        // SAFETY: exclusive access in this test.
+        assert_eq!(unsafe { p.as_mat_ptr().get(1, 2) }, m[(9, 6)]);
+    }
+
+    #[test]
+    fn tile_view_addresses_every_element() {
+        let m = Matrix::random(11, 13, 21);
+        let mut t = TileMatrix::pack(&m, 4);
+        let v = t.as_tile_view();
+        for i in 0..11 {
+            for j in 0..13 {
+                // SAFETY: exclusive access in this test.
+                assert_eq!(unsafe { v.get(i, j) }, m[(i, j)], "({i},{j})");
+            }
+        }
+        // SAFETY: exclusive access in this test.
+        unsafe {
+            v.set(10, 12, 5.0);
+            v.add_assign(10, 12, 1.25);
+        }
+        assert_eq!(t.get(10, 12), 6.25);
+    }
+
+    #[test]
+    fn tile_block_resolves_aligned_rects_and_rejects_seams() {
+        let m = Matrix::random(16, 16, 33);
+        let mut t = TileMatrix::pack(&m, 4);
+        let v = t.as_tile_view();
+        // Tile-aligned rect: contiguous view with stride 4.
+        let p = v.tile_block(8, 4, 4, 4).expect("aligned rect resolves");
+        assert!(p.is_contiguous());
+        // SAFETY: exclusive access in this test.
+        assert_eq!(unsafe { p.get(2, 3) }, m[(10, 7)]);
+        // Sub-tile rect inside one tile also resolves (stride stays 4).
+        let q = v.tile_block(9, 5, 2, 3).expect("sub-tile rect resolves");
+        assert_eq!(q.stride(), 4);
+        // SAFETY: exclusive access in this test.
+        assert_eq!(unsafe { q.get(1, 2) }, m[(10, 7)]);
+        // Rects crossing a tile seam do not resolve.
+        assert!(v.tile_block(2, 0, 4, 4).is_none());
+        assert!(v.tile_block(0, 2, 4, 4).is_none());
+    }
+
+    #[test]
+    fn pack_from_reinitialises_in_place() {
+        let m1 = Matrix::random(9, 9, 1);
+        let m2 = Matrix::random(9, 9, 2);
+        let mut t = TileMatrix::pack(&m1, 4);
+        t.pack_from(&m2);
+        assert_eq!(t.unpack().max_abs_diff(&m2), 0.0);
+    }
+
+    #[test]
+    fn slab_len_is_cache_line_granular() {
+        assert_eq!(slab_len(1), 8);
+        assert_eq!(slab_len(4), 16);
+        assert_eq!(slab_len(6), 40);
+        assert_eq!(slab_len(8), 64);
+        assert_eq!(slab_len(32), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_ptr_bounds_checked() {
+        let mut t = TileMatrix::zeros(8, 8, 4);
+        let _ = t.tile_ptr(2, 0);
+    }
+
+    /// Every get/set kernel monomorphised over [`TileView`] must be
+    /// bit-identical to its row-major [`MatPtr`] instantiation — including on
+    /// ragged (non-tile-aligned) shapes, where accesses cross tile seams.
+    #[test]
+    fn generic_kernels_on_tile_views_match_row_major_bitwise() {
+        use crate::{fw, getrf, lcs, potrf, trsm};
+        for &(n, b) in &[(12usize, 4usize), (13, 4), (9, 5), (16, 8)] {
+            // TRSM (both variants).
+            let t0 = Matrix::random_lower_triangular(n, 1);
+            let b0 = Matrix::random(n, n, 2);
+            let mut b_row = b0.clone();
+            let mut t_row = t0.clone();
+            // SAFETY: exclusive access throughout this test.
+            unsafe { trsm::trsm_lower_block(t_row.as_ptr_view(), b_row.as_ptr_view()) };
+            let mut tt = TileMatrix::pack(&t0, b);
+            let mut bt = TileMatrix::pack(&b0, b);
+            unsafe { trsm::trsm_lower_block(tt.as_tile_view(), bt.as_tile_view()) };
+            assert_eq!(bt.unpack().max_abs_diff(&b_row), 0.0, "trsm n={n} b={b}");
+
+            let mut b_row2 = b0.clone();
+            unsafe {
+                trsm::trsm_right_lower_trans_block(t_row.as_ptr_view(), b_row2.as_ptr_view())
+            };
+            let mut bt2 = TileMatrix::pack(&b0, b);
+            unsafe { trsm::trsm_right_lower_trans_block(tt.as_tile_view(), bt2.as_tile_view()) };
+            assert_eq!(bt2.unpack().max_abs_diff(&b_row2), 0.0, "trsm-rlt n={n}");
+
+            // POTRF.
+            let spd = Matrix::random_spd(n, 3);
+            let mut l_row = spd.clone();
+            unsafe { potrf::potrf_block(l_row.as_ptr_view()) };
+            let mut lt = TileMatrix::pack(&spd, b);
+            unsafe { potrf::potrf_block(lt.as_tile_view()) };
+            assert_eq!(lt.unpack().max_abs_diff(&l_row), 0.0, "potrf n={n} b={b}");
+
+            // LU panel + row swaps + unit-lower solve.
+            let a0 = Matrix::random(n, b.min(n), 4);
+            let mut a_row = a0.clone();
+            let mut piv_row = vec![0usize; a0.cols()];
+            unsafe { getrf::getrf_panel_block_into(a_row.as_ptr_view(), &mut piv_row) };
+            let mut at = TileMatrix::pack(&a0, b);
+            let mut piv_tile = vec![0usize; a0.cols()];
+            unsafe { getrf::getrf_panel_block_into(at.as_tile_view(), &mut piv_tile) };
+            assert_eq!(piv_row, piv_tile, "lu pivots n={n} b={b}");
+            assert_eq!(at.unpack().max_abs_diff(&a_row), 0.0, "lu panel n={n}");
+
+            let c0 = Matrix::random(n, n, 5);
+            let mut c_row = c0.clone();
+            unsafe { getrf::swap_rows_block(c_row.as_ptr_view(), &piv_row) };
+            let mut ct = TileMatrix::pack(&c0, b);
+            unsafe { getrf::swap_rows_block(ct.as_tile_view(), &piv_row) };
+            assert_eq!(ct.unpack().max_abs_diff(&c_row), 0.0, "row swaps n={n}");
+
+            let l0 = Matrix::random_lower_triangular(n, 9);
+            let rhs0 = Matrix::random(n, n, 10);
+            let mut l_rowm = l0.clone();
+            let mut rhs_row = rhs0.clone();
+            unsafe { getrf::trsm_unit_lower_block(l_rowm.as_ptr_view(), rhs_row.as_ptr_view()) };
+            let mut lt2 = TileMatrix::pack(&l0, b);
+            let mut rhs_tile = TileMatrix::pack(&rhs0, b);
+            unsafe { getrf::trsm_unit_lower_block(lt2.as_tile_view(), rhs_tile.as_tile_view()) };
+            assert_eq!(
+                rhs_tile.unpack().max_abs_diff(&rhs_row),
+                0.0,
+                "unit-lower trsm n={n} b={b}"
+            );
+
+            // FW update (min-plus).
+            let d0 = fw::random_digraph(n, 3, 6);
+            let mut d_row = d0.clone();
+            let v_row = d_row.as_ptr_view();
+            unsafe { fw::fw_update_block(v_row, v_row, v_row) };
+            let mut dt = TileMatrix::pack(&d0, b);
+            let v_tile = dt.as_tile_view();
+            unsafe { fw::fw_update_block(v_tile, v_tile, v_tile) };
+            assert_eq!(dt.unpack().max_abs_diff(&d_row), 0.0, "fw n={n} b={b}");
+
+            // LCS and FW-1D tables ((n+1) × (n+1), 1-based ranges that
+            // straddle tile boundaries by construction).
+            let s = lcs::random_sequence(n, 7);
+            let tseq = lcs::random_sequence(n, 8);
+            let mut tab_row = Matrix::zeros(n + 1, n + 1);
+            unsafe { lcs::lcs_block(tab_row.as_ptr_view(), &s, &tseq, 1, n + 1, 1, n + 1) };
+            let mut tab_tile = TileMatrix::zeros(n + 1, n + 1, b);
+            unsafe { lcs::lcs_block(tab_tile.as_tile_view(), &s, &tseq, 1, n + 1, 1, n + 1) };
+            assert_eq!(tab_tile.unpack().max_abs_diff(&tab_row), 0.0, "lcs n={n}");
+
+            let initial: Vec<f64> = (0..=n).map(|i| ((i * 3) % 11) as f64).collect();
+            let mut fw_row = Matrix::zeros(n + 1, n + 1);
+            for i in 1..=n {
+                fw_row[(0, i)] = initial[i];
+            }
+            let mut fw_tile = TileMatrix::pack(&fw_row, b);
+            unsafe {
+                fw::fw1d_block(fw_row.as_ptr_view(), 1, n + 1, 1, n + 1);
+                fw::fw1d_block(fw_tile.as_tile_view(), 1, n + 1, 1, n + 1);
+            }
+            assert_eq!(fw_tile.unpack().max_abs_diff(&fw_row), 0.0, "fw1d n={n}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Pack → unpack is the identity for arbitrary shapes and tile sizes,
+        /// including remainder tiles on both edges.
+        #[test]
+        fn pack_unpack_round_trip_arbitrary(
+            rows in 1usize..40,
+            cols in 1usize..40,
+            b in 1usize..12,
+        ) {
+            let m = Matrix::random(rows, cols, (rows * 101 + cols * 13 + b) as u64);
+            let t = TileMatrix::pack(&m, b);
+            let back = t.unpack();
+            assert_eq!(m.max_abs_diff(&back), 0.0, "rows={rows} cols={cols} b={b}");
+            // Element accessors agree with the row-major original.
+            assert_eq!(t.get(rows - 1, cols - 1), m[(rows - 1, cols - 1)]);
+        }
+
+        /// In-place repacking equals a fresh pack (no stale padding leaks).
+        #[test]
+        fn pack_from_equals_fresh_pack(
+            rows in 1usize..24,
+            cols in 1usize..24,
+            b in 1usize..9,
+        ) {
+            let m1 = Matrix::random(rows, cols, 7);
+            let m2 = Matrix::random(rows, cols, 8);
+            let mut t = TileMatrix::pack(&m1, b);
+            t.pack_from(&m2);
+            assert_eq!(t, TileMatrix::pack(&m2, b));
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! algorithm additionally needs the "right-looking transposed" variant
 //! `X·Lᵀ = B` (the paper writes it as `TRS(L₀₀, A₁₀ᵀ)ᵀ`).
 
-use crate::matrix::{MatPtr, Matrix};
+use crate::matrix::{MatView, Matrix};
 
 /// Solves `T·X = B` for lower-triangular `T`, overwriting `B` with `X`
 /// (safe reference implementation, forward substitution).
@@ -49,10 +49,13 @@ pub fn trsm_right_lower_trans_naive(l: &Matrix, b: &mut Matrix) {
 
 /// Block kernel: solves `T·X = B` in place in `B` for lower-triangular `T`.
 ///
+/// Generic over [`MatView`], so the identical floating-point sequence runs on
+/// strided row-major views and on tile-packed views (see [`MatView`]).
+///
 /// # Safety
-/// The caller must uphold the [`MatPtr`] safety contract: no concurrent access to
+/// The caller must uphold the [`crate::MatPtr`] safety contract: no concurrent access to
 /// `B` and no concurrent writes to `T` during the call.
-pub unsafe fn trsm_lower_block(t: MatPtr, b: MatPtr) {
+pub unsafe fn trsm_lower_block<T: MatView, B: MatView>(t: T, b: B) {
     let n = t.rows();
     debug_assert_eq!(t.cols(), n);
     debug_assert_eq!(b.rows(), n);
@@ -72,7 +75,7 @@ pub unsafe fn trsm_lower_block(t: MatPtr, b: MatPtr) {
 ///
 /// # Safety
 /// Same contract as [`trsm_lower_block`].
-pub unsafe fn trsm_right_lower_trans_block(l: MatPtr, b: MatPtr) {
+pub unsafe fn trsm_right_lower_trans_block<L: MatView, B: MatView>(l: L, b: B) {
     let n = l.rows();
     debug_assert_eq!(l.cols(), n);
     debug_assert_eq!(b.cols(), n);

@@ -452,6 +452,112 @@ impl CompiledGraph {
     }
 }
 
+/// Statistics of one steady-state execution (see [`PersistentRun`]): `Copy`,
+/// so returning it performs no heap allocation — unlike [`ExecStats`], whose
+/// per-worker task vector is collected per call.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyStats {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Successful steals performed by the pool during the execution.
+    pub steals: u64,
+}
+
+/// A compiled graph bound to its task table and run state **once**, so that
+/// re-execution is completely allocation-free.
+///
+/// [`CompiledGraph::execute`] builds a fresh shared run state (one `Arc`, a
+/// per-worker counter vector, a latch) per call — cheap, but not *zero*.
+/// `PersistentRun` hoists that state out of the loop: the latch is re-armed
+/// and the counters zeroed in place before every run, ready tasks travel as
+/// `(Arc clone, index)` pairs through deques whose buffers persist at their
+/// high-water capacity, and the returned [`SteadyStats`] is `Copy`.  Combined
+/// with the per-worker packing scratch of
+/// [`with_pack_scratch`](crate::pool::with_pack_scratch) this is what makes
+/// steady-state re-execution of a compiled algorithm perform **zero heap
+/// allocations after the first run** (asserted by the workspace
+/// counting-allocator test).
+pub struct PersistentRun<T: TaskTable> {
+    run: Arc<ActiveRun<T>>,
+}
+
+impl<T: TaskTable> PersistentRun<T> {
+    /// Binds `graph` and `table` into a reusable run state able to serve pools
+    /// of up to `max_workers` threads.
+    pub fn new(graph: &Arc<CompiledGraph>, table: &Arc<T>, max_workers: usize) -> Self {
+        PersistentRun {
+            run: Arc::new(ActiveRun {
+                graph: Arc::clone(graph),
+                table: Arc::clone(table),
+                latch: CountLatch::new(0),
+                per_worker: (0..max_workers).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Executes the graph, blocking until every task has run.  The graph is
+    /// left reset, ready for the next call.  Performs no heap allocation
+    /// beyond what the pool's deques may grow on their first runs.
+    ///
+    /// # Panics
+    /// Panics if another execution of the graph is in flight, or if `pool`
+    /// has more workers than this run state was built for.
+    pub fn execute(&self, pool: &ThreadPool) -> SteadyStats {
+        let run = &self.run;
+        let g = &run.graph;
+        let n = g.task_count();
+        assert!(
+            pool.num_threads() <= run.per_worker.len(),
+            "persistent run built for {} workers, pool has {}",
+            run.per_worker.len(),
+            pool.num_threads()
+        );
+        assert!(
+            !g.in_flight.swap(true, Ordering::Acquire),
+            "compiled graph is already executing"
+        );
+        debug_assert!(g.counters_are_reset());
+        run.latch.reset(n);
+        for c in &run.per_worker {
+            c.store(0, Ordering::Relaxed);
+        }
+        let steals_before = pool.steals();
+        let start = Instant::now();
+        for &r in &g.roots {
+            let unit = JobUnit::Graph(Arc::clone(&self.run) as Arc<dyn GraphTask>, r);
+            match g.placement_of(r) {
+                Placement::Group(grp) => pool.spawn_unit_to_group(grp as usize, unit),
+                Placement::Anywhere => pool.spawn_unit(unit),
+            }
+        }
+        run.latch.wait();
+        let elapsed = start.elapsed();
+        g.in_flight.store(false, Ordering::Release);
+        SteadyStats {
+            tasks: n,
+            elapsed,
+            steals: pool.steals() - steals_before,
+        }
+    }
+
+    /// Tasks executed per worker in the most recent run (allocates the
+    /// returned vector; not part of the steady-state hot path).
+    pub fn tasks_per_worker(&self) -> Vec<u64> {
+        self.run
+            .per_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The underlying compiled graph.
+    pub fn graph(&self) -> &Arc<CompiledGraph> {
+        &self.run.graph
+    }
+}
+
 /// The per-execution state shared by every in-flight task of one run.
 struct ActiveRun<T: TaskTable> {
     graph: Arc<CompiledGraph>,
@@ -838,6 +944,50 @@ mod tests {
                 "every task must have run exactly once per round"
             );
         }
+    }
+
+    #[test]
+    fn persistent_run_re_executes_with_rearmed_state() {
+        struct Marks(Vec<AtomicUsize>);
+        impl TaskTable for Marks {
+            fn run_task(&self, task: u32) {
+                self.0[task as usize].fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let p = pool();
+        let n = 200u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|t| ((t - 1) / 3, t)).collect();
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        let table = Arc::new(Marks((0..n).map(|_| AtomicUsize::new(0)).collect()));
+        let runner = PersistentRun::new(&graph, &table, p.num_threads());
+        for round in 1..=4 {
+            let stats = runner.execute(&p);
+            assert_eq!(stats.tasks, n as usize);
+            assert!(graph.counters_are_reset(), "round {round}");
+            assert!(
+                table.0.iter().all(|m| m.load(Ordering::SeqCst) == round),
+                "every task exactly once per round"
+            );
+            assert_eq!(
+                runner.tasks_per_worker().iter().sum::<u64>(),
+                n as u64,
+                "per-worker counters must be re-zeroed each round"
+            );
+        }
+        assert_eq!(runner.graph().task_count(), n as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool has")]
+    fn persistent_run_rejects_oversized_pools() {
+        struct Nop;
+        impl TaskTable for Nop {
+            fn run_task(&self, _task: u32) {}
+        }
+        let p = ThreadPool::new(4);
+        let graph = Arc::new(CompiledGraph::from_edges(1, &[], Vec::new()));
+        let runner = PersistentRun::new(&graph, &Arc::new(Nop), 2);
+        let _ = runner.execute(&p);
     }
 
     #[test]

@@ -30,6 +30,23 @@ impl CountLatch {
         self.remaining.load(Ordering::Acquire)
     }
 
+    /// Re-arms a released latch with a fresh count, so one latch can serve
+    /// many sequential rendezvous without reallocation (the persistent run
+    /// state of [`crate::dataflow`] re-arms its latch before every execution).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the latch has not been released: resetting
+    /// a latch that threads still count down or wait on would corrupt both
+    /// rendezvous.
+    pub fn reset(&self, count: usize) {
+        debug_assert_eq!(
+            self.remaining.load(Ordering::Acquire),
+            0,
+            "CountLatch::reset on a latch that is still in use"
+        );
+        self.remaining.store(count, Ordering::Release);
+    }
+
     /// Decrements the count by one; when it reaches zero all waiters are woken.
     ///
     /// # Panics

@@ -16,10 +16,47 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+thread_local! {
+    /// The calling thread's packing scratch arena (see [`with_pack_scratch`]).
+    ///
+    /// One arena per thread — workers and the submitting thread alike — so a
+    /// kernel packing its operands never contends with another worker and
+    /// never allocates once the arena has reached its high-water mark.
+    static PACK_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the calling thread's packing scratch arena, grown (never
+/// shrunk) to at least `min_len` elements first.
+///
+/// This is the per-worker scratch the GEMM panel-packing kernels copy strided
+/// operands into.  The required capacity is known when an algorithm is
+/// *compiled* (the largest `gemm_pack_len` over its operation table), so each
+/// worker pays at most one grow-to-high-water allocation on its first strand —
+/// after that, steady-state re-execution of compiled graphs performs **zero**
+/// heap allocations for packing (asserted by the workspace counting-allocator
+/// test).  Call [`reserve_pack_scratch`] to pre-pay the growth on the current
+/// thread.
+pub fn with_pack_scratch<R>(min_len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    PACK_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < min_len {
+            buf.resize(min_len, 0.0);
+        }
+        f(&mut buf[..])
+    })
+}
+
+/// Grows the calling thread's packing scratch arena to at least `min_len`
+/// elements (see [`with_pack_scratch`]).
+pub fn reserve_pack_scratch(min_len: usize) {
+    with_pack_scratch(min_len, |_| {});
+}
 
 /// A unit of work: a closure executed on a worker thread.  It receives a
 /// [`WorkerCtx`] through which it may spawn further jobs onto the *local* deque.

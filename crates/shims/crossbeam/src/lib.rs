@@ -11,6 +11,16 @@ pub mod deque {
     use std::collections::VecDeque;
     use std::sync::Arc;
 
+    /// Initial capacity of every deque and injector buffer.
+    ///
+    /// `VecDeque` capacity persists across pops, so a queue whose length never
+    /// exceeds its high-water mark performs no heap allocation in steady
+    /// state.  Pre-reserving a generous buffer up front means compiled task
+    /// graphs with up to this many simultaneously queued tasks run
+    /// allocation-free from their very first execution — the property the
+    /// workspace's counting-allocator test pins down.
+    const INITIAL_CAPACITY: usize = 1024;
+
     /// Outcome of a steal attempt.
     #[derive(Debug, PartialEq, Eq)]
     pub enum Steal<T> {
@@ -44,7 +54,7 @@ pub mod deque {
         /// Creates a LIFO deque (owner pushes and pops the same end).
         pub fn new_lifo() -> Self {
             Worker {
-                queue: Arc::new(Mutex::new(VecDeque::new())),
+                queue: Arc::new(Mutex::new(VecDeque::with_capacity(INITIAL_CAPACITY))),
             }
         }
 
@@ -106,7 +116,7 @@ pub mod deque {
         /// An empty injector.
         pub fn new() -> Self {
             Injector {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(VecDeque::with_capacity(INITIAL_CAPACITY)),
             }
         }
 

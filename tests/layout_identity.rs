@@ -1,0 +1,260 @@
+//! Acceptance tests for the tile-packed storage layout: every algorithm in
+//! the repository (MM, TRS, Cholesky, LU, 2-D Floyd–Warshall, LCS, 1-D
+//! Floyd–Warshall) must produce **bit-identical** results on the row-major
+//! and tile-packed layouts — on the flat executor across the pool-size matrix
+//! (1/2/8 workers, or `ND_POOL_WORKERS`), and on the anchored executor across
+//! both machine layouts.  Packing moves bytes; it must never change a single
+//! floating-point operation.
+
+use nd_algorithms::cholesky::build_cholesky;
+use nd_algorithms::common::{BuiltAlgorithm, Mode};
+use nd_algorithms::driver::{run_once_on_layout, ContextExtras, LayoutRun};
+use nd_algorithms::exec::Layout;
+use nd_algorithms::fw1d::build_fw1d;
+use nd_algorithms::fw2d::build_fw2d;
+use nd_algorithms::lcs::build_lcs;
+use nd_algorithms::lu::{assemble_global_pivots, build_lu};
+use nd_algorithms::mm::build_mm;
+use nd_algorithms::trs::build_trs;
+use nd_exec::execute::run_anchored_on_layout;
+use nd_exec::{AnchorConfig, HierarchicalPool, StealPolicy};
+use nd_linalg::lcs::random_sequence;
+use nd_linalg::Matrix;
+use nd_pmh::config::{CacheLevelSpec, PmhConfig};
+use nd_pmh::machine::MachineTree;
+use nd_runtime::ThreadPool;
+
+mod common;
+
+/// The two worker-cluster layouts the anchored assertions run on: a single
+/// socket of 2×2 workers and a dual-socket machine of 2×(2×2) workers.
+fn machine_layouts() -> Vec<MachineTree> {
+    vec![
+        MachineTree::build(&PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 10),
+                CacheLevelSpec::new(1 << 14, 2, 100),
+            ],
+            1,
+        )),
+        MachineTree::build(&PmhConfig::new(
+            vec![
+                CacheLevelSpec::new(1 << 10, 2, 10),
+                CacheLevelSpec::new(1 << 14, 2, 100),
+            ],
+            2,
+        )),
+    ]
+}
+
+/// One algorithm case: a built program, its bound matrices, its extras, and
+/// which matrix to compare (all of them, here).
+struct Case {
+    name: &'static str,
+    built: BuiltAlgorithm,
+    mats: Vec<Matrix>,
+    extras_fn: fn() -> ContextExtras,
+    tile: usize,
+}
+
+fn all_seven(n: usize, base: usize) -> Vec<Case> {
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let seq_extras = || ContextExtras::Sequences(random_sequence(32, 41), random_sequence(32, 42));
+    let fw1d_table = {
+        let mut t = Matrix::zeros(n + 1, n + 1);
+        for i in 1..=n {
+            t[(0, i)] = ((i * 7) % 13) as f64;
+        }
+        t
+    };
+    vec![
+        Case {
+            name: "mm",
+            built: build_mm(n, base, Mode::Nd, 1.0),
+            mats: vec![Matrix::zeros(n, n), a.clone(), b.clone()],
+            extras_fn: || ContextExtras::None,
+            tile: base,
+        },
+        Case {
+            name: "trs",
+            built: build_trs(n, base, Mode::Nd),
+            mats: vec![
+                Matrix::random_lower_triangular(n, 3),
+                Matrix::random(n, n, 4),
+            ],
+            extras_fn: || ContextExtras::None,
+            tile: base,
+        },
+        Case {
+            name: "cholesky",
+            built: build_cholesky(n, base, Mode::Nd),
+            mats: vec![Matrix::random_spd(n, 5)],
+            extras_fn: || ContextExtras::None,
+            tile: base,
+        },
+        Case {
+            name: "lu",
+            built: build_lu(n, base, Mode::Nd),
+            mats: vec![Matrix::random(n, n, 6)],
+            extras_fn: || ContextExtras::None, // pivots added per run (need n)
+            tile: base,
+        },
+        Case {
+            name: "fw2d",
+            built: build_fw2d(n, base, Mode::Nd),
+            mats: vec![nd_linalg::fw::random_digraph(n, 3, 7)],
+            extras_fn: || ContextExtras::None,
+            tile: base,
+        },
+        Case {
+            name: "lcs",
+            built: build_lcs(32, 8, Mode::Nd),
+            mats: vec![Matrix::zeros(33, 33)],
+            extras_fn: seq_extras,
+            tile: 8,
+        },
+        Case {
+            name: "fw1d",
+            built: build_fw1d(n, base, Mode::Nd),
+            mats: vec![fw1d_table],
+            extras_fn: || ContextExtras::None,
+            tile: base,
+        },
+    ]
+}
+
+fn extras_for(case: &Case, n: usize) -> ContextExtras {
+    if case.name == "lu" {
+        ContextExtras::Pivots(n)
+    } else {
+        (case.extras_fn)()
+    }
+}
+
+fn run_flat(pool: &ThreadPool, case: &Case, layout: Layout, n: usize) -> (Vec<Matrix>, Vec<usize>) {
+    let mut mats = case.mats.clone();
+    let run: LayoutRun = {
+        let mut refs: Vec<&mut Matrix> = mats.iter_mut().collect();
+        run_once_on_layout(
+            pool,
+            &case.built,
+            &mut refs,
+            case.tile,
+            layout,
+            extras_for(case, n),
+        )
+    };
+    let piv = if case.name == "lu" {
+        // SAFETY: the execution has completed; no writer holds the store.
+        unsafe { assemble_global_pivots(&run.pivots, n, case.tile) }
+    } else {
+        Vec::new()
+    };
+    (mats, piv)
+}
+
+/// Flat executor: row-major vs tile-packed, bit-identical, for every worker
+/// count of the pool matrix.
+#[test]
+fn all_seven_algorithms_bit_identical_across_layouts_flat() {
+    let n = 32;
+    let base = 8;
+    for workers in common::pool_sizes() {
+        let pool = ThreadPool::new(workers);
+        for case in all_seven(n, base) {
+            let (row, row_piv) = run_flat(&pool, &case, Layout::RowMajor, n);
+            let (tiled, tiled_piv) = run_flat(&pool, &case, Layout::Tiled, n);
+            for (i, (r, t)) in row.iter().zip(tiled.iter()).enumerate() {
+                assert_eq!(
+                    r.max_abs_diff(t),
+                    0.0,
+                    "{} matrix {i} differs between layouts ({workers} workers)",
+                    case.name
+                );
+            }
+            assert_eq!(
+                row_piv, tiled_piv,
+                "{} pivots differ between layouts ({workers} workers)",
+                case.name
+            );
+        }
+    }
+}
+
+/// Anchored executor, both machine layouts: row-major vs tile-packed under
+/// `σ·M_i` placement must stay bit-identical — anchoring and contiguous tiles
+/// compose.
+#[test]
+fn all_seven_algorithms_bit_identical_across_layouts_anchored() {
+    let n = 32;
+    let base = 8;
+    let cfg = AnchorConfig::default();
+    for machine in machine_layouts() {
+        let pool = HierarchicalPool::new(machine, StealPolicy::NearestFirst);
+        for case in all_seven(n, base) {
+            let mut results = Vec::new();
+            for layout in [Layout::RowMajor, Layout::Tiled] {
+                let mut mats = case.mats.clone();
+                let (stats, pivots) = {
+                    let mut refs: Vec<&mut Matrix> = mats.iter_mut().collect();
+                    run_anchored_on_layout(
+                        &pool,
+                        &case.built,
+                        &mut refs,
+                        case.tile,
+                        layout,
+                        extras_for(&case, n),
+                        &cfg,
+                    )
+                };
+                assert!(stats.exec.tasks > 0, "{}: no tasks ran", case.name);
+                let piv = if case.name == "lu" {
+                    // SAFETY: the execution has completed.
+                    unsafe { assemble_global_pivots(&pivots, n, case.tile) }
+                } else {
+                    Vec::new()
+                };
+                results.push((mats, piv));
+            }
+            let (row, row_piv) = &results[0];
+            let (tiled, tiled_piv) = &results[1];
+            for (i, (r, t)) in row.iter().zip(tiled.iter()).enumerate() {
+                assert_eq!(
+                    r.max_abs_diff(t),
+                    0.0,
+                    "{} matrix {i} differs between layouts (anchored)",
+                    case.name
+                );
+            }
+            assert_eq!(row_piv, tiled_piv, "{} pivots differ (anchored)", case.name);
+        }
+    }
+}
+
+/// The tiled layout agrees with the plain serial oracles (sanity beyond
+/// layout-vs-layout identity): one-worker row-major is the established
+/// bit-exact reference for every algorithm, so tiled multi-worker must match
+/// one-worker row-major exactly.
+#[test]
+fn tiled_layout_matches_one_worker_row_major_reference() {
+    let n = 32;
+    let base = 8;
+    let reference_pool = ThreadPool::new(1);
+    for workers in common::pool_sizes() {
+        let pool = ThreadPool::new(workers);
+        for case in all_seven(n, base) {
+            let (reference, ref_piv) = run_flat(&reference_pool, &case, Layout::RowMajor, n);
+            let (tiled, tiled_piv) = run_flat(&pool, &case, Layout::Tiled, n);
+            for (i, (r, t)) in reference.iter().zip(tiled.iter()).enumerate() {
+                assert_eq!(
+                    r.max_abs_diff(t),
+                    0.0,
+                    "{} matrix {i}: tiled/{workers}w differs from 1w row-major",
+                    case.name
+                );
+            }
+            assert_eq!(ref_piv, tiled_piv, "{} pivots differ", case.name);
+        }
+    }
+}

@@ -18,6 +18,7 @@ use nd_linalg::tile::TileMatrix;
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::{ExecStats, Placement};
 use nd_runtime::ThreadPool;
+use nd_trace::{TaskMeta, Trace, TraceConfig, TraceSession};
 use std::sync::Arc;
 
 /// Lowers a built algorithm to its compiled form against `ctx` (no placement
@@ -42,6 +43,42 @@ pub fn compile_placed(
 /// re-execute it.
 pub fn run_once(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
     compile(built, ctx).execute(pool)
+}
+
+/// The full per-task trace side tables for a built + compiled algorithm:
+/// the compiled form supplies operation kinds and dependency edges, the DAG
+/// supplies the pedigree column (each strand's spawn-tree node — the paper's
+/// pedigree coordinate).  Anchoring columns stay empty here; the anchored
+/// executor of `nd-exec` fills them from its placement.
+pub fn trace_meta(built: &BuiltAlgorithm, compiled: &CompiledAlgorithm) -> TaskMeta {
+    let mut meta = compiled.trace_meta();
+    meta.home_nodes = built
+        .dag
+        .vertex_ids()
+        .map(|v| match built.dag.vertex(v).tree_node() {
+            Some(node) => node.0,
+            None => u32::MAX,
+        })
+        .collect();
+    meta
+}
+
+/// One-shot **traced** execution on the flat pool: compiles `built`, runs it
+/// under a [`TraceSession`] on the pool's tracer, and returns the execution
+/// statistics together with the finished [`Trace`] (per-strand spans plus
+/// derived scheduler metrics, side tables attached).  Tracing is enabled only
+/// for the duration of the run; the capacity knob is read from
+/// [`nd_trace::CAPACITY_ENV`].
+pub fn run_once_traced(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+) -> (ExecStats, Trace) {
+    let compiled = compile(built, ctx);
+    let session = TraceSession::start(pool.tracer(), TraceConfig::from_env());
+    let stats = compiled.execute(pool);
+    let trace = session.finish_with_meta(trace_meta(built, &compiled));
+    (stats, trace)
 }
 
 /// The non-matrix runtime state an algorithm binds besides its matrices.

@@ -352,6 +352,53 @@ pub enum CompiledOp {
     Nop,
 }
 
+impl CompiledOp {
+    /// Display names of the operation kinds, indexed by
+    /// [`CompiledOp::kind_index`] (the trace side tables use them to label
+    /// execution spans per strand).
+    pub const KIND_NAMES: &'static [&'static str] = &[
+        "gemm",
+        "gemm_nt",
+        "trsm_lower",
+        "trsm_right_lt",
+        "potrf",
+        "lu_panel",
+        "lu_panel_tiled",
+        "lu_row_swap",
+        "lu_row_swap_tiled",
+        "trsm_unit_lower",
+        "lcs_tiled",
+        "fw1d_tiled",
+        "lcs",
+        "fw1d",
+        "fw_update",
+        "nop",
+    ];
+
+    /// The operation's kind discriminant, an index into
+    /// [`CompiledOp::KIND_NAMES`].
+    pub fn kind_index(&self) -> u16 {
+        match self {
+            CompiledOp::Gemm { .. } => 0,
+            CompiledOp::GemmNt { .. } => 1,
+            CompiledOp::TrsmLower { .. } => 2,
+            CompiledOp::TrsmRightLt { .. } => 3,
+            CompiledOp::Potrf { .. } => 4,
+            CompiledOp::LuPanel { .. } => 5,
+            CompiledOp::LuPanelTiled { .. } => 6,
+            CompiledOp::LuRowSwap { .. } => 7,
+            CompiledOp::LuRowSwapTiled { .. } => 8,
+            CompiledOp::TrsmUnitLower { .. } => 9,
+            CompiledOp::LcsTiled { .. } => 10,
+            CompiledOp::Fw1dTiled { .. } => 11,
+            CompiledOp::Lcs { .. } => 12,
+            CompiledOp::Fw1d { .. } => 13,
+            CompiledOp::FwUpdate { .. } => 14,
+            CompiledOp::Nop => 15,
+        }
+    }
+}
+
 /// The non-boxed task table of one compiled algorithm: one [`CompiledOp`] per
 /// graph task, dispatched by index through the enum.
 pub struct OpTable {
@@ -648,6 +695,28 @@ impl CompiledAlgorithm {
     /// holds between executions).
     pub fn counters_are_reset(&self) -> bool {
         self.graph.counters_are_reset()
+    }
+
+    /// The compiled dependency graph (task indices equal DAG vertex indices).
+    pub fn graph(&self) -> &Arc<CompiledGraph> {
+        &self.graph
+    }
+
+    /// Per-task trace side tables this compiled form can supply by itself:
+    /// operation kinds (from the operation table) and dependency edges (from
+    /// the graph, for the critical-path estimate).  Pedigree and anchoring
+    /// columns are filled in by [`crate::driver::trace_meta`] and the
+    /// anchored executor, which hold the DAG and the placement.
+    pub fn trace_meta(&self) -> nd_trace::TaskMeta {
+        nd_trace::TaskMeta {
+            op_kinds: self.table.ops.iter().map(|op| op.kind_index()).collect(),
+            op_kind_names: CompiledOp::KIND_NAMES
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            edges: self.graph.edges(),
+            ..nd_trace::TaskMeta::default()
+        }
     }
 }
 

@@ -7,7 +7,10 @@
 //! lowers through the same compiled path as the recursive ones), and E17: the
 //! fire-rule frontend — DRS expansion + compile cost versus the access-set
 //! oracle rebuilding the same dependency structure, plus the reuse speedup of
-//! a DRS-built graph (MM and LCS).
+//! a DRS-built graph (MM and LCS), and E19: the `nd-trace` subsystem — the
+//! runtime cost of toggling tracing on, and the derived scheduler metrics of
+//! one traced anchored MM (written to the `trace` section of
+//! `BENCH_exec.json`).
 //!
 //! Both executors run the *same* deterministic ND task graph; only the
 //! scheduling differs: the flat baseline steals blindly in ring order (but its
@@ -52,6 +55,7 @@ use nd_pmh::topology::detect_host;
 use nd_runtime::dataflow::{CompiledGraph, TaskTable};
 use nd_runtime::pool::with_pack_scratch;
 use nd_runtime::ThreadPool;
+use nd_trace::{metrics_summary_json, TraceConfig, TraceSession};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -200,6 +204,110 @@ fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> Schedu
         rebuild_seconds,
         reuse_seconds,
         reuse_speedup: rebuild_seconds / reuse_seconds,
+    }
+}
+
+/// E19: cost and content of the `nd-trace` subsystem.  `disabled_per_task_ns`
+/// and `enabled_per_task_ns` time the same wide layered empty-task DAG with
+/// the pool's tracer off and on (the off/on ratio is the *runtime* toggle
+/// cost; the compile-time cost of carrying the feature at all is measured by
+/// `nd-runtime`'s `sched_overhead` binary built with and without the
+/// feature).  The `traced_mm` sub-object is the compact metrics summary of
+/// one traced anchored MM run, and `pool` carries the [`nd_runtime::PoolStats`]
+/// deltas of that run.
+struct TraceBench {
+    disabled_per_task_ns: f64,
+    enabled_per_task_ns: f64,
+    /// `enabled / disabled` (1.0 = tracing costs nothing when on).
+    enabled_overhead_ratio: f64,
+    /// Events collected while timing the enabled runs (sanity: > 0).
+    events_collected: usize,
+    /// Events lost to ring wraparound during those runs.
+    events_dropped: u64,
+    /// Jobs executed / steals during the traced MM run (Pool::stats deltas).
+    mm_jobs_executed: u64,
+    mm_steals: u64,
+    /// `metrics_summary_json` of the traced anchored MM run.
+    traced_mm: String,
+}
+
+impl TraceBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"disabled_per_task_ns\":{:.1},\"enabled_per_task_ns\":{:.1},\
+\"enabled_overhead_ratio\":{:.3},\"events_collected\":{},\"events_dropped\":{},\
+\"mm_jobs_executed\":{},\"mm_steals\":{},\"traced_mm\":{}}}",
+            self.disabled_per_task_ns,
+            self.enabled_per_task_ns,
+            self.enabled_overhead_ratio,
+            self.events_collected,
+            self.events_dropped,
+            self.mm_jobs_executed,
+            self.mm_steals,
+            self.traced_mm
+        )
+    }
+}
+
+/// Measures the tracing subsystem: runtime-toggle overhead on the empty-task
+/// DAG, then one traced anchored MM whose derived metrics land in the
+/// `trace` section of `BENCH_exec.json`.
+fn bench_trace(
+    machine: &MachineTree,
+    workers: usize,
+    n: usize,
+    base: usize,
+    reps: usize,
+) -> TraceBench {
+    let pool = ThreadPool::new(workers);
+    let table = Arc::new(NopTable);
+    let (layers, width) = (64u32, 256u32);
+    let mut edges = Vec::new();
+    for l in 1..layers {
+        for w in 0..width {
+            let task = l * width + w;
+            edges.push(((l - 1) * width + w, task));
+            edges.push(((l - 1) * width + (w + 1) % width, task));
+        }
+    }
+    let tasks = (layers * width) as usize;
+    let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
+    graph.execute(&pool, &table); // warm up
+    let (disabled_best, _) = time_reps(reps.max(3), || {
+        graph.execute(&pool, &table);
+    });
+    let session = TraceSession::start(pool.tracer(), TraceConfig::from_env());
+    let (enabled_best, _) = time_reps(reps.max(3), || {
+        graph.execute(&pool, &table);
+    });
+    let trace = session.finish();
+    let disabled_per_task_ns = disabled_best * 1e9 / tasks as f64;
+    let enabled_per_task_ns = enabled_best * 1e9 / tasks as f64;
+
+    // One traced anchored MM (the acceptance scenario of the trace tests);
+    // the pool stats around it exercise the snapshot API.
+    let hier = HierarchicalPool::new(machine.clone(), StealPolicy::NearestFirst);
+    let a = Matrix::random(n, n, 21);
+    let b = Matrix::random(n, n, 22);
+    let mut c = Matrix::zeros(n, n);
+    let mut am = a.clone();
+    let mut bm = b.clone();
+    let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
+    let built = build_mm(n, base, Mode::Nd, 1.0);
+    let before = hier.pool().stats();
+    let (_, mm_trace) =
+        nd_exec::execute::run_anchored_traced(&hier, &built, &ctx, &AnchorConfig::default());
+    let delta = hier.pool().stats().since(&before);
+
+    TraceBench {
+        disabled_per_task_ns,
+        enabled_per_task_ns,
+        enabled_overhead_ratio: enabled_per_task_ns / disabled_per_task_ns,
+        events_collected: trace.events.len(),
+        events_dropped: trace.dropped,
+        mm_jobs_executed: delta.jobs_executed,
+        mm_steals: delta.steals,
+        traced_mm: metrics_summary_json(&mm_trace),
     }
 }
 
@@ -995,12 +1103,21 @@ fn main() {
 \"workers\":{workers},\"scheduler\":{sched_json}}}"
     );
 
+    // ----------------------------------------------- tracing (E19) ----
+    eprintln!("exp_exec: tracing overhead + traced anchored MM");
+    let trace_bench = bench_trace(&machine, workers, n, base, reps);
+    let trace_json = trace_bench.json();
+    println!(
+        "{{\"experiment\":\"exp_exec\",\"section\":\"trace\",\
+\"workers\":{workers},\"trace\":{trace_json}}}"
+    );
+
     let file = format!(
         "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
 \"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
 \"layouts\": {{\n    \"gemm\": [\n      {}\n    ],\n    \"algorithms\": [\n      {}\n    ]\n  }},\n  \
 \"algorithm_reuse\": [\n    {}\n  ],\n  \"drs_frontend\": [\n    {}\n  ],\n  \
-\"scheduler\": {sched_json}\n}}\n",
+\"scheduler\": {sched_json},\n  \"trace\": {trace_json}\n}}\n",
         measurements.join(",\n    "),
         gemm_layout.join(",\n      "),
         alg_layout.join(",\n      "),

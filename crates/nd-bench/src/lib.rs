@@ -26,7 +26,12 @@
 //!   views versus contiguous tile-packed slabs (warm full-sweep and cold
 //!   sampled-tile regimes), plus whole-algorithm wall clock for
 //!   MM / Cholesky / LU / FW-2D on both layouts (the `layouts` section of
-//!   `BENCH_exec.json`).
+//!   `BENCH_exec.json`);
+//!   E19: the `nd-trace` subsystem — the runtime cost of toggling tracing on
+//!   (empty-task DAG with the tracer off versus on) and the derived
+//!   scheduler metrics of one traced anchored MM (the `trace` section of
+//!   `BENCH_exec.json`; the compile-out-versus-disabled cost is measured by
+//!   `nd-runtime`'s `sched_overhead` binary and bounded by CI).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

@@ -40,7 +40,9 @@ use nd_algorithms::exec::{ExecContext, Layout};
 use nd_algorithms::{cholesky, driver, fw1d, fw2d, lcs, lu, mm, trs};
 use nd_linalg::getrf::PivotStore;
 use nd_linalg::Matrix;
-use nd_runtime::dataflow::ExecStats;
+use nd_pmh::machine::CacheId;
+use nd_runtime::dataflow::{ExecStats, Placement};
+use nd_trace::{Trace, TraceConfig, TraceSession};
 use std::sync::Arc;
 
 /// Statistics of one anchored execution.
@@ -87,6 +89,53 @@ pub fn run_anchored(
             .map(|(a, b)| a - b)
             .collect(),
     }
+}
+
+/// The anchored counterpart of [`driver::run_once_traced`]: computes the
+/// anchoring, executes the compiled graph under a
+/// [`TraceSession`] on the hierarchical pool's tracer, and returns the
+/// anchored statistics with the finished [`Trace`].  On top of the flat
+/// driver's side tables (operation kinds, pedigree, dependency edges) the
+/// trace carries, per strand, the anchor queue group and the cache level of
+/// that group — so exported spans can be read against the paper's `σ·M_i`
+/// anchoring discipline (which PMH subtree a strand was pinned to, and at
+/// which level of the hierarchy).
+pub fn run_anchored_traced(
+    pool: &HierarchicalPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+    cfg: &AnchorConfig,
+) -> (HierExecStats, Trace) {
+    let anchoring: Anchoring = compute_anchoring(&built.tree, &built.dag, pool.machine(), cfg);
+    let machine = pool.machine();
+    let (anchor_groups, anchor_levels): (Vec<u32>, Vec<u8>) = anchoring
+        .placement
+        .iter()
+        .map(|p| match p {
+            Placement::Group(g) => (*g, machine.cache(CacheId(*g)).level as u8),
+            Placement::Anywhere => (u32::MAX, 0u8),
+        })
+        .unzip();
+    let compiled = driver::compile_placed(built, ctx, anchoring.placement.clone());
+    let mut meta = driver::trace_meta(built, &compiled);
+    meta.anchor_groups = anchor_groups;
+    meta.anchor_levels = anchor_levels;
+    let before = pool.steals_by_distance();
+    let session = TraceSession::start(pool.pool().tracer(), TraceConfig::from_env());
+    let exec = compiled.execute(pool.pool());
+    let trace = session.finish_with_meta(meta);
+    let after = pool.steals_by_distance();
+    let stats = HierExecStats {
+        exec,
+        anchors_per_level: anchoring.anchors_per_level,
+        overflow_events: anchoring.overflow_events,
+        steals_by_distance: after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a - b)
+            .collect(),
+    };
+    (stats, trace)
 }
 
 /// The anchored layout knob: executes `built` under `σ·M_i` anchoring against

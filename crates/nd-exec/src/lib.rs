@@ -61,5 +61,5 @@ pub mod execute;
 pub mod pool;
 
 pub use anchor::{compute_anchoring, AnchorConfig, Anchoring};
-pub use execute::{run_anchored, HierExecStats};
+pub use execute::{run_anchored, run_anchored_traced, HierExecStats};
 pub use pool::{HierarchicalPool, StealPolicy};

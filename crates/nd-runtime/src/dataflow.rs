@@ -68,10 +68,31 @@
 
 use crate::latch::CountLatch;
 use crate::pool::{GraphTask, JobUnit, ThreadPool, WorkerCtx};
+use nd_trace::{EventKind, TraceEvent, EXEC_FLAG_INLINE, NO_TASK};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Records a run-boundary event ([`EventKind::RunBegin`] / [`EventKind::RunEnd`])
+/// from the submitting thread, into the pool's external ring.
+#[inline]
+fn trace_run_boundary(pool: &ThreadPool, kind: EventKind, run_id: u32) {
+    let tracer = pool.tracer();
+    let now = tracer.now_ns();
+    tracer.record(
+        tracer.external_ring(),
+        &TraceEvent {
+            kind,
+            worker: tracer.external_ring() as u32,
+            task: NO_TASK,
+            t0_ns: now,
+            t1_ns: now,
+            a: 0,
+            b: run_id,
+        },
+    );
+}
 
 /// Identifier of a task in a [`TaskGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -352,6 +373,19 @@ impl CompiledGraph {
         &self.succ_targets[lo..hi]
     }
 
+    /// All dependency edges `(from, to)`, reconstructed from the CSR arena.
+    /// A collection-time helper (trace side tables feed these to the
+    /// critical-path estimate), not a hot path.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for t in 0..self.task_count() as u32 {
+            for &s in self.successors(t) {
+                out.push((t, s));
+            }
+        }
+        out
+    }
+
     /// `true` if the dependency graph is acyclic (checked by Kahn's algorithm).
     pub fn is_acyclic(&self) -> bool {
         let n = self.task_count();
@@ -427,6 +461,13 @@ impl CompiledGraph {
             per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
         });
 
+        let run_id = if pool.trace_enabled() {
+            let id = pool.tracer().next_run_id();
+            trace_run_boundary(pool, EventKind::RunBegin, id);
+            Some(id)
+        } else {
+            None
+        };
         let start = Instant::now();
         for &r in &self.roots {
             let unit = JobUnit::Graph(Arc::clone(&run) as Arc<dyn GraphTask>, r);
@@ -438,6 +479,9 @@ impl CompiledGraph {
         run.latch.wait();
         let elapsed = start.elapsed();
         self.in_flight.store(false, Ordering::Release);
+        if let Some(id) = run_id {
+            trace_run_boundary(pool, EventKind::RunEnd, id);
+        }
 
         ExecStats {
             tasks: n,
@@ -520,6 +564,29 @@ impl<T: TaskTable> PersistentRun<T> {
         );
         debug_assert!(g.counters_are_reset());
         run.latch.reset(n);
+        let run_id = if pool.trace_enabled() {
+            let tracer = pool.tracer();
+            let id = tracer.next_run_id();
+            let now = tracer.now_ns();
+            // The latch re-arm above is the persistent run's "recycle" moment;
+            // record it so re-execution rounds are visible in the stream.
+            tracer.record(
+                tracer.external_ring(),
+                &TraceEvent {
+                    kind: EventKind::LatchReset,
+                    worker: tracer.external_ring() as u32,
+                    task: NO_TASK,
+                    t0_ns: now,
+                    t1_ns: now,
+                    a: 0,
+                    b: n as u32,
+                },
+            );
+            trace_run_boundary(pool, EventKind::RunBegin, id);
+            Some(id)
+        } else {
+            None
+        };
         for c in &run.per_worker {
             c.store(0, Ordering::Relaxed);
         }
@@ -535,6 +602,9 @@ impl<T: TaskTable> PersistentRun<T> {
         run.latch.wait();
         let elapsed = start.elapsed();
         g.in_flight.store(false, Ordering::Release);
+        if let Some(id) = run_id {
+            trace_run_boundary(pool, EventKind::RunEnd, id);
+        }
         SteadyStats {
             tasks: n,
             elapsed,
@@ -591,13 +661,48 @@ impl<T: TaskTable> GraphTask for ActiveRun<T> {
     fn run_graph_task(self: Arc<Self>, first: u32, ctx: &WorkerCtx<'_>) {
         let g = &*self.graph;
         let mut id = first;
+        // The first task of the chain came off a queue (possibly stolen);
+        // every further iteration is inline tail-execution.
+        let mut steal_wire = ctx.steal_distance_wire();
+        let mut exec_flags = 0u32;
         loop {
             // Restore the live counter the moment the task is claimed: all
             // predecessors have finished, and nothing decrements this slot
             // again until the *next* execution, which cannot start before this
             // one completes.  This is what makes the graph self-resetting.
             g.pending[id as usize].store(g.initial_preds[id as usize], Ordering::Relaxed);
-            self.table.run_task(id);
+            if ctx.trace_enabled() {
+                let tracer = ctx.tracer();
+                let worker = ctx.worker_index;
+                let t0 = tracer.now_ns();
+                tracer.record(
+                    worker,
+                    &TraceEvent {
+                        kind: EventKind::Claim,
+                        worker: worker as u32,
+                        task: id,
+                        t0_ns: t0,
+                        t1_ns: t0,
+                        a: 0,
+                        b: 0,
+                    },
+                );
+                self.table.run_task(id);
+                tracer.record(
+                    worker,
+                    &TraceEvent {
+                        kind: EventKind::Exec,
+                        worker: worker as u32,
+                        task: id,
+                        t0_ns: t0,
+                        t1_ns: tracer.now_ns(),
+                        a: steal_wire,
+                        b: exec_flags,
+                    },
+                );
+            } else {
+                self.table.run_task(id);
+            }
             self.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
 
             let mut first_ready = None;
@@ -618,7 +723,11 @@ impl<T: TaskTable> GraphTask for ActiveRun<T> {
             match first_ready {
                 // Inline tail-execution: exactly one successor became ready
                 // and may run here — run it in place, skipping the deque.
-                Some(s) if ready == 1 && self.runnable_here(s, ctx) => id = s,
+                Some(s) if ready == 1 && self.runnable_here(s, ctx) => {
+                    id = s;
+                    steal_wire = 0;
+                    exec_flags = EXEC_FLAG_INLINE;
+                }
                 Some(s) => {
                     self.spawn(s, ctx);
                     return;

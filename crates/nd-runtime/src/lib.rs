@@ -48,4 +48,4 @@ pub use dataflow::{
     CompiledGraph, ExecStats, Placement, ReusableGraph, TaskGraph, TaskId, TaskTable,
 };
 pub use lower::{lower_dag, lower_dag_boxed, LoweredDag};
-pub use pool::{PoolTopology, ThreadPool};
+pub use pool::{PoolStats, PoolTopology, ThreadPool};

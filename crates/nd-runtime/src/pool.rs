@@ -15,6 +15,7 @@
 //! non-trivial topologies.
 
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use nd_trace::{EventKind, QueueKind, TraceEvent, Tracer, NO_TASK};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,10 +85,41 @@ pub(crate) enum JobUnit {
 }
 
 impl JobUnit {
+    /// The graph task this unit carries, or [`NO_TASK`] for boxed closures
+    /// (used to label trace events).
+    #[inline]
+    fn task_id(&self) -> u32 {
+        match self {
+            JobUnit::Boxed(_) => NO_TASK,
+            JobUnit::Graph(_, task) => *task,
+        }
+    }
+
     #[inline]
     fn run(self, ctx: &WorkerCtx<'_>) {
         match self {
-            JobUnit::Boxed(job) => job(ctx),
+            JobUnit::Boxed(job) => {
+                // Graph tasks record their own execution spans in the
+                // dataflow executor; boxed closures are spanned here so
+                // per-worker busy time covers both dispatch modes.
+                let t0 = ctx.trace_enabled().then(|| ctx.shared.tracer.now_ns());
+                job(ctx);
+                if let Some(t0) = t0 {
+                    let worker = ctx.worker_index;
+                    ctx.shared.tracer.record(
+                        worker,
+                        &TraceEvent {
+                            kind: EventKind::Exec,
+                            worker: worker as u32,
+                            task: NO_TASK,
+                            t0_ns: t0,
+                            t1_ns: ctx.shared.tracer.now_ns(),
+                            a: ctx.steal_distance_wire(),
+                            b: 0,
+                        },
+                    );
+                }
+            }
             JobUnit::Graph(run, task) => run.run_graph_task(task, ctx),
         }
     }
@@ -181,11 +213,39 @@ impl PoolTopology {
 pub struct WorkerCtx<'a> {
     /// Index of the executing worker thread.
     pub worker_index: usize,
+    /// `Some((victim, distance class))` when the unit being run was just
+    /// stolen from another worker's deque; `None` when it came from this
+    /// worker's own deque or an injector.  Execution-span trace events carry
+    /// this so every strand's migration is attributable.
+    steal: Option<(usize, usize)>,
     local: &'a Deque<JobUnit>,
     shared: &'a Shared,
 }
 
 impl WorkerCtx<'_> {
+    /// `true` if a trace session is active on the pool (always `false`
+    /// without the `trace` feature, so record sites fold away).
+    #[inline]
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.shared.trace_enabled()
+    }
+
+    /// The pool's tracing sink.
+    #[inline]
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// The steal distance field of an execution-span event: distance class
+    /// + 1 if the current unit was just stolen, 0 otherwise.
+    #[inline]
+    pub(crate) fn steal_distance_wire(&self) -> u16 {
+        match self.steal {
+            Some((_, d)) => d as u16 + 1,
+            None => 0,
+        }
+    }
+
     /// Spawns a job onto the executing worker's own deque (LIFO: it will typically
     /// be the next thing this worker runs, unless someone steals it).
     pub fn spawn_local(&self, job: Job) {
@@ -209,6 +269,8 @@ impl WorkerCtx<'_> {
 
     /// Allocation-free counterpart of [`WorkerCtx::spawn_local`].
     pub(crate) fn spawn_unit_local(&self, unit: JobUnit) {
+        self.shared
+            .trace_enqueue(self.worker_index, unit.task_id(), QueueKind::LocalDeque, 0);
         self.local.push(unit);
         self.shared.notify_one();
     }
@@ -216,8 +278,20 @@ impl WorkerCtx<'_> {
     /// Allocation-free counterpart of [`WorkerCtx::spawn_to_group`].
     pub(crate) fn spawn_unit_to_group(&self, group: usize, unit: JobUnit) {
         if self.in_group(group) {
+            self.shared.trace_enqueue(
+                self.worker_index,
+                unit.task_id(),
+                QueueKind::LocalDeque,
+                group as u32,
+            );
             self.local.push(unit);
         } else {
+            self.shared.trace_enqueue(
+                self.worker_index,
+                unit.task_id(),
+                QueueKind::Group,
+                group as u32,
+            );
             self.shared.group_injectors[group].push(unit);
         }
         self.shared.notify_all();
@@ -249,6 +323,11 @@ struct Shared {
     steals: AtomicU64,
     /// Successful deque steals bucketed by the topology's distance class.
     steals_by_distance: Vec<AtomicU64>,
+    /// The pool's tracing sink: one event ring per worker plus one for
+    /// external threads, disabled (one relaxed load per potential event)
+    /// until a `TraceSession` starts.  Its `Instant` epoch is calibrated
+    /// here, at pool creation, so all workers' timestamps share one origin.
+    tracer: Arc<Tracer>,
 }
 
 impl Shared {
@@ -260,6 +339,42 @@ impl Shared {
 
     fn notify_all(&self) {
         self.sleep_condvar.notify_all();
+    }
+
+    /// `true` if a trace session is active.  Without the `trace` feature
+    /// this is constant `false`, so every record site downstream of it is
+    /// removed at compile time — the no-feature build is the honest
+    /// zero-instrumentation baseline.
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.tracer.is_enabled()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Records an enqueue event (which queue, which group) if tracing.
+    #[inline]
+    fn trace_enqueue(&self, ring: usize, task: u32, queue: QueueKind, group: u32) {
+        if self.trace_enabled() {
+            let now = self.tracer.now_ns();
+            self.tracer.record(
+                ring,
+                &TraceEvent {
+                    kind: EventKind::Enqueue,
+                    worker: ring as u32,
+                    task,
+                    t0_ns: now,
+                    t1_ns: now,
+                    a: queue as u16,
+                    b: group,
+                },
+            );
+        }
     }
 }
 
@@ -301,6 +416,7 @@ impl ThreadPool {
             sleep_condvar: Condvar::new(),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            tracer: Arc::new(Tracer::new(num_threads)),
         });
         let handles = deques
             .into_iter()
@@ -353,12 +469,24 @@ impl ThreadPool {
 
     /// Allocation-free counterpart of [`ThreadPool::spawn`].
     pub(crate) fn spawn_unit(&self, unit: JobUnit) {
+        self.shared.trace_enqueue(
+            self.shared.tracer.external_ring(),
+            unit.task_id(),
+            QueueKind::Global,
+            0,
+        );
         self.shared.injector.push(unit);
         self.shared.notify_one();
     }
 
     /// Allocation-free counterpart of [`ThreadPool::spawn_to_group`].
     pub(crate) fn spawn_unit_to_group(&self, group: usize, unit: JobUnit) {
+        self.shared.trace_enqueue(
+            self.shared.tracer.external_ring(),
+            unit.task_id(),
+            QueueKind::Group,
+            group as u32,
+        );
         self.shared.group_injectors[group].push(unit);
         self.shared.notify_all();
     }
@@ -381,6 +509,59 @@ impl ThreadPool {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// A point-in-time snapshot of the pool's scheduling counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_executed: self.jobs_executed(),
+            steals: self.steals(),
+            steals_by_distance: self.steals_by_distance(),
+        }
+    }
+
+    /// The pool's tracing sink.  Start a
+    /// [`TraceSession`](nd_trace::TraceSession) on it to record per-strand
+    /// events; with the `trace` feature disabled the executor never records,
+    /// so a session on such a build collects an empty trace.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.shared.tracer
+    }
+
+    /// `true` if a trace session is active and this build records events.
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.shared.trace_enabled()
+    }
+}
+
+/// A snapshot of the pool's scheduling counters (see [`ThreadPool::stats`]):
+/// the public form of the pool's internal totals, so callers measure
+/// scheduling behaviour without reaching into pool internals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total jobs executed.
+    pub jobs_executed: u64,
+    /// Total successful steals from other workers' deques.
+    pub steals: u64,
+    /// Steals bucketed by the topology's distance class (index 0 = nearest).
+    pub steals_by_distance: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Counter deltas `self − earlier`, for windowed measurements around a
+    /// region of interest.  Distance buckets missing from `earlier` are
+    /// treated as zero.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            jobs_executed: self.jobs_executed - earlier.jobs_executed,
+            steals: self.steals - earlier.steals,
+            steals_by_distance: self
+                .steals_by_distance
+                .iter()
+                .enumerate()
+                .map(|(d, &n)| n - earlier.steals_by_distance.get(d).copied().unwrap_or(0))
+                .collect(),
+        }
     }
 }
 
@@ -438,15 +619,35 @@ fn find_work(
 
 fn worker_loop(index: usize, local: Deque<JobUnit>, shared: Arc<Shared>) {
     loop {
+        // Timestamp the work-finding attempt (only while tracing) so a
+        // successful steal can be recorded as the span it actually cost.
+        let search_t0 = shared.trace_enabled().then(|| shared.tracer.now_ns());
         match find_work(index, &local, &shared) {
             Some((unit, stolen_from)) => {
+                let mut steal = None;
                 if let Some(victim) = stolen_from {
                     shared.steals.fetch_add(1, Ordering::Relaxed);
                     let d = shared.topology.steal_distance[index][victim];
                     shared.steals_by_distance[d].fetch_add(1, Ordering::Relaxed);
+                    steal = Some((victim, d));
+                    if let Some(t0) = search_t0 {
+                        shared.tracer.record(
+                            index,
+                            &TraceEvent {
+                                kind: EventKind::Steal,
+                                worker: index as u32,
+                                task: unit.task_id(),
+                                t0_ns: t0,
+                                t1_ns: shared.tracer.now_ns(),
+                                a: victim as u16,
+                                b: d as u32,
+                            },
+                        );
+                    }
                 }
                 let ctx = WorkerCtx {
                     worker_index: index,
+                    steal,
                     local: &local,
                     shared: &shared,
                 };

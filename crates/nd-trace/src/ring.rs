@@ -1,0 +1,319 @@
+//! Lock-free, fixed-capacity event rings and the [`Tracer`] that owns them.
+//!
+//! Each pool worker gets one ring; one extra ring (index `num_workers`)
+//! serves every non-pool thread (run submission, root enqueues).  Recording
+//! an event claims the next sequence number with a relaxed `fetch_add`,
+//! writes the four payload words with relaxed stores, and publishes the slot
+//! by storing `seq + 1` into the slot's marker word with release ordering.
+//! Readers ([`crate::session::TraceSession::finish`]) validate the marker on
+//! both sides of the payload loads, so a slot overwritten mid-read is
+//! *skipped*, never misread — wraparound is a benign race on atomics, not
+//! undefined behaviour.  When a ring overflows, the oldest events are
+//! overwritten and counted as dropped.
+//!
+//! The rings are allocated once, when the first session on the tracer
+//! starts,
+//! and live as long as the tracer: a straggling worker can therefore never
+//! write into freed memory, and a disabled tracer costs exactly one relaxed
+//! load per *potential* event.
+
+use crate::event::TraceEvent;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Words per ring slot: four payload words plus the publication marker.
+const SLOT_WORDS: usize = 5;
+
+/// One fixed-capacity event ring.
+pub struct Ring {
+    /// `capacity * SLOT_WORDS` atomic words.
+    slots: Box<[AtomicU64]>,
+    capacity: u64,
+    /// Next sequence number to claim; `min(seq, capacity)` events are live.
+    seq: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots = (0..capacity * SLOT_WORDS)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Ring {
+            slots,
+            capacity: capacity as u64,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events this ring can hold before overwriting.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Total events ever recorded into this ring.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn record(&self, ev: &TraceEvent) {
+        let s = self.seq.fetch_add(1, Ordering::Relaxed);
+        let base = (s % self.capacity) as usize * SLOT_WORDS;
+        let w = ev.encode();
+        for (k, &word) in w.iter().enumerate() {
+            self.slots[base + k].store(word, Ordering::Relaxed);
+        }
+        // Publish: a reader that sees marker == s + 1 with acquire ordering
+        // also sees the payload stores above.
+        self.slots[base + 4].store(s + 1, Ordering::Release);
+    }
+
+    /// Reads every still-live event with sequence number `>= from_seq`,
+    /// appending to `out`.  Returns the number of requested events that were
+    /// lost: overwritten by wraparound before this read, or torn by a
+    /// concurrent overwrite during it.
+    fn read_from(&self, from_seq: u64, out: &mut Vec<TraceEvent>) -> u64 {
+        let cur = self.seq.load(Ordering::Acquire);
+        let lo = from_seq.max(cur.saturating_sub(self.capacity));
+        let mut dropped = lo - from_seq;
+        for s in lo..cur {
+            let base = (s % self.capacity) as usize * SLOT_WORDS;
+            if self.slots[base + 4].load(Ordering::Acquire) != s + 1 {
+                dropped += 1; // not yet published, or already overwritten
+                continue;
+            }
+            let words = [
+                self.slots[base].load(Ordering::Relaxed),
+                self.slots[base + 1].load(Ordering::Relaxed),
+                self.slots[base + 2].load(Ordering::Relaxed),
+                self.slots[base + 3].load(Ordering::Relaxed),
+            ];
+            // Re-validate: if a writer lapped us mid-read the words above may
+            // mix two events — discard them.
+            if self.slots[base + 4].load(Ordering::Acquire) != s + 1 {
+                dropped += 1;
+                continue;
+            }
+            match TraceEvent::decode(words) {
+                Some(ev) => out.push(ev),
+                None => dropped += 1,
+            }
+        }
+        dropped
+    }
+}
+
+/// The per-pool tracing sink: one epoch, one enable flag, one ring per
+/// worker plus one for external threads.
+///
+/// A `Tracer` is created (cheaply — no rings yet) when its pool is built and
+/// shared with every worker.  All timestamps are nanoseconds since the single
+/// `Instant` epoch taken once at pool creation, so events merged across
+/// workers are mutually comparable by construction.
+pub struct Tracer {
+    epoch: Instant,
+    enabled: AtomicBool,
+    rings: OnceLock<Vec<Ring>>,
+    num_workers: usize,
+    run_counter: AtomicU32,
+}
+
+impl Tracer {
+    /// A disabled tracer for a pool of `num_workers` workers.  Allocates no
+    /// ring memory until a session starts.
+    pub fn new(num_workers: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            rings: OnceLock::new(),
+            num_workers,
+            run_counter: AtomicU32::new(0),
+        }
+    }
+
+    /// A tracer-unique run number, stamped into run begin/end events so the
+    /// boundaries of overlapping graph executions stay distinguishable.
+    pub fn next_run_id(&self) -> u32 {
+        self.run_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of worker rings (ring `num_workers` is the external ring).
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The ring index for events recorded by non-pool threads.
+    #[inline]
+    pub fn external_ring(&self) -> usize {
+        self.num_workers
+    }
+
+    /// `true` while a trace session is active.  This is the hot-path gate:
+    /// one relaxed load, then a predictable branch.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records `ev` into ring `ring`.  Callers gate on [`Tracer::is_enabled`]
+    /// first; a record racing a session teardown lands harmlessly in the
+    /// still-allocated ring.
+    #[inline]
+    pub fn record(&self, ring: usize, ev: &TraceEvent) {
+        if let Some(rings) = self.rings.get() {
+            rings[ring].record(ev);
+        }
+    }
+
+    /// Allocates the rings (first call only; `capacity` is per-ring) and
+    /// returns them.  Ring memory persists for the tracer's lifetime.
+    pub(crate) fn ensure_rings(&self, capacity: usize) -> &[Ring] {
+        self.rings.get_or_init(|| {
+            (0..=self.num_workers)
+                .map(|_| Ring::new(capacity))
+                .collect()
+        })
+    }
+
+    /// The rings, if any session ever started.
+    pub fn rings(&self) -> Option<&[Ring]> {
+        self.rings.get().map(|r| r.as_slice())
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) -> bool {
+        self.enabled.swap(on, Ordering::SeqCst)
+    }
+
+    /// Current sequence number of every ring (the session start watermark).
+    pub(crate) fn ring_seqs(&self) -> Vec<u64> {
+        match self.rings.get() {
+            Some(rings) => rings.iter().map(|r| r.recorded()).collect(),
+            None => vec![0; self.num_workers + 1],
+        }
+    }
+
+    /// Collects all events recorded at or after the given per-ring
+    /// watermarks.  Returns the merged (unsorted) events and the total
+    /// dropped count.
+    pub(crate) fn collect(&self, start_seqs: &[u64]) -> (Vec<TraceEvent>, u64) {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        if let Some(rings) = self.rings.get() {
+            for (ring, &from) in rings.iter().zip(start_seqs) {
+                dropped += ring.read_from(from, &mut events);
+            }
+        }
+        (events, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NO_TASK};
+
+    fn ev(task: u32, t: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Claim,
+            worker: 0,
+            task,
+            t0_ns: t,
+            t1_ns: t,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_stores_and_reads_back_in_order() {
+        let ring = Ring::new(8);
+        for i in 0..5u32 {
+            ring.record(&ev(i, i as u64));
+        }
+        let mut out = Vec::new();
+        let dropped = ring.read_from(0, &mut out);
+        assert_eq!(dropped, 0);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().enumerate().all(|(i, e)| e.task == i as u32));
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts_them() {
+        let ring = Ring::new(4);
+        for i in 0..10u32 {
+            ring.record(&ev(i, i as u64));
+        }
+        let mut out = Vec::new();
+        let dropped = ring.read_from(0, &mut out);
+        // 10 recorded into capacity 4: the oldest 6 are gone.
+        assert_eq!(dropped, 6);
+        let tasks: Vec<u32> = out.iter().map(|e| e.task).collect();
+        assert_eq!(tasks, vec![6, 7, 8, 9], "newest events survive");
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn watermark_limits_the_read_window() {
+        let ring = Ring::new(16);
+        for i in 0..10u32 {
+            ring.record(&ev(i, i as u64));
+        }
+        let mut out = Vec::new();
+        let dropped = ring.read_from(7, &mut out);
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            out.iter().map(|e| e.task).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn tracer_record_before_rings_is_a_noop() {
+        let tracer = Tracer::new(2);
+        tracer.record(0, &ev(NO_TASK, 0)); // must not panic
+        assert!(tracer.rings().is_none());
+        let (events, dropped) = tracer.collect(&[0, 0, 0]);
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn tracer_rings_allocate_once_and_persist() {
+        let tracer = Tracer::new(2);
+        let first = tracer.ensure_rings(32).as_ptr();
+        let again = tracer.ensure_rings(64).as_ptr();
+        assert_eq!(first, again, "rings must never reallocate");
+        assert_eq!(tracer.rings().unwrap().len(), 3, "2 workers + external");
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_ring_lose_nothing_without_overflow() {
+        use std::sync::Arc;
+        let ring = Arc::new(Ring::new(4096));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        ring.record(&ev(w * 1000 + i, i as u64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        let dropped = ring.read_from(0, &mut out);
+        assert_eq!(dropped, 0);
+        assert_eq!(out.len(), 4000);
+    }
+}

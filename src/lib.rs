@@ -16,6 +16,10 @@
 //! * [`linalg`] — the dense linear-algebra and dynamic-programming kernel substrate.
 //! * [`algorithms`] — the paper's algorithms (MM, TRS, Cholesky, LU, Floyd–Warshall,
 //!   LCS) expressed in both the NP and ND models.
+//! * [`trace`] — per-strand execution tracing for both executors: lock-free
+//!   per-worker event rings, derived scheduler metrics, and Chrome-trace
+//!   (Perfetto) export.  Zero-cost when disabled; see the README's
+//!   "Tracing" quickstart.
 //!
 //! ## Quickstart: simulate, then really execute, one algorithm
 //!
@@ -65,6 +69,7 @@ pub use nd_linalg as linalg;
 pub use nd_pmh as pmh;
 pub use nd_runtime as runtime;
 pub use nd_sched as sched;
+pub use nd_trace as trace;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {

@@ -437,7 +437,7 @@ pub fn cholesky_parallel(pool: &ThreadPool, a: &mut Matrix, mode: Mode, base: us
     assert_eq!(a.cols(), n);
     let built = build_cholesky(n, base, mode);
     let ctx = ExecContext::from_matrices(&mut [a]);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
     a.zero_upper_triangle();
 }
 

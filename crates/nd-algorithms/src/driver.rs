@@ -17,6 +17,7 @@ use nd_linalg::getrf::PivotStore;
 use nd_linalg::tile::TileMatrix;
 use nd_linalg::Matrix;
 use nd_runtime::dataflow::{ExecStats, Placement};
+use nd_runtime::fault::{RunBudget, RunError};
 use nd_runtime::ThreadPool;
 use nd_trace::{TaskMeta, Trace, TraceConfig, TraceSession};
 use std::sync::Arc;
@@ -41,8 +42,31 @@ pub fn compile_placed(
 /// One-shot execution: compile and run once on the flat pool.  To amortise
 /// construction, keep the [`CompiledAlgorithm`] from [`compile`] and
 /// re-execute it.
-pub fn run_once(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a strand panics; the run drains and the
+/// matrices may hold partial results.
+pub fn run_once(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+) -> Result<ExecStats, RunError> {
     compile(built, ctx).execute(pool)
+}
+
+/// Like [`run_once`], with a per-run [`RunBudget`] (wall-clock deadline
+/// checked at every strand claim).
+///
+/// # Errors
+/// Returns [`RunError::DeadlineExceeded`] if the budget expires mid-run, or
+/// [`RunError::Panicked`] if a strand panics.
+pub fn run_once_with(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+    budget: &RunBudget,
+) -> Result<ExecStats, RunError> {
+    compile(built, ctx).execute_with(pool, budget)
 }
 
 /// The full per-task trace side tables for a built + compiled algorithm:
@@ -69,11 +93,16 @@ pub fn trace_meta(built: &BuiltAlgorithm, compiled: &CompiledAlgorithm) -> TaskM
 /// derived scheduler metrics, side tables attached).  Tracing is enabled only
 /// for the duration of the run; the capacity knob is read from
 /// [`nd_trace::CAPACITY_ENV`].
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a strand panics.  The trace is finished
+/// and returned either way — a faulted run's trace shows the caught fault
+/// inline (an `EventKind::Fault` instant on the recording worker's track).
 pub fn run_once_traced(
     pool: &ThreadPool,
     built: &BuiltAlgorithm,
     ctx: &ExecContext,
-) -> (ExecStats, Trace) {
+) -> (Result<ExecStats, RunError>, Trace) {
     let compiled = compile(built, ctx);
     let session = TraceSession::start(pool.tracer(), TraceConfig::from_env());
     let stats = compiled.execute(pool);
@@ -152,7 +181,7 @@ pub fn run_once_on_layout(
     extras: ContextExtras,
 ) -> LayoutRun {
     let (tiles, ctx) = bind_layout(mats, tile, layout, extras);
-    let stats = run_once(pool, built, &ctx);
+    let stats = run_once(pool, built, &ctx).expect("algorithm strand panicked");
     for (tile_mat, m) in tiles.iter().zip(mats.iter_mut()) {
         tile_mat.unpack_into(m);
     }
@@ -195,7 +224,7 @@ where
     let mut reference: Option<S> = None;
     for round in 0..rounds {
         reinit(data, round);
-        let stats = compiled.execute(pool);
+        let stats = compiled.execute(pool).expect("algorithm strand panicked");
         assert_eq!(
             stats.tasks,
             compiled.task_count(),

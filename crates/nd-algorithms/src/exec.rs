@@ -39,6 +39,7 @@ use nd_linalg::{fw, gemm, lcs, potrf, trsm};
 use nd_runtime::dataflow::{
     CompiledGraph, ExecStats, PersistentRun, Placement, SteadyStats, TaskGraph, TaskTable,
 };
+use nd_runtime::fault::{RunBudget, RunError};
 use nd_runtime::pool::{with_pack_scratch, ThreadPool};
 use std::sync::{Arc, OnceLock};
 
@@ -425,6 +426,11 @@ impl TaskTable for OpTable {
             self.pack_len,
         );
     }
+
+    #[inline]
+    fn task_label(&self, task: u32) -> &'static str {
+        CompiledOp::KIND_NAMES[self.ops[task as usize].kind_index() as usize]
+    }
 }
 
 /// Runs one resolved block operation.
@@ -654,8 +660,28 @@ pub struct CompiledAlgorithm {
 impl CompiledAlgorithm {
     /// Executes the algorithm on a pool, blocking until every strand has run.
     /// The graph is left reset, ready for the next call.
-    pub fn execute(&self, pool: &ThreadPool) -> ExecStats {
+    ///
+    /// # Errors
+    /// Returns [`RunError::Panicked`] if a strand panics; the run drains
+    /// (remaining strands are claimed but not executed), the graph is left
+    /// reset, and the error names the strand and its operation kind.  The
+    /// matrices may hold partial results — re-initialise them before retrying.
+    pub fn execute(&self, pool: &ThreadPool) -> Result<ExecStats, RunError> {
         self.graph.execute(pool, &self.table)
+    }
+
+    /// Like [`CompiledAlgorithm::execute`], with a per-run [`RunBudget`]
+    /// (wall-clock deadline checked at every strand claim).
+    ///
+    /// # Errors
+    /// Returns [`RunError::DeadlineExceeded`] if the budget expires mid-run,
+    /// or [`RunError::Panicked`] if a strand panics.
+    pub fn execute_with(
+        &self,
+        pool: &ThreadPool,
+        budget: &RunBudget,
+    ) -> Result<ExecStats, RunError> {
+        self.graph.execute_with(pool, &self.table, budget)
     }
 
     /// Steady-state execution: like [`CompiledAlgorithm::execute`], but
@@ -668,10 +694,30 @@ impl CompiledAlgorithm {
     /// # Panics
     /// Panics if called with a pool larger than the first call's pool (the
     /// per-worker state was sized to that).
-    pub fn execute_steady(&self, pool: &ThreadPool) -> SteadyStats {
+    ///
+    /// # Errors
+    /// Returns [`RunError::Panicked`] if a strand panics; the run state and
+    /// counters are left re-armed, so the next call executes normally.
+    pub fn execute_steady(&self, pool: &ThreadPool) -> Result<SteadyStats, RunError> {
         self.runner
             .get_or_init(|| PersistentRun::new(&self.graph, &self.table, pool.num_threads()))
             .execute(pool)
+    }
+
+    /// Like [`CompiledAlgorithm::execute_steady`], with a per-run
+    /// [`RunBudget`].
+    ///
+    /// # Errors
+    /// Returns [`RunError::DeadlineExceeded`] if the budget expires mid-run,
+    /// or [`RunError::Panicked`] if a strand panics.
+    pub fn execute_steady_with(
+        &self,
+        pool: &ThreadPool,
+        budget: &RunBudget,
+    ) -> Result<SteadyStats, RunError> {
+        self.runner
+            .get_or_init(|| PersistentRun::new(&self.graph, &self.table, pool.num_threads()))
+            .execute_with(pool, budget)
     }
 
     /// Scratch elements GEMM panel packing needs per worker (0 when every
@@ -805,7 +851,15 @@ pub fn build_task_graph(dag: &AlgorithmDag, ops: &[BlockOp], ctx: &ExecContext) 
 /// (compiles the non-boxed form and runs it once; to amortise construction,
 /// keep the [`CompiledAlgorithm`] from [`compile_algorithm`] and re-execute it).
 /// Thin alias for [`crate::driver::run_once`], the shared driver layer.
-pub fn run(pool: &ThreadPool, built: &BuiltAlgorithm, ctx: &ExecContext) -> ExecStats {
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a strand panics (see
+/// [`CompiledAlgorithm::execute`]).
+pub fn run(
+    pool: &ThreadPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+) -> Result<ExecStats, RunError> {
     crate::driver::run_once(pool, built, ctx)
 }
 
@@ -856,7 +910,7 @@ mod tests {
             alpha: 1.0,
         }];
         let graph = build_task_graph(&dag, &ops, &ctx);
-        execute_graph(&pool, graph);
+        execute_graph(&pool, graph).unwrap();
         assert!(c.max_abs_diff(&expected) < 1e-12);
     }
 
@@ -890,14 +944,14 @@ mod tests {
             let mut am = a.clone();
             let mut bm = b.clone();
             let ctx = ExecContext::from_matrices(&mut [&mut c_boxed, &mut am, &mut bm]);
-            execute_graph(&pool, build_task_graph(&dag, &ops, &ctx));
+            execute_graph(&pool, build_task_graph(&dag, &ops, &ctx)).unwrap();
         }
         let mut c_compiled = Matrix::zeros(16, 16);
         {
             let mut am = a.clone();
             let mut bm = b.clone();
             let ctx = ExecContext::from_matrices(&mut [&mut c_compiled, &mut am, &mut bm]);
-            compile_algorithm(&dag, &ops, &ctx).execute(&pool);
+            compile_algorithm(&dag, &ops, &ctx).execute(&pool).unwrap();
         }
         assert_eq!(c_boxed.max_abs_diff(&c_compiled), 0.0);
     }

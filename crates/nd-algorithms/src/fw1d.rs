@@ -286,7 +286,7 @@ pub fn fw1d_parallel(pool: &ThreadPool, initial: &[f64], mode: Mode, base: usize
         table[(0, i)] = initial[i];
     }
     let ctx = ExecContext::from_matrices(&mut [&mut table]);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
     table
 }
 

@@ -124,7 +124,7 @@ pub fn apsp_parallel(pool: &ThreadPool, d: &mut Matrix, mode: Mode, base: usize)
     assert_eq!(d.cols(), n);
     let built = build_fw2d(n, base, mode);
     let ctx = ExecContext::from_matrices(&mut [d]);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
 }
 
 #[cfg(test)]

@@ -212,7 +212,7 @@ pub fn lcs_parallel(
     let built = build_lcs(n, base, mode);
     let mut table = Matrix::zeros(n + 1, n + 1);
     let ctx = ExecContext::with_sequences(&mut [&mut table], s.to_vec(), t.to_vec());
-    let stats = run(pool, &built, &ctx);
+    let stats = run(pool, &built, &ctx).expect("algorithm strand panicked");
     (table[(n, n)] as u64, stats)
 }
 

@@ -190,7 +190,7 @@ pub fn lu_parallel(pool: &ThreadPool, a: &mut Matrix, mode: Mode, base: usize) -
     assert_eq!(a.cols(), n);
     let built = build_lu(n, base, mode);
     let ctx = ExecContext::with_pivots(&mut [a], n);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
     // SAFETY: the execution above has completed; no writer holds the store.
     unsafe { assemble_global_pivots(&ctx.pivots, n, base) }
 }

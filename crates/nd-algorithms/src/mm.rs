@@ -225,7 +225,7 @@ pub fn multiply_parallel(
     let mut a = a.clone();
     let mut b = b.clone();
     let ctx = ExecContext::from_matrices(&mut [c, &mut a, &mut b]);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
 }
 
 #[cfg(test)]
@@ -338,7 +338,7 @@ mod tests {
         let mut am = a.clone();
         let mut bm = b.clone();
         let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
-        run(&pool, &built, &ctx);
+        run(&pool, &built, &ctx).expect("algorithm strand panicked");
         assert!(c.max_abs_diff(&expected) < 1e-9);
     }
 }

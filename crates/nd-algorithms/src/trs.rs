@@ -270,7 +270,7 @@ pub fn solve_parallel(pool: &ThreadPool, t: &Matrix, b: &mut Matrix, mode: Mode,
     let built = build_trs(n, base, mode);
     let mut tm = t.clone();
     let ctx = ExecContext::from_matrices(&mut [&mut tm, b]);
-    run(pool, &built, &ctx);
+    run(pool, &built, &ctx).expect("algorithm strand panicked");
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! a DRS-built graph (MM and LCS), and E19: the `nd-trace` subsystem — the
 //! runtime cost of toggling tracing on, and the derived scheduler metrics of
 //! one traced anchored MM (written to the `trace` section of
-//! `BENCH_exec.json`).
+//! `BENCH_exec.json`), and E20: the fault paths — drain-to-latch cancellation
+//! latency after a strand panic, `reset()` + rerun recovery, the trip latency
+//! of a blown wall-clock deadline, and the admission layer's shed accounting
+//! under a synthetic burst (the `faults` section).
 //!
 //! Both executors run the *same* deterministic ND task graph; only the
 //! scheduling differs: the flat baseline steals blindly in ring order (but its
@@ -54,10 +57,13 @@ use nd_pmh::machine::MachineTree;
 use nd_pmh::topology::detect_host;
 use nd_runtime::dataflow::{CompiledGraph, TaskTable};
 use nd_runtime::pool::with_pack_scratch;
-use nd_runtime::ThreadPool;
+use nd_runtime::{
+    AdmissionConfig, OverloadPolicy, Priority, RunBudget, RunError, SubmitOutcome, ThreadPool,
+};
 use nd_trace::{metrics_summary_json, TraceConfig, TraceSession};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Measurement {
     best_seconds: f64,
@@ -155,7 +161,7 @@ fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> Schedu
     let tasks = (layers * width) as usize;
     let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
     let (best, _) = time_reps(reps.max(3), || {
-        graph.execute(&pool, &table);
+        graph.execute(&pool, &table).expect("timed run");
     });
     let per_task_ns = best * 1e9 / tasks as f64;
     let tasks_per_sec = tasks as f64 / best;
@@ -169,7 +175,7 @@ fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> Schedu
         Vec::new(),
     ));
     let (chain_best, _) = time_reps(reps.max(3), || {
-        chain.execute(&pool, &table);
+        chain.execute(&pool, &table).expect("timed run");
     });
     let chain_task_ns = chain_best * 1e9 / chain_len as f64;
 
@@ -187,12 +193,12 @@ fn bench_scheduler(workers: usize, n: usize, base: usize, reps: usize) -> Schedu
     let (_, rebuild_seconds) = time_reps(reps, || {
         let built = build_mm(n, fine_base, Mode::Nd, 1.0);
         let compiled = compile_algorithm(&built.dag, &built.ops, &ctx);
-        compiled.execute(&pool);
+        compiled.execute(&pool).expect("timed run");
     });
     let built = build_mm(n, fine_base, Mode::Nd, 1.0);
     let compiled = compile_algorithm(&built.dag, &built.ops, &ctx);
     let (_, reuse_seconds) = time_reps(reps, || {
-        compiled.execute(&pool);
+        compiled.execute(&pool).expect("timed run");
     });
 
     SchedulerBench {
@@ -272,13 +278,13 @@ fn bench_trace(
     }
     let tasks = (layers * width) as usize;
     let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
-    graph.execute(&pool, &table); // warm up
+    graph.execute(&pool, &table).expect("warm-up run"); // warm up
     let (disabled_best, _) = time_reps(reps.max(3), || {
-        graph.execute(&pool, &table);
+        graph.execute(&pool, &table).expect("timed run");
     });
     let session = TraceSession::start(pool.tracer(), TraceConfig::from_env());
     let (enabled_best, _) = time_reps(reps.max(3), || {
-        graph.execute(&pool, &table);
+        graph.execute(&pool, &table).expect("timed run");
     });
     let trace = session.finish();
     let disabled_per_task_ns = disabled_best * 1e9 / tasks as f64;
@@ -344,13 +350,15 @@ fn bench_algorithm_reuse(
     let (_, rebuild_seconds) = time_reps(reps, || {
         reinit();
         let built = build();
-        driver::compile(&built, ctx).execute(pool);
+        driver::compile(&built, ctx)
+            .execute(pool)
+            .expect("timed run");
     });
     let built = build();
     let compiled = driver::compile(&built, ctx);
     let (_, reuse_seconds) = time_reps(reps, || {
         reinit();
-        compiled.execute(pool);
+        compiled.execute(pool).expect("timed run");
     });
     ReuseBench {
         algorithm,
@@ -704,7 +712,7 @@ fn bench_alg_on_layout(
             }
         }
         let start = Instant::now();
-        compiled.execute(pool);
+        compiled.execute(pool).expect("timed run");
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
@@ -765,6 +773,198 @@ fn measure_anchored(
         mean_seconds,
         cross_cluster_steals: cross_steals(&delta),
         total_steals: delta.iter().sum(),
+    }
+}
+
+/// A strand table that panics at one task while armed and does nothing
+/// otherwise — the natural-panic probe for the fault-path measurements (no
+/// `chaos` feature involved: the recovery machinery is always on).
+struct FaultProbeTable {
+    boom: u32,
+    armed: AtomicBool,
+}
+
+impl TaskTable for FaultProbeTable {
+    fn run_task(&self, task: u32) {
+        if task == self.boom && self.armed.load(Ordering::Relaxed) {
+            panic!("bench: injected fault at strand {task}");
+        }
+    }
+}
+
+/// E20: the robustness layer's costs.  A mid-run strand panic cancels the run
+/// by *draining* to the completion latch — every remaining strand is claimed
+/// but skipped — so a faulted run should return no slower than a clean one
+/// (`drain_ratio` ≈ 1.0 or below is the claim; the fault path never adds a
+/// second traversal).  `recovery_seconds` is the documented recovery
+/// (`reset()` + rerun) back to a complete result, `deadline_trip_seconds` is
+/// how long a run whose wall-clock budget is already blown takes to notice at
+/// a claim boundary and drain out, and the `shed_*` numbers check the
+/// admission layer's exact accounting under a burst far above its high-water
+/// mark.  All of it runs without the `chaos` feature: the panic here is a
+/// natural one, so this section also proves the fault path needs no harness.
+struct FaultBench {
+    graph_tasks: usize,
+    /// Best clean execution of the probe graph (all fault machinery armed but
+    /// unused — this is the happy-path cost of the fallible executor).
+    clean_seconds: f64,
+    /// Best faulted execution: strand panic at mid-graph, drain, `Err` return.
+    drain_seconds: f64,
+    /// `drain_seconds / clean_seconds`.
+    drain_ratio: f64,
+    /// Best `reset()` + clean rerun after a faulted run.
+    recovery_seconds: f64,
+    /// Best time for a run with an already-blown deadline to drain out.
+    deadline_trip_seconds: f64,
+    /// Burst size thrown at the shedding admission layer.
+    shed_burst: usize,
+    shed_admitted: u64,
+    shed_refused: u64,
+}
+
+impl FaultBench {
+    fn json(&self) -> String {
+        format!(
+            "{{\"graph_tasks\":{},\"clean_seconds\":{:.6},\"drain_seconds\":{:.6},\
+\"drain_ratio\":{:.3},\"recovery_seconds\":{:.6},\"deadline_trip_seconds\":{:.6},\
+\"shed_burst\":{},\"shed_admitted\":{},\"shed_refused\":{}}}",
+            self.graph_tasks,
+            self.clean_seconds,
+            self.drain_seconds,
+            self.drain_ratio,
+            self.recovery_seconds,
+            self.deadline_trip_seconds,
+            self.shed_burst,
+            self.shed_admitted,
+            self.shed_refused
+        )
+    }
+}
+
+/// Measures the fault paths on the same wide layered empty-task DAG the
+/// scheduler microbenchmarks use, with the bomb planted mid-graph.
+fn bench_faults(workers: usize, reps: usize) -> FaultBench {
+    let pool = ThreadPool::new(workers);
+    let (layers, width) = (32u32, 128u32);
+    let mut edges = Vec::new();
+    for l in 1..layers {
+        for w in 0..width {
+            let task = l * width + w;
+            edges.push(((l - 1) * width + w, task));
+            edges.push(((l - 1) * width + (w + 1) % width, task));
+        }
+    }
+    let tasks = (layers * width) as usize;
+    let boom = (layers / 2) * width; // first strand of the middle layer
+    let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
+    let table = Arc::new(FaultProbeTable {
+        boom,
+        armed: AtomicBool::new(false),
+    });
+    let reps = reps.max(3);
+
+    // Happy path through the fallible executor.
+    let (clean_seconds, _) = time_reps(reps, || {
+        graph.execute(&pool, &table).expect("clean run");
+    });
+
+    // The injected panics below would each print a backtrace through the
+    // default hook — silence it so drain_seconds times the drain, not stderr.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Drain latency: arm, fault, Err — reset between reps (documented
+    // recovery; the drain already restores the counters, reset() is the
+    // belt-and-suspenders the API prescribes).
+    table.armed.store(true, Ordering::Relaxed);
+    let (drain_seconds, _) = time_reps(reps, || {
+        graph
+            .execute(&pool, &table)
+            .expect_err("armed probe must fault");
+        graph.reset();
+    });
+
+    // Recovery: fault the graph, then time only reset + disarmed rerun.
+    let mut recovery_best = f64::INFINITY;
+    for _ in 0..reps {
+        table.armed.store(true, Ordering::Relaxed);
+        graph
+            .execute(&pool, &table)
+            .expect_err("armed probe must fault");
+        table.armed.store(false, Ordering::Relaxed);
+        let start = Instant::now();
+        graph.reset();
+        graph.execute(&pool, &table).expect("recovery run");
+        recovery_best = recovery_best.min(start.elapsed().as_secs_f64());
+    }
+    std::panic::set_hook(prev_hook);
+
+    // Deadline trip: the budget is blown before the first claim; the run must
+    // notice at a claim boundary and drain straight out.
+    table.armed.store(false, Ordering::Relaxed);
+    let budget = RunBudget::with_deadline(Duration::from_nanos(1));
+    let mut deadline_best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let err = graph
+            .execute_with(&pool, &table, &budget)
+            .expect_err("blown budget must trip");
+        assert!(
+            matches!(err, RunError::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {err:?}"
+        );
+        deadline_best = deadline_best.min(start.elapsed().as_secs_f64());
+        graph.reset();
+    }
+
+    // Shedding: a gated burst against a small high-water mark; counts must be
+    // exact and every admitted job must run.
+    let shed_burst = 256usize;
+    let high_water = 4usize;
+    let shed_pool = ThreadPool::with_admission(
+        workers,
+        AdmissionConfig::new(high_water, OverloadPolicy::Shed),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let ran = Arc::new(AtomicU64::new(0));
+    let mut admitted = 0u64;
+    for _ in 0..shed_burst {
+        let gate = Arc::clone(&gate);
+        let ran = Arc::clone(&ran);
+        let outcome = shed_pool.submit(
+            Priority::High,
+            Box::new(move |_| {
+                while !gate.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        if matches!(outcome, SubmitOutcome::Admitted) {
+            admitted += 1;
+        }
+    }
+    gate.store(true, Ordering::Relaxed);
+    while ran.load(Ordering::Relaxed) < admitted {
+        std::thread::yield_now();
+    }
+    let shed_refused = shed_pool.jobs_shed();
+    assert_eq!(
+        admitted + shed_refused,
+        shed_burst as u64,
+        "shed accounting"
+    );
+
+    FaultBench {
+        graph_tasks: tasks,
+        clean_seconds,
+        drain_seconds,
+        drain_ratio: drain_seconds / clean_seconds,
+        recovery_seconds: recovery_best,
+        deadline_trip_seconds: deadline_best,
+        shed_burst,
+        shed_admitted: admitted,
+        shed_refused,
     }
 }
 
@@ -1112,12 +1312,21 @@ fn main() {
 \"workers\":{workers},\"trace\":{trace_json}}}"
     );
 
+    // ------------------------------------------------- faults (E20) ----
+    eprintln!("exp_exec: fault paths (drain latency, recovery, deadline, shedding)");
+    let fault_bench = bench_faults(workers, reps);
+    let faults_json = fault_bench.json();
+    println!(
+        "{{\"experiment\":\"exp_exec\",\"section\":\"faults\",\
+\"workers\":{workers},\"faults\":{faults_json}}}"
+    );
+
     let file = format!(
         "{{\n  \"experiment\": \"exp_exec\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \
 \"workers\": {workers},\n  \"layout\": \"{layout}\",\n  \"measurements\": [\n    {}\n  ],\n  \
 \"layouts\": {{\n    \"gemm\": [\n      {}\n    ],\n    \"algorithms\": [\n      {}\n    ]\n  }},\n  \
 \"algorithm_reuse\": [\n    {}\n  ],\n  \"drs_frontend\": [\n    {}\n  ],\n  \
-\"scheduler\": {sched_json},\n  \"trace\": {trace_json}\n}}\n",
+\"scheduler\": {sched_json},\n  \"trace\": {trace_json},\n  \"faults\": {faults_json}\n}}\n",
         measurements.join(",\n    "),
         gemm_layout.join(",\n      "),
         alg_layout.join(",\n      "),

@@ -42,6 +42,7 @@ use nd_linalg::getrf::PivotStore;
 use nd_linalg::Matrix;
 use nd_pmh::machine::CacheId;
 use nd_runtime::dataflow::{ExecStats, Placement};
+use nd_runtime::fault::{RunBudget, RunError};
 use nd_trace::{Trace, TraceConfig, TraceSession};
 use std::sync::Arc;
 
@@ -68,18 +69,39 @@ impl HierExecStats {
 
 /// Executes a built algorithm on the hierarchical pool under the anchoring
 /// discipline, blocking until every task has run.
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a strand panics; the run drains, the
+/// graph is left reset, and the pool stays usable (see
+/// [`CompiledAlgorithm`](nd_algorithms::exec::CompiledAlgorithm::execute)).
 pub fn run_anchored(
     pool: &HierarchicalPool,
     built: &BuiltAlgorithm,
     ctx: &ExecContext,
     cfg: &AnchorConfig,
-) -> HierExecStats {
+) -> Result<HierExecStats, RunError> {
+    run_anchored_with(pool, built, ctx, cfg, &RunBudget::UNBOUNDED)
+}
+
+/// Like [`run_anchored`], with a per-run [`RunBudget`] (wall-clock deadline
+/// checked at every strand claim).
+///
+/// # Errors
+/// Returns [`RunError::DeadlineExceeded`] if the budget expires mid-run, or
+/// [`RunError::Panicked`] if a strand panics.
+pub fn run_anchored_with(
+    pool: &HierarchicalPool,
+    built: &BuiltAlgorithm,
+    ctx: &ExecContext,
+    cfg: &AnchorConfig,
+    budget: &RunBudget,
+) -> Result<HierExecStats, RunError> {
     let anchoring: Anchoring = compute_anchoring(&built.tree, &built.dag, pool.machine(), cfg);
     let compiled = driver::compile_placed(built, ctx, anchoring.placement);
     let before = pool.steals_by_distance();
-    let exec = compiled.execute(pool.pool());
+    let exec = compiled.execute_with(pool.pool(), budget)?;
     let after = pool.steals_by_distance();
-    HierExecStats {
+    Ok(HierExecStats {
         exec,
         anchors_per_level: anchoring.anchors_per_level,
         overflow_events: anchoring.overflow_events,
@@ -88,7 +110,7 @@ pub fn run_anchored(
             .zip(before.iter())
             .map(|(a, b)| a - b)
             .collect(),
-    }
+    })
 }
 
 /// The anchored counterpart of [`driver::run_once_traced`]: computes the
@@ -100,12 +122,17 @@ pub fn run_anchored(
 /// that group — so exported spans can be read against the paper's `σ·M_i`
 /// anchoring discipline (which PMH subtree a strand was pinned to, and at
 /// which level of the hierarchy).
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a strand panics.  The trace is finished
+/// and returned either way — a faulted run's trace shows the caught fault
+/// inline.
 pub fn run_anchored_traced(
     pool: &HierarchicalPool,
     built: &BuiltAlgorithm,
     ctx: &ExecContext,
     cfg: &AnchorConfig,
-) -> (HierExecStats, Trace) {
+) -> (Result<HierExecStats, RunError>, Trace) {
     let anchoring: Anchoring = compute_anchoring(&built.tree, &built.dag, pool.machine(), cfg);
     let machine = pool.machine();
     let (anchor_groups, anchor_levels): (Vec<u32>, Vec<u8>) = anchoring
@@ -125,7 +152,7 @@ pub fn run_anchored_traced(
     let exec = compiled.execute(pool.pool());
     let trace = session.finish_with_meta(meta);
     let after = pool.steals_by_distance();
-    let stats = HierExecStats {
+    let stats = exec.map(|exec| HierExecStats {
         exec,
         anchors_per_level: anchoring.anchors_per_level,
         overflow_events: anchoring.overflow_events,
@@ -134,7 +161,7 @@ pub fn run_anchored_traced(
             .zip(before.iter())
             .map(|(a, b)| a - b)
             .collect(),
-    };
+    });
     (stats, trace)
 }
 
@@ -155,7 +182,7 @@ pub fn run_anchored_on_layout(
     cfg: &AnchorConfig,
 ) -> (HierExecStats, Arc<PivotStore>) {
     let (tiles, ctx) = driver::bind_layout(mats, tile, layout, extras);
-    let stats = run_anchored(pool, built, &ctx, cfg);
+    let stats = run_anchored(pool, built, &ctx, cfg).expect("algorithm strand panicked");
     for (tile_mat, m) in tiles.iter().zip(mats.iter_mut()) {
         tile_mat.unpack_into(m);
     }
@@ -210,7 +237,7 @@ pub fn multiply_anchored(
     let mut a = a.clone();
     let mut b = b.clone();
     let ctx = ExecContext::from_matrices(&mut [c, &mut a, &mut b]);
-    run_anchored(pool, &built, &ctx, cfg)
+    run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked")
 }
 
 /// Solves `T·X = B` in place in `b` (lower-triangular `t`) on the anchored
@@ -229,7 +256,7 @@ pub fn solve_anchored(
     let built = trs::build_trs(n, base, Mode::Nd);
     let mut tm = t.clone();
     let ctx = ExecContext::from_matrices(&mut [&mut tm, b]);
-    run_anchored(pool, &built, &ctx, cfg)
+    run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked")
 }
 
 /// Cholesky-factors `a` in place (lower triangle) on the anchored executor.
@@ -243,7 +270,7 @@ pub fn cholesky_anchored(
     assert_eq!(a.cols(), n);
     let built = cholesky::build_cholesky(n, base, Mode::Nd);
     let ctx = ExecContext::from_matrices(&mut [a]);
-    let stats = run_anchored(pool, &built, &ctx, cfg);
+    let stats = run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked");
     a.zero_upper_triangle();
     stats
 }
@@ -264,7 +291,7 @@ pub fn lu_anchored(
     assert_eq!(a.cols(), n);
     let built = lu::build_lu(n, base, Mode::Nd);
     let ctx = ExecContext::with_pivots(&mut [a], n);
-    let stats = run_anchored(pool, &built, &ctx, cfg);
+    let stats = run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked");
     // SAFETY: the anchored execution above has completed; no writer holds
     // the store.
     let piv = unsafe { lu::assemble_global_pivots(&ctx.pivots, n, base) };
@@ -283,7 +310,7 @@ pub fn apsp_anchored(
     assert_eq!(d.cols(), n);
     let built = fw2d::build_fw2d(n, base, Mode::Nd);
     let ctx = ExecContext::from_matrices(&mut [d]);
-    run_anchored(pool, &built, &ctx, cfg)
+    run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked")
 }
 
 /// Runs the 1-D Floyd–Warshall recurrence on the anchored executor from the
@@ -304,7 +331,7 @@ pub fn fw1d_anchored(
         table[(0, i)] = initial[i];
     }
     let ctx = ExecContext::from_matrices(&mut [&mut table]);
-    let stats = run_anchored(pool, &built, &ctx, cfg);
+    let stats = run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked");
     (table, stats)
 }
 
@@ -325,7 +352,7 @@ pub fn lcs_anchored(
     let built = lcs::build_lcs(n, base, Mode::Nd);
     let mut table = Matrix::zeros(n + 1, n + 1);
     let ctx = ExecContext::with_sequences(&mut [&mut table], s.to_vec(), t.to_vec());
-    let stats = run_anchored(pool, &built, &ctx, cfg);
+    let stats = run_anchored(pool, &built, &ctx, cfg).expect("algorithm strand panicked");
     (table[(n, n)] as u64, stats)
 }
 

@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run --release -p nd-runtime --bin sched_overhead            # trace feature in, disabled
 //! cargo run --release -p nd-runtime --bin sched_overhead --no-default-features
+//! cargo run --release -p nd-runtime --bin sched_overhead --features chaos   # chaos cfg-points in, disarmed
 //! ```
 //!
 //! The acceptance bound: the two `per_task_ns` values agree within noise —
@@ -60,9 +61,9 @@ fn main() {
     }
     let tasks = (layers * width) as usize;
     let graph = Arc::new(CompiledGraph::from_edges(tasks, &edges, Vec::new()));
-    graph.execute(&pool, &table); // warm up deques and counters
+    graph.execute(&pool, &table).expect("warm-up run"); // warm up deques and counters
     let best = best_of(reps, || {
-        graph.execute(&pool, &table);
+        graph.execute(&pool, &table).expect("timed run");
     });
     let per_task_ns = best * 1e9 / tasks as f64;
 
@@ -74,16 +75,17 @@ fn main() {
         &chain_edges,
         Vec::new(),
     ));
-    chain.execute(&pool, &table);
+    chain.execute(&pool, &table).expect("warm-up run");
     let chain_best = best_of(reps, || {
-        chain.execute(&pool, &table);
+        chain.execute(&pool, &table).expect("warm-up run");
     });
     let chain_task_ns = chain_best * 1e9 / chain_len as f64;
 
     println!(
-        "{{\"trace_feature\": {}, \"workers\": {}, \"tasks\": {}, \"reps\": {}, \
-         \"per_task_ns\": {:.1}, \"chain_task_ns\": {:.1}}}",
+        "{{\"trace_feature\": {}, \"chaos_feature\": {}, \"workers\": {}, \"tasks\": {}, \
+         \"reps\": {}, \"per_task_ns\": {:.1}, \"chain_task_ns\": {:.1}}}",
         cfg!(feature = "trace"),
+        cfg!(feature = "chaos"),
         workers,
         tasks,
         reps,

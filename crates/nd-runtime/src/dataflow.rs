@@ -27,7 +27,7 @@
 //! 3. **Reset.**  Each task restores its own live counter from the stored initial
 //!    count the moment it is claimed, so when `execute` returns the graph is
 //!    already reset and can be executed again without rebuilding.  An explicit
-//!    [`CompiledGraph::reset`] exists for recovery after a panicked run.
+//!    [`CompiledGraph::reset`] exists for recovery after a faulted run.
 //!
 //! The whole lifecycle in a dozen lines:
 //!
@@ -49,12 +49,30 @@
 //! let mut compiled = graph.compile();
 //! // … execute any number of times: the graph auto-resets after every run.
 //! for round in 1..=3 {
-//!     let stats = compiled.execute(&pool);
+//!     let stats = compiled.execute(&pool).unwrap();
 //!     assert_eq!(stats.tasks, 2);
 //!     assert!(compiled.counters_are_reset());
 //!     assert_eq!(hits.load(Ordering::SeqCst), 2 * round);
 //! }
 //! ```
+//!
+//! # Faults: panics, deadlines, and the drain
+//!
+//! Every `execute` entry point returns `Result<…, RunError>` instead of
+//! hanging or aborting on failure.  A strand's panic is caught **at its
+//! execution site** (so the worker survives), converted into
+//! [`RunError::Panicked`], and the run is *cancelled*: later claims skip
+//! their work but still perform the full claim protocol — restore the
+//! counter, decrement successors, count the latch down — so the completion
+//! latch structurally reaches zero and the submitting thread gets its `Err`
+//! back with the counters already reset.  A [`RunBudget`] deadline
+//! (`execute_with`) is checked at the same claim boundaries and cancels the
+//! run the same way via [`RunError::DeadlineExceeded`].  Recovery after an
+//! `Err`: call [`CompiledGraph::reset`] (re-asserts counters, clears the
+//! in-flight guard), re-initialise any runtime data the faulted run may have
+//! half-written, and re-execute — the re-run is bit-identical to an
+//! unfaulted run (the chaos property tests prove this across the worker
+//! matrix).
 //!
 //! # Inline tail-execution
 //!
@@ -66,10 +84,13 @@
 //! intra-processor order.  When several successors become ready at once they are
 //! pushed onto the local deque as before, keeping them stealable for load balance.
 
+use crate::fault::{RunBudget, RunError, GENERIC_TASK_LABEL};
 use crate::latch::CountLatch;
 use crate::pool::{GraphTask, JobUnit, ThreadPool, WorkerCtx};
 use nd_trace::{EventKind, TraceEvent, EXEC_FLAG_INLINE, NO_TASK};
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -267,6 +288,104 @@ pub enum Placement {
 pub trait TaskTable: Send + Sync + 'static {
     /// Runs the work of task `task`.
     fn run_task(&self, task: u32);
+
+    /// A short static label for task `task`'s operation kind, carried by
+    /// [`RunError::Panicked`] so fault reports name the operation (e.g.
+    /// `"gemm"`) rather than just an index.  Tables without operation kinds
+    /// keep the generic default.
+    fn task_label(&self, task: u32) -> &'static str {
+        let _ = task;
+        GENERIC_TASK_LABEL
+    }
+}
+
+/// The per-run fault state: the cancellation flag every claim consults, the
+/// first-fault-wins error slot, and the armed deadline.
+///
+/// The deadline is stored as nanoseconds relative to a fixed `epoch`
+/// (`u64::MAX` = unbounded) so the hot-path check is one relaxed load and a
+/// compare — no `Instant` in an atomic.
+struct FaultCell {
+    /// Set on the first fault; claims in a cancelled run drain (full claim
+    /// protocol, no work).
+    cancelled: AtomicBool,
+    /// The first fault observed; later faults in the same run lose the race
+    /// and are dropped.
+    error: Mutex<Option<RunError>>,
+    /// Fixed time origin for the atomic deadline encoding.
+    epoch: Instant,
+    /// Nanoseconds from `epoch` to the current run's start.
+    armed_at_ns: AtomicU64,
+    /// Nanoseconds from `epoch` to the current run's deadline; `u64::MAX`
+    /// when unbounded.
+    deadline_ns: AtomicU64,
+}
+
+impl FaultCell {
+    fn new() -> Self {
+        FaultCell {
+            cancelled: AtomicBool::new(false),
+            error: Mutex::new(None),
+            epoch: Instant::now(),
+            armed_at_ns: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Re-arms the cell for a fresh run under `budget`.
+    fn arm(&self, budget: &RunBudget) {
+        *self.error.lock() = None;
+        self.cancelled.store(false, Ordering::Relaxed);
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        self.armed_at_ns.store(now, Ordering::Relaxed);
+        let deadline = budget
+            .deadline
+            .map(|d| now.saturating_add(d.as_nanos() as u64))
+            .unwrap_or(u64::MAX);
+        self.deadline_ns.store(deadline, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// `Some((deadline, elapsed))` if the armed deadline has passed.
+    #[inline]
+    fn deadline_blown(&self) -> Option<(Duration, Duration)> {
+        let deadline = self.deadline_ns.load(Ordering::Relaxed);
+        if deadline == u64::MAX {
+            return None;
+        }
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        if now <= deadline {
+            return None;
+        }
+        let armed = self.armed_at_ns.load(Ordering::Relaxed);
+        Some((
+            Duration::from_nanos(deadline - armed),
+            Duration::from_nanos(now.saturating_sub(armed)),
+        ))
+    }
+
+    /// Records `err` (first fault wins) and cancels the run.  Returns `true`
+    /// if this was the run's first fault.
+    fn fail(&self, err: RunError) -> bool {
+        let mut slot = self.error.lock();
+        let first = slot.is_none();
+        if first {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.cancelled.store(true, Ordering::Relaxed);
+        first
+    }
+
+    /// Takes the run's error, if any (called once the latch has released, so
+    /// all claims are complete).
+    fn take(&self) -> Option<RunError> {
+        self.error.lock().take()
+    }
 }
 
 /// A compiled task-graph topology: one CSR successor arena plus dependency
@@ -437,12 +556,33 @@ impl CompiledGraph {
     }
 
     /// Executes the graph on `pool`, dispatching every task through `table`,
-    /// and blocks until every task has run.  The graph is left reset, ready
-    /// for the next execution.
+    /// and blocks until every task has run.  On success the graph is left
+    /// reset, ready for the next execution; on a fault (a strand panicked)
+    /// the run is drained, the error returned, and [`CompiledGraph::reset`]
+    /// is the documented recovery (see the module docs).
     ///
     /// # Panics
     /// Panics if another execution of this graph is still in flight.
-    pub fn execute<T: TaskTable>(self: &Arc<Self>, pool: &ThreadPool, table: &Arc<T>) -> ExecStats {
+    pub fn execute<T: TaskTable>(
+        self: &Arc<Self>,
+        pool: &ThreadPool,
+        table: &Arc<T>,
+    ) -> Result<ExecStats, RunError> {
+        self.execute_with(pool, table, &RunBudget::UNBOUNDED)
+    }
+
+    /// [`CompiledGraph::execute`] under a [`RunBudget`]: a run that overstays
+    /// the budget's wall-clock deadline is cancelled at the next claim
+    /// boundary and drains into [`RunError::DeadlineExceeded`].
+    ///
+    /// # Panics
+    /// Panics if another execution of this graph is still in flight.
+    pub fn execute_with<T: TaskTable>(
+        self: &Arc<Self>,
+        pool: &ThreadPool,
+        table: &Arc<T>,
+        budget: &RunBudget,
+    ) -> Result<ExecStats, RunError> {
         let n = self.task_count();
         assert!(
             !self.in_flight.swap(true, Ordering::Acquire),
@@ -459,7 +599,9 @@ impl CompiledGraph {
             table: Arc::clone(table),
             latch: CountLatch::new(n),
             per_worker: (0..pool.num_threads()).map(|_| AtomicU64::new(0)).collect(),
+            fault: FaultCell::new(),
         });
+        run.fault.arm(budget);
 
         let run_id = if pool.trace_enabled() {
             let id = pool.tracer().next_run_id();
@@ -482,8 +624,11 @@ impl CompiledGraph {
         if let Some(id) = run_id {
             trace_run_boundary(pool, EventKind::RunEnd, id);
         }
+        if let Some(err) = run.fault.take() {
+            return Err(err);
+        }
 
-        ExecStats {
+        Ok(ExecStats {
             tasks: n,
             elapsed,
             tasks_per_worker: run
@@ -492,7 +637,7 @@ impl CompiledGraph {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             steals: pool.steals() - steals_before,
-        }
+        })
     }
 }
 
@@ -537,18 +682,35 @@ impl<T: TaskTable> PersistentRun<T> {
                 table: Arc::clone(table),
                 latch: CountLatch::new(0),
                 per_worker: (0..max_workers).map(|_| AtomicU64::new(0)).collect(),
+                fault: FaultCell::new(),
             }),
         }
     }
 
-    /// Executes the graph, blocking until every task has run.  The graph is
-    /// left reset, ready for the next call.  Performs no heap allocation
-    /// beyond what the pool's deques may grow on their first runs.
+    /// Executes the graph, blocking until every task has run.  On success
+    /// the graph is left reset, ready for the next call.  Performs no heap
+    /// allocation beyond what the pool's deques may grow on their first
+    /// runs.  On a fault the run drains into a [`RunError`]; recover with
+    /// [`CompiledGraph::reset`] and re-execute.
     ///
     /// # Panics
     /// Panics if another execution of the graph is in flight, or if `pool`
     /// has more workers than this run state was built for.
-    pub fn execute(&self, pool: &ThreadPool) -> SteadyStats {
+    pub fn execute(&self, pool: &ThreadPool) -> Result<SteadyStats, RunError> {
+        self.execute_with(pool, &RunBudget::UNBOUNDED)
+    }
+
+    /// [`PersistentRun::execute`] under a [`RunBudget`] (see
+    /// [`CompiledGraph::execute_with`]).
+    ///
+    /// # Panics
+    /// Panics if another execution of the graph is in flight, or if `pool`
+    /// has more workers than this run state was built for.
+    pub fn execute_with(
+        &self,
+        pool: &ThreadPool,
+        budget: &RunBudget,
+    ) -> Result<SteadyStats, RunError> {
         let run = &self.run;
         let g = &run.graph;
         let n = g.task_count();
@@ -564,6 +726,7 @@ impl<T: TaskTable> PersistentRun<T> {
         );
         debug_assert!(g.counters_are_reset());
         run.latch.reset(n);
+        run.fault.arm(budget);
         let run_id = if pool.trace_enabled() {
             let tracer = pool.tracer();
             let id = tracer.next_run_id();
@@ -605,11 +768,14 @@ impl<T: TaskTable> PersistentRun<T> {
         if let Some(id) = run_id {
             trace_run_boundary(pool, EventKind::RunEnd, id);
         }
-        SteadyStats {
+        if let Some(err) = run.fault.take() {
+            return Err(err);
+        }
+        Ok(SteadyStats {
             tasks: n,
             elapsed,
             steals: pool.steals() - steals_before,
-        }
+        })
     }
 
     /// Tasks executed per worker in the most recent run (allocates the
@@ -634,6 +800,7 @@ struct ActiveRun<T: TaskTable> {
     table: Arc<T>,
     latch: CountLatch,
     per_worker: Vec<AtomicU64>,
+    fault: FaultCell,
 }
 
 impl<T: TaskTable> ActiveRun<T> {
@@ -655,6 +822,84 @@ impl<T: TaskTable> ActiveRun<T> {
             Placement::Anywhere => true,
         }
     }
+
+    /// Runs task `id`'s work inside a catch scope (recording the usual
+    /// claim/exec trace events around it).  The chaos panic injection lives
+    /// inside the scope, so injected faults take exactly the real fault path.
+    #[inline]
+    fn exec_one(
+        &self,
+        id: u32,
+        ctx: &WorkerCtx<'_>,
+        steal_wire: u16,
+        exec_flags: u32,
+    ) -> std::thread::Result<()> {
+        let work = || {
+            if ctx.chaos_should_panic(id) {
+                panic!("chaos: injected panic at strand {id}");
+            }
+            self.table.run_task(id);
+        };
+        if ctx.trace_enabled() {
+            let tracer = ctx.tracer();
+            let worker = ctx.worker_index;
+            let t0 = tracer.now_ns();
+            tracer.record(
+                worker,
+                &TraceEvent {
+                    kind: EventKind::Claim,
+                    worker: worker as u32,
+                    task: id,
+                    t0_ns: t0,
+                    t1_ns: t0,
+                    a: 0,
+                    b: 0,
+                },
+            );
+            let result = catch_unwind(AssertUnwindSafe(work));
+            // The span is recorded even when the work panicked: the time up
+            // to the unwind is real, and Perfetto shows the fault inline.
+            tracer.record(
+                worker,
+                &TraceEvent {
+                    kind: EventKind::Exec,
+                    worker: worker as u32,
+                    task: id,
+                    t0_ns: t0,
+                    t1_ns: tracer.now_ns(),
+                    a: steal_wire,
+                    b: exec_flags,
+                },
+            );
+            result
+        } else {
+            catch_unwind(AssertUnwindSafe(work))
+        }
+    }
+
+    /// Records `err` as the run's fault (first fault wins) and cancels the
+    /// rest of the run; emits a trace `Fault` event for the winning fault.
+    #[cold]
+    fn record_fault(&self, err: RunError, task: u32, ctx: &WorkerCtx<'_>) {
+        let kind_wire = err.kind_wire();
+        if self.fault.fail(err) && ctx.trace_enabled() {
+            let tracer = ctx.tracer();
+            let worker = ctx.worker_index;
+            let now = tracer.now_ns();
+            tracer.record(
+                worker,
+                &TraceEvent {
+                    kind: EventKind::Fault,
+                    worker: worker as u32,
+                    task,
+                    t0_ns: now,
+                    t1_ns: now,
+                    a: kind_wire,
+                    b: 0,
+                },
+            );
+        }
+    }
 }
 
 impl<T: TaskTable> GraphTask for ActiveRun<T> {
@@ -671,39 +916,43 @@ impl<T: TaskTable> GraphTask for ActiveRun<T> {
             // again until the *next* execution, which cannot start before this
             // one completes.  This is what makes the graph self-resetting.
             g.pending[id as usize].store(g.initial_preds[id as usize], Ordering::Relaxed);
-            if ctx.trace_enabled() {
-                let tracer = ctx.tracer();
-                let worker = ctx.worker_index;
-                let t0 = tracer.now_ns();
-                tracer.record(
-                    worker,
-                    &TraceEvent {
-                        kind: EventKind::Claim,
-                        worker: worker as u32,
-                        task: id,
-                        t0_ns: t0,
-                        t1_ns: t0,
-                        a: 0,
-                        b: 0,
-                    },
-                );
-                self.table.run_task(id);
-                tracer.record(
-                    worker,
-                    &TraceEvent {
-                        kind: EventKind::Exec,
-                        worker: worker as u32,
-                        task: id,
-                        t0_ns: t0,
-                        t1_ns: tracer.now_ns(),
-                        a: steal_wire,
-                        b: exec_flags,
-                    },
-                );
-            } else {
-                self.table.run_task(id);
+            // The claim boundary is also the fault boundary: a cancelled run
+            // *drains* — every remaining task is still claimed exactly once
+            // and performs full successor/latch bookkeeping below, just
+            // without running its work — so the latch structurally reaches
+            // zero and `execute` returns the error instead of hanging.
+            let mut live = !self.fault.cancelled();
+            if live {
+                if let Some((deadline, elapsed)) = self.fault.deadline_blown() {
+                    self.record_fault(
+                        RunError::DeadlineExceeded { deadline, elapsed },
+                        NO_TASK,
+                        ctx,
+                    );
+                    live = false;
+                }
             }
-            self.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
+            if live {
+                match self.exec_one(id, ctx, steal_wire, exec_flags) {
+                    Ok(()) => {
+                        self.per_worker[ctx.worker_index].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        // The unwind stopped here: the worker survives, the
+                        // fault becomes typed data, the run drains.
+                        ctx.note_panicked();
+                        self.record_fault(
+                            RunError::Panicked {
+                                task: id,
+                                op_kind: self.table.task_label(id),
+                                payload: RunError::payload_string(&*payload),
+                            },
+                            id,
+                            ctx,
+                        );
+                    }
+                }
+            }
 
             let mut first_ready = None;
             let mut ready = 0u32;
@@ -780,8 +1029,26 @@ impl ReusableGraph {
     ///
     /// Takes `&mut self` so two executions of the same graph (which would run
     /// the same `FnMut` closures concurrently) cannot overlap.
-    pub fn execute(&mut self, pool: &ThreadPool) -> ExecStats {
+    ///
+    /// # Errors
+    /// Returns the run's first [`RunError`] if a task panicked; the remaining
+    /// tasks are drained without running and the graph is left reset.
+    pub fn execute(&mut self, pool: &ThreadPool) -> Result<ExecStats, RunError> {
         self.graph.execute(pool, &self.table)
+    }
+
+    /// Like [`ReusableGraph::execute`], but with a per-run [`RunBudget`]
+    /// (wall-clock deadline checked at every task claim).
+    ///
+    /// # Errors
+    /// Returns [`RunError::DeadlineExceeded`] if the budget expires mid-run,
+    /// or [`RunError::Panicked`] if a task panics.
+    pub fn execute_with(
+        &mut self,
+        pool: &ThreadPool,
+        budget: &RunBudget,
+    ) -> Result<ExecStats, RunError> {
+        self.graph.execute_with(pool, &self.table, budget)
     }
 
     /// Number of tasks.
@@ -814,7 +1081,11 @@ impl ReusableGraph {
 ///
 /// # Panics
 /// Panics if the graph contains a dependency cycle (which could never complete).
-pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a task panics; the run drains and the
+/// error carries the panic payload.
+pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> Result<ExecStats, RunError> {
     execute_graph_placed(pool, graph, Vec::new())
 }
 
@@ -829,11 +1100,15 @@ pub fn execute_graph(pool: &ThreadPool, graph: TaskGraph) -> ExecStats {
 /// # Panics
 /// Panics if the graph is cyclic, or if `placement` is non-empty and its
 /// length differs from the task count.
+///
+/// # Errors
+/// Returns [`RunError::Panicked`] if a task panics; the run drains and the
+/// error carries the panic payload.
 pub fn execute_graph_placed(
     pool: &ThreadPool,
     graph: TaskGraph,
     placement: Vec<Placement>,
-) -> ExecStats {
+) -> Result<ExecStats, RunError> {
     graph.compile_placed(placement).execute(pool)
 }
 
@@ -850,7 +1125,7 @@ mod tests {
     #[test]
     fn empty_graph_returns_immediately() {
         let p = pool();
-        let stats = execute_graph(&p, TaskGraph::new());
+        let stats = execute_graph(&p, TaskGraph::new()).unwrap();
         assert_eq!(stats.tasks, 0);
     }
 
@@ -871,7 +1146,7 @@ mod tests {
         g.add_dependency(a, c);
         g.add_dependency(b, d);
         g.add_dependency(c, d);
-        let stats = execute_graph(&p, g);
+        let stats = execute_graph(&p, g).unwrap();
         assert_eq!(stats.tasks, 4);
         let order = order.lock();
         let pos = |x: &str| order.iter().position(|&o| o == x).unwrap();
@@ -903,7 +1178,7 @@ mod tests {
             }
         }
         assert!(g.is_acyclic());
-        let stats = execute_graph(&p, g);
+        let stats = execute_graph(&p, g).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 500);
         assert_eq!(stats.tasks, 500);
         assert_eq!(stats.tasks_per_worker.iter().sum::<u64>(), 500);
@@ -924,7 +1199,7 @@ mod tests {
             }
             prev = Some(id);
         }
-        execute_graph(&p, g);
+        execute_graph(&p, g).unwrap();
         let log = log.lock();
         assert_eq!(*log, (0..n).collect::<Vec<_>>());
     }
@@ -942,7 +1217,7 @@ mod tests {
                 std::hint::black_box(x);
             });
         }
-        let stats = execute_graph(&p, g);
+        let stats = execute_graph(&p, g).unwrap();
         let busy_workers = stats.tasks_per_worker.iter().filter(|&&c| c > 0).count();
         assert!(
             busy_workers >= 2,
@@ -988,7 +1263,7 @@ mod tests {
             for w in prev_ids.windows(2) {
                 g.add_dependency(w[0], w[1]);
             }
-            execute_graph(&p, g);
+            execute_graph(&p, g).unwrap();
             assert_eq!(counter.load(Ordering::SeqCst), 20, "round {round}");
         }
     }
@@ -1012,7 +1287,7 @@ mod tests {
         let mut compiled = g.compile();
         assert!(compiled.counters_are_reset());
         for round in 1..=3 {
-            let stats = compiled.execute(&p);
+            let stats = compiled.execute(&p).unwrap();
             assert_eq!(stats.tasks, 64, "round {round}");
             assert_eq!(counter.load(Ordering::SeqCst), 64 * round, "round {round}");
             assert!(
@@ -1045,7 +1320,7 @@ mod tests {
         assert_eq!(graph.edge_count(), edges.len());
         let table = Arc::new(Marks((0..n).map(|_| AtomicUsize::new(0)).collect()));
         for round in 1..=3 {
-            let stats = graph.execute(&p, &table);
+            let stats = graph.execute(&p, &table).unwrap();
             assert_eq!(stats.tasks, n as usize);
             assert!(graph.counters_are_reset());
             assert!(
@@ -1070,7 +1345,7 @@ mod tests {
         let table = Arc::new(Marks((0..n).map(|_| AtomicUsize::new(0)).collect()));
         let runner = PersistentRun::new(&graph, &table, p.num_threads());
         for round in 1..=4 {
-            let stats = runner.execute(&p);
+            let stats = runner.execute(&p).unwrap();
             assert_eq!(stats.tasks, n as usize);
             assert!(graph.counters_are_reset(), "round {round}");
             assert!(
@@ -1149,8 +1424,134 @@ mod tests {
             steal_distance: vec![vec![0; 2]; 2],
         };
         let pool = ThreadPool::with_topology(topo);
-        let stats = g.execute(&pool, &table);
+        let stats = g.execute(&pool, &table).unwrap();
         assert_eq!(stats.tasks, 2);
         assert!(g.counters_are_reset());
+    }
+
+    /// A table whose task `boom` panics whenever `armed` is set.
+    struct Bomb {
+        marks: Vec<AtomicUsize>,
+        boom: u32,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Bomb {
+        fn new(n: u32, boom: u32) -> Self {
+            Bomb {
+                marks: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+                boom,
+                armed: std::sync::atomic::AtomicBool::new(true),
+            }
+        }
+    }
+
+    impl TaskTable for Bomb {
+        fn run_task(&self, task: u32) {
+            if task == self.boom && self.armed.load(Ordering::SeqCst) {
+                panic!("bomb at strand {task}");
+            }
+            self.marks[task as usize].fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn panicking_task_yields_typed_error_and_drains() {
+        let p = pool();
+        let n = 120u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|t| ((t - 1) / 2, t)).collect();
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        let table = Arc::new(Bomb::new(n, 5));
+        let err = graph.execute(&p, &table).unwrap_err();
+        match &err {
+            RunError::Panicked {
+                task,
+                op_kind,
+                payload,
+            } => {
+                assert_eq!(*task, 5);
+                assert_eq!(*op_kind, GENERIC_TASK_LABEL);
+                assert!(payload.contains("bomb at strand 5"), "payload: {payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The drain claimed every task exactly once, so the counters are
+        // already reset and the run did not hang.
+        assert!(graph.counters_are_reset());
+        assert_eq!(table.marks[5].load(Ordering::SeqCst), 0);
+        // Documented recovery: disarm, re-execute, everything runs.
+        table.armed.store(false, Ordering::SeqCst);
+        let stats = graph.execute(&p, &table).unwrap();
+        assert_eq!(stats.tasks, n as usize);
+        assert!(
+            table.marks.iter().enumerate().all(|(i, m)| {
+                let runs = m.load(Ordering::SeqCst);
+                // Task 5 never ran in round 1; tasks cancelled by the drain
+                // also ran only in round 2.  Nothing ran more than twice.
+                (1..=2).contains(&runs) || (i == 5 && runs == 1)
+            }),
+            "exactly-once per completed run"
+        );
+        assert!(graph.counters_are_reset());
+    }
+
+    #[test]
+    fn persistent_run_recovers_after_panic() {
+        let p = pool();
+        let n = 80u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|t| ((t - 1) / 3, t)).collect();
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        let table = Arc::new(Bomb::new(n, 2));
+        let runner = PersistentRun::new(&graph, &table, p.num_threads());
+        let err = runner.execute(&p).unwrap_err();
+        assert_eq!(err.task(), Some(2));
+        assert!(graph.counters_are_reset());
+        table.armed.store(false, Ordering::SeqCst);
+        for round in 1..=2 {
+            let stats = runner.execute(&p).unwrap();
+            assert_eq!(stats.tasks, n as usize, "round {round}");
+            assert!(graph.counters_are_reset());
+        }
+    }
+
+    #[test]
+    fn blown_deadline_cancels_the_run() {
+        struct Slow;
+        impl TaskTable for Slow {
+            fn run_task(&self, _task: u32) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let p = ThreadPool::new(2);
+        let n = 64u32;
+        // Serial chain: the run needs ~128ms, the budget allows 5ms.
+        let edges: Vec<(u32, u32)> = (1..n).map(|t| (t - 1, t)).collect();
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        let table = Arc::new(Slow);
+        let budget = RunBudget::with_deadline(std::time::Duration::from_millis(5));
+        let err = graph.execute_with(&p, &table, &budget).unwrap_err();
+        match err {
+            RunError::DeadlineExceeded { deadline, elapsed } => {
+                assert_eq!(deadline, std::time::Duration::from_millis(5));
+                assert!(elapsed >= deadline);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The drain left the graph reset; an unbounded run then completes.
+        assert!(graph.counters_are_reset());
+        let stats = graph.execute(&p, &table).unwrap();
+        assert_eq!(stats.tasks, n as usize);
+    }
+
+    #[test]
+    fn unbounded_budget_never_trips() {
+        let p = pool();
+        let mut g = TaskGraph::new();
+        for _ in 0..32 {
+            g.add_task(|| {});
+        }
+        let mut compiled = g.compile();
+        let stats = compiled.execute_with(&p, &RunBudget::UNBOUNDED).unwrap();
+        assert_eq!(stats.tasks, 32);
     }
 }

@@ -28,6 +28,14 @@
 //!   tables, anchoring placements) line up without translation.
 //! * [`join`] — a minimal fork-join façade built on the same pool, used by examples
 //!   and by the NP wall-clock baselines.
+//! * [`fault`] — the failure story: typed [`RunError`]s (strand panics are
+//!   caught at the execution sites and the run drains to its latch instead of
+//!   hanging), per-run wall-clock [`RunBudget`] deadlines, and the pool's
+//!   bounded-injection admission layer ([`OverloadPolicy`]: block, shed, or
+//!   rt-style degrade of low-priority submissions).
+//! * `chaos` (behind the `chaos` feature, compiled out like `trace`) — a
+//!   seeded deterministic fault-injection harness that attacks the above on
+//!   purpose: panic strand *k*, delay worker *w*, fail the *n*-th steal.
 //!
 //! Executing an *NP* program and an *ND* program through the same executor differs
 //! only in the DAG: the NP DAG contains the artificial dependencies the serial
@@ -38,14 +46,20 @@
 #![warn(rust_2018_idioms)]
 #![deny(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod dataflow;
+pub mod fault;
 pub mod join;
 pub mod latch;
 pub mod lower;
 pub mod pool;
 
+#[cfg(feature = "chaos")]
+pub use chaos::{ChaosStats, FaultPlan, WorkerDelay, CHAOS_PANIC_MARKER};
 pub use dataflow::{
     CompiledGraph, ExecStats, Placement, ReusableGraph, TaskGraph, TaskId, TaskTable,
 };
+pub use fault::{AdmissionConfig, OverloadPolicy, Priority, RunBudget, RunError, SubmitOutcome};
 pub use lower::{lower_dag, lower_dag_boxed, LoweredDag};
-pub use pool::{PoolStats, PoolTopology, ThreadPool};
+pub use pool::{AdmissionSnapshot, PoolStats, PoolTopology, ThreadPool};

@@ -142,7 +142,7 @@ mod tests {
         });
         let graph = Arc::new(lowered.graph);
         let pool = ThreadPool::new(2);
-        let stats = graph.execute(&pool, &table);
+        let stats = graph.execute(&pool, &table).unwrap();
         assert_eq!(stats.tasks, 3);
         let a = table.order[0].load(Ordering::SeqCst);
         let b = table.order[2].load(Ordering::SeqCst);
@@ -164,7 +164,7 @@ mod tests {
         assert_eq!(graph.task_count(), 3);
         assert_eq!(graph.edge_count(), 2);
         let pool = ThreadPool::new(2);
-        execute_graph(&pool, graph);
+        execute_graph(&pool, graph).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 7 + 9);
     }
 

@@ -14,11 +14,14 @@
 //! callers are unaffected.  The hierarchy-aware executor in `nd-exec` builds the
 //! non-trivial topologies.
 
+use crate::fault::{AdmissionConfig, OverloadPolicy, Priority, SubmitOutcome};
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use nd_trace::{EventKind, QueueKind, TraceEvent, Tracer, NO_TASK};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -80,6 +83,10 @@ pub(crate) trait GraphTask: Send + Sync {
 pub(crate) enum JobUnit {
     /// A boxed closure (the classic [`Job`]).
     Boxed(Job),
+    /// A boxed closure admitted through the pool's admission layer: on
+    /// completion (normal **or** panicked) the worker releases its admission
+    /// slot, so the outstanding-jobs bound stays exact under faults.
+    Admitted(Job),
     /// Task `1` of the compiled graph run `0`.
     Graph(Arc<dyn GraphTask>, u32),
 }
@@ -90,7 +97,7 @@ impl JobUnit {
     #[inline]
     fn task_id(&self) -> u32 {
         match self {
-            JobUnit::Boxed(_) => NO_TASK,
+            JobUnit::Boxed(_) | JobUnit::Admitted(_) => NO_TASK,
             JobUnit::Graph(_, task) => *task,
         }
     }
@@ -98,7 +105,7 @@ impl JobUnit {
     #[inline]
     fn run(self, ctx: &WorkerCtx<'_>) {
         match self {
-            JobUnit::Boxed(job) => {
+            JobUnit::Boxed(job) | JobUnit::Admitted(job) => {
                 // Graph tasks record their own execution spans in the
                 // dataflow executor; boxed closures are spanned here so
                 // per-worker busy time covers both dispatch modes.
@@ -236,6 +243,20 @@ impl WorkerCtx<'_> {
         &self.shared.tracer
     }
 
+    /// Chaos injection site for the dataflow executor: `true` exactly when
+    /// the armed plan names `task` for a one-shot strand panic (constant
+    /// `false` without the `chaos` feature).
+    #[inline]
+    pub(crate) fn chaos_should_panic(&self, task: u32) -> bool {
+        self.shared.chaos_should_panic(task)
+    }
+
+    /// Reports a caught graph-strand panic into the pool's fault counter.
+    #[inline]
+    pub(crate) fn note_panicked(&self) {
+        self.shared.note_panicked();
+    }
+
     /// The steal distance field of an execution-span event: distance class
     /// + 1 if the current unit was just stolen, 0 otherwise.
     #[inline]
@@ -308,6 +329,90 @@ impl WorkerCtx<'_> {
     }
 }
 
+/// The pool's bounded-injection admission layer (see
+/// [`ThreadPool::with_admission`]): enforces the configured high-water mark on
+/// *outstanding* admitted external jobs and carries the per-policy machinery
+/// (block condvar, Degrade overflow queue).
+struct AdmissionState {
+    config: AdmissionConfig,
+    /// Admitted external jobs not yet finished executing.  Bounded paths only
+    /// ever raise it through [`AdmissionState::try_reserve`]'s CAS, so it can
+    /// never exceed `config.high_water` except through [`Priority::High`]
+    /// submissions under [`OverloadPolicy::Degrade`] (the documented
+    /// criticality exception).
+    outstanding: AtomicUsize,
+    /// High-water-mark observation of `outstanding` (for tests / stats).
+    max_outstanding: AtomicUsize,
+    /// FIFO of low-priority jobs parked by [`OverloadPolicy::Degrade`];
+    /// pumped one per completed job.
+    overflow: Mutex<VecDeque<Job>>,
+    /// Blocked [`OverloadPolicy::Block`] submitters park here; completions
+    /// notify.  Waits use a short timeout, so a lost notification costs
+    /// latency, never progress (the same discipline as the worker condvar).
+    submit_mutex: Mutex<()>,
+    submit_condvar: Condvar,
+}
+
+impl AdmissionState {
+    fn new(config: AdmissionConfig) -> Self {
+        AdmissionState {
+            config,
+            outstanding: AtomicUsize::new(0),
+            max_outstanding: AtomicUsize::new(0),
+            overflow: Mutex::new(VecDeque::new()),
+            submit_mutex: Mutex::new(()),
+            submit_condvar: Condvar::new(),
+        }
+    }
+
+    /// Attempts to reserve one admission slot without exceeding the
+    /// high-water mark.  CAS from a below-the-mark value only, so concurrent
+    /// submitters cannot collectively overshoot.
+    fn try_reserve(&self) -> bool {
+        let mut cur = self.outstanding.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.config.high_water {
+                return false;
+            }
+            match self.outstanding.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.note_watermark(cur + 1);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reserves a slot unconditionally ([`Priority::High`] under
+    /// [`OverloadPolicy::Degrade`]: critical work is never refused).
+    fn force_reserve(&self) {
+        let now = self.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        self.note_watermark(now);
+    }
+
+    fn note_watermark(&self, observed: usize) {
+        self.max_outstanding.fetch_max(observed, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the admission layer (see
+/// [`ThreadPool::admission_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Admitted external jobs currently outstanding.
+    pub outstanding: usize,
+    /// The largest `outstanding` ever observed.
+    pub max_outstanding: usize,
+    /// Low-priority jobs currently parked in the Degrade overflow queue.
+    pub overflow_queued: usize,
+}
+
 struct Shared {
     injector: Injector<JobUnit>,
     /// One FIFO injector per queue group (see [`PoolTopology`]).
@@ -323,11 +428,30 @@ struct Shared {
     steals: AtomicU64,
     /// Successful deque steals bucketed by the topology's distance class.
     steals_by_distance: Vec<AtomicU64>,
+    /// Jobs whose panic was caught at an execution site (boxed jobs in the
+    /// worker loop, graph strands in the dataflow executor).  The worker
+    /// survives every one of these.
+    panicked: AtomicU64,
+    /// External submissions refused under [`OverloadPolicy::Shed`].
+    shed: AtomicU64,
+    /// External submissions parked in the overflow queue under
+    /// [`OverloadPolicy::Degrade`].
+    degraded: AtomicU64,
+    /// The admission layer; `None` = unbounded injection (the default).
+    admission: Option<AdmissionState>,
     /// The pool's tracing sink: one event ring per worker plus one for
     /// external threads, disabled (one relaxed load per potential event)
     /// until a `TraceSession` starts.  Its `Instant` epoch is calibrated
     /// here, at pool creation, so all workers' timestamps share one origin.
     tracer: Arc<Tracer>,
+    /// `true` while a chaos fault plan is armed (the chaos cfg-point: one
+    /// relaxed load per injection site, constant `false` without the
+    /// feature so the sites fold away — the tracer's pattern).
+    #[cfg(feature = "chaos")]
+    chaos_on: AtomicBool,
+    /// The armed fault plan, if any.
+    #[cfg(feature = "chaos")]
+    chaos: Mutex<Option<Arc<crate::chaos::ChaosState>>>,
 }
 
 impl Shared {
@@ -354,6 +478,127 @@ impl Shared {
         #[cfg(not(feature = "trace"))]
         {
             false
+        }
+    }
+
+    /// The armed chaos state, if any (one relaxed load when disarmed).
+    #[cfg(feature = "chaos")]
+    #[inline]
+    fn chaos_state(&self) -> Option<Arc<crate::chaos::ChaosState>> {
+        if self.chaos_on.load(Ordering::Relaxed) {
+            self.chaos.lock().clone()
+        } else {
+            None
+        }
+    }
+
+    /// Chaos injection site: `true` exactly when the armed plan names `task`
+    /// for a one-shot strand panic.  Constant `false` without the feature.
+    #[inline]
+    pub(crate) fn chaos_should_panic(&self, task: u32) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            if let Some(c) = self.chaos_state() {
+                return c.should_panic(task);
+            }
+        }
+        let _ = task;
+        false
+    }
+
+    /// Chaos injection site: sleeps if the armed plan delays `worker` at its
+    /// current step.  No-op without the feature.
+    #[inline]
+    fn chaos_on_unit(&self, worker: usize) {
+        #[cfg(feature = "chaos")]
+        {
+            if let Some(c) = self.chaos_state() {
+                c.on_unit(worker);
+            }
+        }
+        let _ = worker;
+    }
+
+    /// Chaos injection site: `true` when the armed plan fails this
+    /// deque-steal attempt.  Constant `false` without the feature.
+    #[inline]
+    fn chaos_fail_steal(&self) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            if let Some(c) = self.chaos_state() {
+                return c.fail_next_steal();
+            }
+        }
+        false
+    }
+
+    /// Called by the dataflow executor when it catches a strand panic, so
+    /// graph-strand faults land in the same pool counter as boxed-job faults.
+    #[inline]
+    pub(crate) fn note_panicked(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases the admission slot of a finished [`JobUnit::Admitted`] job:
+    /// decrements `outstanding`, wakes blocked submitters, and (under
+    /// [`OverloadPolicy::Degrade`]) pumps the next parked low-priority job —
+    /// at most one, because the pump reserves a slot first.
+    fn complete_admitted(&self) {
+        let Some(adm) = &self.admission else { return };
+        adm.outstanding.fetch_sub(1, Ordering::AcqRel);
+        {
+            // Take the lock before notifying so a submitter between its failed
+            // reserve and its wait cannot miss the wakeup (waits also time
+            // out, so even a missed one only costs latency).
+            let _guard = adm.submit_mutex.lock();
+            adm.submit_condvar.notify_all();
+        }
+        if adm.config.policy == OverloadPolicy::Degrade {
+            self.pump_overflow();
+        }
+    }
+
+    /// Injects parked Degrade jobs while both a free admission slot and a
+    /// parked job exist.  Shared by the completion path and the submit path
+    /// (the latter covers the race where the pool drains to idle between a
+    /// failed reserve and the overflow push).
+    fn pump_overflow(&self) {
+        let Some(adm) = &self.admission else { return };
+        while adm.try_reserve() {
+            let job = adm.overflow.lock().pop_front();
+            match job {
+                Some(job) => {
+                    self.injector.push(JobUnit::Admitted(job));
+                    self.notify_one();
+                }
+                None => {
+                    // Reserved a slot but nothing was parked: hand it back.
+                    adm.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Records a Shed/Degrade admission event (emitted from the submitting
+    /// thread's external ring) if tracing.  `a` is the policy wire code.
+    #[inline]
+    fn trace_shed(&self, policy: OverloadPolicy) {
+        if self.trace_enabled() {
+            let now = self.tracer.now_ns();
+            let ring = self.tracer.external_ring();
+            self.tracer.record(
+                ring,
+                &TraceEvent {
+                    kind: EventKind::Shed,
+                    worker: ring as u32,
+                    task: NO_TASK,
+                    t0_ns: now,
+                    t1_ns: now,
+                    a: policy.kind_wire(),
+                    b: 0,
+                },
+            );
         }
     }
 
@@ -400,6 +645,29 @@ impl ThreadPool {
     /// # Panics
     /// Panics if the topology is inconsistent (see [`PoolTopology`]).
     pub fn with_topology(topology: PoolTopology) -> Self {
+        ThreadPool::with_topology_and_admission(topology, None)
+    }
+
+    /// Creates a flat pool with a bounded-injection admission layer: at most
+    /// `config.high_water` external jobs outstanding at once, overflow
+    /// handled per `config.policy` (see [`AdmissionConfig`]).
+    ///
+    /// # Panics
+    /// Panics if `num_threads` is zero.
+    pub fn with_admission(num_threads: usize, config: AdmissionConfig) -> Self {
+        assert!(num_threads > 0, "a thread pool needs at least one thread");
+        ThreadPool::with_topology_and_admission(PoolTopology::flat(num_threads), Some(config))
+    }
+
+    /// The general constructor: a pool with the given `topology` and an
+    /// optional admission layer.
+    ///
+    /// # Panics
+    /// Panics if the topology is inconsistent (see [`PoolTopology`]).
+    pub fn with_topology_and_admission(
+        topology: PoolTopology,
+        admission: Option<AdmissionConfig>,
+    ) -> Self {
         topology.validate();
         let num_threads = topology.num_threads;
         let deques: Vec<Deque<JobUnit>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
@@ -416,7 +684,15 @@ impl ThreadPool {
             sleep_condvar: Condvar::new(),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            admission: admission.map(AdmissionState::new),
             tracer: Arc::new(Tracer::new(num_threads)),
+            #[cfg(feature = "chaos")]
+            chaos_on: AtomicBool::new(false),
+            #[cfg(feature = "chaos")]
+            chaos: Mutex::new(None),
         });
         let handles = deques
             .into_iter()
@@ -455,8 +731,98 @@ impl ThreadPool {
     }
 
     /// Submits a job from outside the pool (goes to the global injector).
+    ///
+    /// On a pool built with an admission layer this is
+    /// `submit(Priority::High, job)` — under [`OverloadPolicy::Shed`] a spawn
+    /// past the high-water mark is refused (and counted); use
+    /// [`ThreadPool::submit`] to observe the outcome.
     pub fn spawn(&self, job: Job) {
-        self.spawn_unit(JobUnit::Boxed(job));
+        let _ = self.submit(Priority::High, job);
+    }
+
+    /// Submits an external job through the admission layer, reporting what
+    /// happened to it.  On a pool without an admission layer every submission
+    /// is admitted unconditionally.
+    ///
+    /// `priority` matters only under [`OverloadPolicy::Degrade`]: high-
+    /// priority jobs are always admitted (the high-water mark may be
+    /// exceeded by critical work), low-priority jobs past the mark are
+    /// parked in a FIFO overflow queue and injected one per completion.
+    pub fn submit(&self, priority: Priority, job: Job) -> SubmitOutcome {
+        let Some(adm) = &self.shared.admission else {
+            self.spawn_unit(JobUnit::Boxed(job));
+            return SubmitOutcome::Admitted;
+        };
+        if adm.try_reserve() {
+            self.spawn_unit(JobUnit::Admitted(job));
+            return SubmitOutcome::Admitted;
+        }
+        match adm.config.policy {
+            OverloadPolicy::Block => {
+                // Backpressure: park until a completion frees a slot.  The
+                // short timeout mirrors the worker condvar discipline — a
+                // lost notification costs a millisecond, never progress.
+                let mut guard = adm.submit_mutex.lock();
+                loop {
+                    if adm.try_reserve() {
+                        drop(guard);
+                        self.spawn_unit(JobUnit::Admitted(job));
+                        return SubmitOutcome::Admitted;
+                    }
+                    adm.submit_condvar
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+            OverloadPolicy::Shed => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.trace_shed(OverloadPolicy::Shed);
+                SubmitOutcome::Shed
+            }
+            OverloadPolicy::Degrade => match priority {
+                Priority::High => {
+                    adm.force_reserve();
+                    self.spawn_unit(JobUnit::Admitted(job));
+                    SubmitOutcome::Admitted
+                }
+                Priority::Low => {
+                    self.shared.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.shared.trace_shed(OverloadPolicy::Degrade);
+                    adm.overflow.lock().push_back(job);
+                    // Re-pump in case the pool drained to idle between our
+                    // failed reserve and the push — otherwise a parked job
+                    // could wait for a completion that never comes.
+                    self.shared.pump_overflow();
+                    SubmitOutcome::Degraded
+                }
+            },
+        }
+    }
+
+    /// Non-blocking admission: admits the job if a slot is free, otherwise
+    /// returns it to the caller (regardless of policy — no blocking, no
+    /// parking, no counting).  `Err(job)` gives the job back for retry,
+    /// redirect, or drop.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let Some(adm) = &self.shared.admission else {
+            self.spawn_unit(JobUnit::Boxed(job));
+            return Ok(());
+        };
+        if adm.try_reserve() {
+            self.spawn_unit(JobUnit::Admitted(job));
+            Ok(())
+        } else {
+            Err(job)
+        }
+    }
+
+    /// A point-in-time view of the admission layer, or `None` on a pool
+    /// without one.
+    pub fn admission_stats(&self) -> Option<AdmissionSnapshot> {
+        self.shared.admission.as_ref().map(|adm| AdmissionSnapshot {
+            outstanding: adm.outstanding.load(Ordering::Relaxed),
+            max_outstanding: adm.max_outstanding.load(Ordering::Relaxed),
+            overflow_queued: adm.overflow.lock().len(),
+        })
     }
 
     /// Submits a job restricted to one queue group's workers.
@@ -511,12 +877,31 @@ impl ThreadPool {
             .collect()
     }
 
+    /// Total panics caught at the pool's execution sites so far (boxed jobs
+    /// and graph strands; every one left its worker alive).
+    pub fn jobs_panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Total external submissions refused under [`OverloadPolicy::Shed`].
+    pub fn jobs_shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total external submissions parked under [`OverloadPolicy::Degrade`].
+    pub fn jobs_degraded(&self) -> u64 {
+        self.shared.degraded.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time snapshot of the pool's scheduling counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             jobs_executed: self.jobs_executed(),
             steals: self.steals(),
             steals_by_distance: self.steals_by_distance(),
+            jobs_panicked: self.jobs_panicked(),
+            jobs_shed: self.jobs_shed(),
+            jobs_degraded: self.jobs_degraded(),
         }
     }
 
@@ -532,6 +917,37 @@ impl ThreadPool {
     pub(crate) fn trace_enabled(&self) -> bool {
         self.shared.trace_enabled()
     }
+
+    /// Arms a chaos [`FaultPlan`](crate::chaos::FaultPlan): subsequent
+    /// executions inject its faults (each at most once).  Replaces any
+    /// previously armed plan, counters and all.
+    #[cfg(feature = "chaos")]
+    pub fn install_fault_plan(&self, plan: crate::chaos::FaultPlan) {
+        *self.shared.chaos.lock() = Some(Arc::new(crate::chaos::ChaosState::new(
+            plan,
+            self.num_threads,
+        )));
+        self.shared.chaos_on.store(true, Ordering::Release);
+    }
+
+    /// Disarms the chaos plan; injection sites fall back to one relaxed load.
+    #[cfg(feature = "chaos")]
+    pub fn clear_fault_plan(&self) {
+        self.shared.chaos_on.store(false, Ordering::Release);
+        *self.shared.chaos.lock() = None;
+    }
+
+    /// Counts of faults the armed plan has injected so far (zeros when no
+    /// plan is armed).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_stats(&self) -> crate::chaos::ChaosStats {
+        self.shared
+            .chaos
+            .lock()
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
 }
 
 /// A snapshot of the pool's scheduling counters (see [`ThreadPool::stats`]):
@@ -545,6 +961,12 @@ pub struct PoolStats {
     pub steals: u64,
     /// Steals bucketed by the topology's distance class (index 0 = nearest).
     pub steals_by_distance: Vec<u64>,
+    /// Panics caught at the pool's execution sites (workers all survived).
+    pub jobs_panicked: u64,
+    /// External submissions refused under [`OverloadPolicy::Shed`].
+    pub jobs_shed: u64,
+    /// External submissions parked under [`OverloadPolicy::Degrade`].
+    pub jobs_degraded: u64,
 }
 
 impl PoolStats {
@@ -561,6 +983,9 @@ impl PoolStats {
                 .enumerate()
                 .map(|(d, &n)| n - earlier.steals_by_distance.get(d).copied().unwrap_or(0))
                 .collect(),
+            jobs_panicked: self.jobs_panicked - earlier.jobs_panicked,
+            jobs_shed: self.jobs_shed - earlier.jobs_shed,
+            jobs_degraded: self.jobs_degraded - earlier.jobs_degraded,
         }
     }
 }
@@ -606,6 +1031,13 @@ fn find_work(
     }
     // 4. Steal from another worker's deque, nearest victim first.
     for &victim in &shared.topology.steal_order[index] {
+        // Chaos injection: a planned steal failure makes this attempt report
+        // empty-handed.  Harmless by construction — the worker re-polls after
+        // its 1ms park timeout, so a failed steal can delay work but never
+        // lose it (the no-lost-wakeup invariant the chaos suite proves).
+        if shared.chaos_fail_steal() {
+            continue;
+        }
         loop {
             match shared.stealers[victim].steal() {
                 crossbeam::deque::Steal::Success(job) => return Some((job, Some(victim))),
@@ -651,10 +1083,23 @@ fn worker_loop(index: usize, local: Deque<JobUnit>, shared: Arc<Shared>) {
                     local: &local,
                     shared: &shared,
                 };
+                shared.chaos_on_unit(index);
+                let admitted = matches!(unit, JobUnit::Admitted(_));
                 // Count the job before running it so that anyone released by a latch
                 // the job signals observes an up-to-date counter.
                 shared.executed.fetch_add(1, Ordering::Relaxed);
-                unit.run(&ctx);
+                // Panic isolation: a panicking unit must not unwind through
+                // the worker loop (it would silently shrink the pool for the
+                // rest of the process).  Catch it, count it, keep going.
+                // Graph strands catch their own panics in the dataflow
+                // executor (where the run can be cancelled and typed); this
+                // catch is their backstop and the boxed jobs' only net.
+                if catch_unwind(AssertUnwindSafe(|| unit.run(&ctx))).is_err() {
+                    shared.note_panicked();
+                }
+                if admitted {
+                    shared.complete_admitted();
+                }
             }
             None => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -899,5 +1344,210 @@ mod tests {
         let mut topo = PoolTopology::flat(2);
         topo.num_groups = 2; // group 1 exists but no worker lists it
         let _ = ThreadPool::with_topology(topo);
+    }
+
+    /// Runs one job on every worker simultaneously (a rendezvous: each job
+    /// occupies its worker until all `n` have started, so the jobs must land
+    /// on `n` distinct workers), optionally panicking each afterwards.
+    /// Returns the set of worker indices the jobs ran on.
+    fn rendezvous_all_workers(pool: &ThreadPool, n: usize, then_panic: bool) -> Vec<usize> {
+        let started = Arc::new(AtomicUsize::new(0));
+        let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let latch = Arc::new(CountLatch::new(n));
+        for _ in 0..n {
+            let started = Arc::clone(&started);
+            let seen = Arc::clone(&seen);
+            let latch = Arc::clone(&latch);
+            pool.spawn(Box::new(move |ctx| {
+                seen[ctx.worker_index].fetch_add(1, Ordering::SeqCst);
+                started.fetch_add(1, Ordering::SeqCst);
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                while started.load(Ordering::SeqCst) < n {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "rendezvous stuck: a worker has died"
+                    );
+                    std::hint::spin_loop();
+                }
+                // Count down *before* panicking: the panic unwinds past the
+                // rest of the closure.
+                latch.count_down();
+                if then_panic {
+                    panic!("deliberate test panic on worker");
+                }
+            }));
+        }
+        latch.wait();
+        seen.iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::SeqCst) > 0)
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Regression test for the silent-worker-death bug: before panic
+    /// isolation, a panicking boxed job unwound through the worker loop and
+    /// that thread never restarted.  Panic a job on **every** worker, then
+    /// prove all of them still execute jobs.
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let n = 4;
+        let pool = ThreadPool::new(n);
+        let before = pool.stats();
+        let hit = rendezvous_all_workers(&pool, n, true);
+        assert_eq!(hit.len(), n, "rendezvous must cover every worker: {hit:?}");
+        // Wait for all unwinds to be caught and counted.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.jobs_panicked() - before.jobs_panicked < n as u64 {
+            assert!(std::time::Instant::now() < deadline, "panics never counted");
+            std::thread::yield_now();
+        }
+        // Every worker must still be alive and executing.
+        let alive = rendezvous_all_workers(&pool, n, false);
+        assert_eq!(alive.len(), n, "a worker died after a panic: {alive:?}");
+        let after = pool.stats().since(&before);
+        assert_eq!(after.jobs_panicked, n as u64);
+        assert!(after.jobs_executed >= 2 * n as u64);
+    }
+
+    /// Parks a job on the pool that spins until `release` is set, occupying
+    /// one admission slot.
+    fn spawn_blocker(pool: &ThreadPool, release: &Arc<AtomicBool>) -> SubmitOutcome {
+        let release = Arc::clone(release);
+        pool.submit(
+            Priority::High,
+            Box::new(move |_| {
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                while !release.load(Ordering::SeqCst) {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "blocker never released"
+                    );
+                    std::hint::spin_loop();
+                }
+            }),
+        )
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn shed_policy_refuses_past_high_water_and_counts() {
+        let pool = ThreadPool::with_admission(2, AdmissionConfig::new(1, OverloadPolicy::Shed));
+        let release = Arc::new(AtomicBool::new(false));
+        assert_eq!(spawn_blocker(&pool, &release), SubmitOutcome::Admitted);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            let outcome = pool.submit(
+                Priority::High,
+                Box::new(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+            assert_eq!(outcome, SubmitOutcome::Shed);
+        }
+        assert_eq!(pool.jobs_shed(), 5);
+        release.store(true, Ordering::SeqCst);
+        wait_until("slot released", || {
+            pool.admission_stats().unwrap().outstanding == 0
+        });
+        // Shed jobs never ran; the pool is immediately usable again.
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        let ok = Arc::clone(&ran);
+        assert_eq!(
+            pool.submit(
+                Priority::High,
+                Box::new(move |_| {
+                    ok.fetch_add(1, Ordering::SeqCst);
+                })
+            ),
+            SubmitOutcome::Admitted
+        );
+        wait_until("post-shed job ran", || ran.load(Ordering::SeqCst) == 1);
+        assert_eq!(pool.admission_stats().unwrap().max_outstanding, 1);
+    }
+
+    #[test]
+    fn degrade_policy_parks_low_priority_and_trickles_it_through() {
+        let pool = ThreadPool::with_admission(2, AdmissionConfig::new(1, OverloadPolicy::Degrade));
+        let release = Arc::new(AtomicBool::new(false));
+        assert_eq!(spawn_blocker(&pool, &release), SubmitOutcome::Admitted);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let ran = Arc::clone(&ran);
+            let outcome = pool.submit(
+                Priority::Low,
+                Box::new(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+            assert_eq!(outcome, SubmitOutcome::Degraded);
+        }
+        assert_eq!(pool.jobs_degraded(), 3);
+        assert_eq!(pool.admission_stats().unwrap().overflow_queued, 3);
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "parked jobs must wait");
+        release.store(true, Ordering::SeqCst);
+        // One slot frees → parked jobs trickle through one at a time.
+        wait_until("all degraded jobs ran", || ran.load(Ordering::SeqCst) == 3);
+        wait_until("pool drained", || {
+            pool.admission_stats().unwrap().outstanding == 0
+        });
+        assert_eq!(pool.admission_stats().unwrap().overflow_queued, 0);
+        // The bounded paths never exceeded the mark.
+        assert_eq!(pool.admission_stats().unwrap().max_outstanding, 1);
+    }
+
+    #[test]
+    fn block_policy_applies_backpressure() {
+        let pool = Arc::new(ThreadPool::with_admission(
+            2,
+            AdmissionConfig::new(1, OverloadPolicy::Block),
+        ));
+        let release = Arc::new(AtomicBool::new(false));
+        assert_eq!(spawn_blocker(&pool, &release), SubmitOutcome::Admitted);
+        let ran = Arc::new(AtomicBool::new(false));
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            let ran = Arc::clone(&ran);
+            std::thread::spawn(move || {
+                let ran = Arc::clone(&ran);
+                pool.submit(
+                    Priority::High,
+                    Box::new(move |_| {
+                        ran.store(true, Ordering::SeqCst);
+                    }),
+                )
+            })
+        };
+        // The submitter must be blocked while the slot is occupied.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!ran.load(Ordering::SeqCst), "submission must be blocked");
+        release.store(true, Ordering::SeqCst);
+        assert_eq!(submitter.join().unwrap(), SubmitOutcome::Admitted);
+        wait_until("blocked job ran after release", || {
+            ran.load(Ordering::SeqCst)
+        });
+        assert_eq!(pool.admission_stats().unwrap().max_outstanding, 1);
+    }
+
+    #[test]
+    fn try_submit_returns_the_job_when_full() {
+        let pool = ThreadPool::with_admission(1, AdmissionConfig::new(1, OverloadPolicy::Block));
+        let release = Arc::new(AtomicBool::new(false));
+        assert_eq!(spawn_blocker(&pool, &release), SubmitOutcome::Admitted);
+        let rejected = pool.try_submit(Box::new(|_| {}));
+        assert!(rejected.is_err(), "full pool must hand the job back");
+        release.store(true, Ordering::SeqCst);
+        wait_until("slot released", || {
+            pool.admission_stats().unwrap().outstanding == 0
+        });
+        assert!(pool.try_submit(rejected.unwrap_err()).is_ok());
     }
 }

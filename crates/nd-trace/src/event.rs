@@ -42,6 +42,15 @@ pub enum EventKind {
     RunBegin = 5,
     /// The matching graph execution completed; `b` is the run number.
     RunEnd = 6,
+    /// A run fault was observed: a strand panic was caught or a run deadline
+    /// was blown, cancelling the rest of the run.  `task` is the faulting
+    /// task (or [`NO_TASK`] for run-level faults), `a` the `RunError` wire
+    /// kind (0 = panic, 1 = deadline exceeded).
+    Fault = 7,
+    /// An external submission hit the admission layer's high-water mark and
+    /// was refused or parked.  `a` is the `OverloadPolicy` wire kind
+    /// (1 = shed/refused, 2 = degrade/parked).
+    Shed = 8,
 }
 
 impl EventKind {
@@ -56,6 +65,8 @@ impl EventKind {
             4 => EventKind::LatchReset,
             5 => EventKind::RunBegin,
             6 => EventKind::RunEnd,
+            7 => EventKind::Fault,
+            8 => EventKind::Shed,
             _ => return None,
         })
     }
@@ -70,6 +81,8 @@ impl EventKind {
             EventKind::LatchReset => "latch_reset",
             EventKind::RunBegin => "run_begin",
             EventKind::RunEnd => "run_end",
+            EventKind::Fault => "fault",
+            EventKind::Shed => "shed",
         }
     }
 }
@@ -197,6 +210,8 @@ mod tests {
             EventKind::LatchReset,
             EventKind::RunBegin,
             EventKind::RunEnd,
+            EventKind::Fault,
+            EventKind::Shed,
         ] {
             assert_eq!(EventKind::from_wire(kind as u8), Some(kind));
         }

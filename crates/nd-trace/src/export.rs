@@ -117,6 +117,35 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     e.b,
                 );
             }
+            EventKind::Fault => {
+                let task = i64::from(e.task as i32);
+                let fault_kind = match e.a {
+                    0 => "panic",
+                    1 => "deadline",
+                    _ => "?",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"fault\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"task\":{task},\"fault\":\"{fault_kind}\"}}}}",
+                    us(e.t0_ns),
+                );
+            }
+            EventKind::Shed => {
+                let policy = match e.a {
+                    0 => "block",
+                    1 => "shed",
+                    2 => "degrade",
+                    _ => "?",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"shed\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"policy\":\"{policy}\"}}}}",
+                    us(e.t0_ns),
+                );
+            }
             EventKind::Claim | EventKind::LatchReset | EventKind::RunBegin | EventKind::RunEnd => {
                 let name = e.kind.name();
                 let task = i64::from(e.task as i32);
@@ -143,7 +172,8 @@ pub fn metrics_summary_json(trace: &Trace) -> String {
         out,
         "{{\"events\": {}, \"dropped\": {}, \"wall_ns\": {}, \"exec_spans\": {}, \
          \"claims\": {}, \"inline_execs\": {}, \"steals\": {}, \"enqueues\": {}, \
-         \"busy_ns_total\": {}, \"critical_path_ns\": {}, \"critical_path_tasks\": {}",
+         \"busy_ns_total\": {}, \"critical_path_ns\": {}, \"critical_path_tasks\": {}, \
+         \"faults\": {}, \"sheds\": {}",
         trace.events.len(),
         trace.dropped,
         trace.wall_ns,
@@ -155,6 +185,8 @@ pub fn metrics_summary_json(trace: &Trace) -> String {
         m.busy_ns_total,
         m.critical_path_ns,
         m.critical_path_tasks,
+        m.faults,
+        m.sheds,
     );
     let _ = write!(
         out,

@@ -122,6 +122,10 @@ pub struct TraceMetrics {
     pub critical_path_tasks: u32,
     /// Sum of all execution spans (total busy time).
     pub busy_ns_total: u64,
+    /// Run faults observed (caught strand panics + blown deadlines).
+    pub faults: u64,
+    /// External submissions refused or parked by the admission layer.
+    pub sheds: u64,
 }
 
 /// A finished trace: the merged, time-sorted event stream plus side tables
@@ -269,6 +273,8 @@ fn derive_metrics(
                     w.steal_ns += e.duration_ns();
                 }
             }
+            EventKind::Fault => m.faults += 1,
+            EventKind::Shed => m.sheds += 1,
             EventKind::LatchReset | EventKind::RunBegin | EventKind::RunEnd => {}
         }
     }

@@ -41,6 +41,7 @@ fn main() {
     let built = build_mm(n, base, Mode::Nd, 1.0);
 
     let (stats, trace) = run_anchored_traced(&pool, &built, &ctx, &AnchorConfig::default());
+    let stats = stats.expect("algorithm strand panicked");
 
     println!(
         "executed {} tasks in {:.3} ms wall ({} events collected, {} dropped)",

@@ -112,14 +112,14 @@ fn compiled_reexecution_with_packing_scratch_allocates_nothing() {
         // high-water mark.
         for _ in 0..3 {
             c.as_mut_slice().fill(0.0);
-            let stats = compiled.execute_steady(&pool);
+            let stats = compiled.execute_steady(&pool).expect("steady run");
             assert_eq!(stats.tasks, compiled.task_count());
         }
         // Steady state: re-initialisation + re-execution, zero allocations.
         let allocs = count_allocs(|| {
             for _ in 0..5 {
                 c.as_mut_slice().fill(0.0);
-                let stats = compiled.execute_steady(&pool);
+                let stats = compiled.execute_steady(&pool).expect("steady run");
                 assert_eq!(stats.tasks, compiled.task_count());
             }
         });
@@ -145,12 +145,12 @@ fn compiled_reexecution_with_packing_scratch_allocates_nothing() {
         );
         for _ in 0..3 {
             storage[0].pack_from(&spd);
-            compiled.execute_steady(&pool);
+            compiled.execute_steady(&pool).expect("steady run");
         }
         let allocs = count_allocs(|| {
             for _ in 0..5 {
                 storage[0].pack_from(&spd);
-                let stats = compiled.execute_steady(&pool);
+                let stats = compiled.execute_steady(&pool).expect("steady run");
                 assert_eq!(stats.tasks, compiled.task_count());
             }
         });

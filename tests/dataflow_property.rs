@@ -88,7 +88,7 @@ proptest! {
             let (graph, runs, violations) = instrumented_graph(&preds);
             prop_assert!(graph.is_acyclic());
             let pool = ThreadPool::new(pool_size);
-            let stats = execute_graph(&pool, graph);
+            let stats = execute_graph(&pool, graph).expect("run");
             prop_assert_eq!(stats.tasks, n);
             prop_assert_eq!(violations.load(Ordering::SeqCst), 0,
                 "a task started before a predecessor finished (pool = {})", pool_size);
@@ -122,7 +122,7 @@ proptest! {
             })
             .collect();
         let pool = ThreadPool::with_topology(topology);
-        let stats = execute_graph_placed(&pool, graph, placement);
+        let stats = execute_graph_placed(&pool, graph, placement).expect("run");
         prop_assert_eq!(stats.tasks, n);
         prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
         for j in 0..n {

@@ -190,13 +190,13 @@ where
 {
     // 1-worker reference through the one-shot compile path.
     reinit(data, 0);
-    driver::run_once(&ThreadPool::new(1), built, ctx);
+    driver::run_once(&ThreadPool::new(1), built, ctx).expect("run");
     let reference = capture(data, 0);
 
     for workers in pool_sizes() {
         let pool = ThreadPool::new(workers);
         reinit(data, 0);
-        driver::run_once(&pool, built, ctx);
+        driver::run_once(&pool, built, ctx).expect("run");
         let got = capture(data, 0);
         assert_eq!(
             got, reference,

@@ -4,8 +4,9 @@
 //! non-boxed graphs stay reusable under repeated execution.
 
 use nd_runtime::dataflow::{execute_graph, CompiledGraph, TaskGraph, TaskTable};
-use nd_runtime::ThreadPool;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use nd_runtime::{RunError, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 mod common;
@@ -117,14 +118,14 @@ fn boxed_and_table_modes_agree_on_randomized_dags() {
                     g.add_dependency(ids[i], ids[j]);
                 }
             }
-            let stats = execute_graph(&pool, g);
+            let stats = execute_graph(&pool, g).expect("run");
             assert_eq!(stats.tasks, n);
             probe.assert_round(1, &format!("boxed seed={seed} workers={workers}"));
 
             // Non-boxed mode: the probe *is* the task table.
             let table = Arc::new(Probe::new(preds.clone()));
             let graph = Arc::new(CompiledGraph::from_edges(n, &edges_of(&preds), Vec::new()));
-            let stats = graph.execute(&pool, &table);
+            let stats = graph.execute(&pool, &table).expect("run");
             assert_eq!(stats.tasks, n);
             table.assert_round(1, &format!("table seed={seed} workers={workers}"));
             assert!(graph.counters_are_reset());
@@ -143,7 +144,7 @@ fn table_mode_reuse_stays_ordered_over_many_rounds() {
     let pool = ThreadPool::new(8);
     for round in 1..=5 {
         table.reset_round();
-        let stats = graph.execute(&pool, &table);
+        let stats = graph.execute(&pool, &table).expect("run");
         assert_eq!(stats.tasks, n);
         assert!(graph.counters_are_reset(), "round {round}");
         table.assert_round(round, &format!("round {round}"));
@@ -163,7 +164,7 @@ fn long_chain_runs_in_order_through_tail_execution() {
     for workers in [1usize, 4] {
         let pool = ThreadPool::new(workers);
         table.reset_round();
-        let stats = graph.execute(&pool, &table);
+        let stats = graph.execute(&pool, &table).expect("run");
         assert_eq!(stats.tasks, n);
         // The chain admits no parallelism: one worker must have run everything.
         assert_eq!(
@@ -174,4 +175,103 @@ fn long_chain_runs_in_order_through_tail_execution() {
     }
     table.assert_round(2, "chain");
     assert_eq!(table.violations.load(Ordering::SeqCst), 0);
+}
+
+/// A deterministic dataflow computation with an armable bomb: task `j` writes
+/// `out[j] = 1 + Σ out[preds(j)]` (wrapping; a pure function of the DAG,
+/// independent of the schedule), and panics instead when it is the bomb task
+/// and the bomb is armed.
+struct BombTable {
+    preds: Vec<Vec<usize>>,
+    out: Vec<AtomicU64>,
+    boom: usize,
+    armed: AtomicBool,
+}
+
+impl BombTable {
+    fn new(preds: Vec<Vec<usize>>, boom: usize) -> Self {
+        let n = preds.len();
+        BombTable {
+            preds,
+            out: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            boom,
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.out.iter().map(|v| v.load(Ordering::SeqCst)).collect()
+    }
+}
+
+impl TaskTable for BombTable {
+    fn run_task(&self, task: u32) {
+        let j = task as usize;
+        if j == self.boom && self.armed.load(Ordering::SeqCst) {
+            panic!("injected panic at strand {j}");
+        }
+        let sum = self.preds[j].iter().fold(0u64, |acc, &p| {
+            acc.wrapping_add(self.out[p].load(Ordering::SeqCst))
+        });
+        self.out[j].store(sum.wrapping_add(1), Ordering::SeqCst);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Panic-recovery property: a panic at a random strand of a random DAG
+    /// surfaces as a typed [`RunError::Panicked`] naming that strand, the run
+    /// drains (no hang, no strand after the fault runs), and after `reset()`
+    /// the same graph re-executes to output bit-identical to a never-faulted
+    /// run — on every pool size of the matrix.
+    #[test]
+    fn panic_at_random_strand_recovers_bit_identically(
+        seed in 0u64..10_000,
+        density in 10u64..80,
+        boom in 0usize..300,
+    ) {
+        let n = 300usize;
+        let preds = random_preds(n, density, seed);
+
+        // The oracle: one clean run on one worker.
+        let reference = {
+            let table = Arc::new(BombTable::new(preds.clone(), boom));
+            table.armed.store(false, Ordering::SeqCst);
+            let graph = Arc::new(CompiledGraph::from_edges(n, &edges_of(&preds), Vec::new()));
+            graph.execute(&ThreadPool::new(1), &table).expect("oracle run");
+            table.snapshot()
+        };
+
+        for workers in pool_sizes() {
+            let pool = ThreadPool::new(workers);
+            let table = Arc::new(BombTable::new(preds.clone(), boom));
+            let graph = Arc::new(CompiledGraph::from_edges(n, &edges_of(&preds), Vec::new()));
+
+            let err = graph.execute(&pool, &table).expect_err("armed bomb must fault");
+            match &err {
+                RunError::Panicked { task, payload, .. } => {
+                    prop_assert_eq!(*task, boom as u32);
+                    prop_assert!(payload.contains("injected panic"), "payload: {}", payload);
+                }
+                other => prop_assert!(false, "expected Panicked, got {:?}", other),
+            }
+            // The bomb task itself never completed.
+            prop_assert_eq!(table.out[boom].load(Ordering::SeqCst), 0);
+
+            // Documented recovery: reset, disarm, re-execute.
+            graph.reset();
+            prop_assert!(graph.counters_are_reset(), "workers={}", workers);
+            table.armed.store(false, Ordering::SeqCst);
+            let stats = graph.execute(&pool, &table).expect("recovery run");
+            prop_assert_eq!(stats.tasks, n);
+            prop_assert!(graph.counters_are_reset(), "workers={}", workers);
+            prop_assert_eq!(
+                table.snapshot(),
+                reference.clone(),
+                "recovered output must be bit-identical (workers={})",
+                workers
+            );
+        }
+    }
 }

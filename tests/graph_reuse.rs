@@ -40,7 +40,7 @@ fn reusable_boxed_graph_executes_three_times_with_restored_counters() {
     let mut compiled = g.compile();
     assert!(compiled.counters_are_reset());
     for round in 1..=3 {
-        let stats = compiled.execute(&pool);
+        let stats = compiled.execute(&pool).expect("run");
         assert_eq!(stats.tasks, n, "round {round}");
         assert!(
             runs.iter().all(|r| r.load(Ordering::SeqCst) == round),
@@ -72,7 +72,7 @@ fn compiled_algorithm_reuse_is_bit_identical() {
     let mut reference: Option<Matrix> = None;
     for round in 0..3 {
         c.as_mut_slice().fill(0.0); // reset the output in place between runs
-        let stats = compiled.execute(&pool);
+        let stats = compiled.execute(&pool).expect("run");
         assert_eq!(stats.tasks, compiled.task_count(), "round {round}");
         assert!(compiled.counters_are_reset(), "round {round}");
         match &reference {
@@ -107,7 +107,7 @@ fn compiled_graph_reuse_across_pool_sizes() {
     for workers in pool_sizes() {
         let pool = ThreadPool::new(workers);
         c.as_mut_slice().fill(0.0);
-        compiled.execute(&pool);
+        compiled.execute(&pool).expect("run");
         assert!(compiled.counters_are_reset(), "workers={workers}");
         match &reference {
             None => reference = Some(c.clone()),

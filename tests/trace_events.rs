@@ -41,7 +41,10 @@ fn traced_mm(workers: usize, n: usize) -> Trace {
     let mut bm = b.clone();
     let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
     let (stats, trace) = driver::run_once_traced(&pool, &built, &ctx);
-    assert!(stats.tasks > 0, "the traced run must execute tasks");
+    assert!(
+        stats.expect("traced run").tasks > 0,
+        "the traced run must execute tasks"
+    );
     trace
 }
 
@@ -128,7 +131,7 @@ proptest! {
             let graph = Arc::new(CompiledGraph::from_edges(n, &edges, Vec::new()));
             let table = Arc::new(NopTable);
             let session = TraceSession::start(pool.tracer(), TraceConfig::default());
-            let stats = graph.execute(&pool, &table);
+            let stats = graph.execute(&pool, &table).expect("run");
             let trace = session.finish();
             prop_assert_eq!(stats.tasks, n);
             prop_assert_eq!(trace.dropped, 0, "default capacity must hold {} tasks", n);
@@ -179,6 +182,7 @@ fn anchored_mm_chrome_trace_carries_scheduler_columns() {
     let mut bm = b.clone();
     let ctx = ExecContext::from_matrices(&mut [&mut c, &mut am, &mut bm]);
     let (stats, trace) = run_anchored_traced(&pool, &built, &ctx, &AnchorConfig::default());
+    let stats = stats.expect("traced anchored run");
     assert!(stats.exec.tasks > 0);
     assert_eq!(trace.dropped, 0);
     assert_eq!(trace.num_workers, 2);
@@ -242,7 +246,7 @@ fn pool_stats_snapshots_count_executed_jobs() {
     let n = 500usize;
     let graph = Arc::new(CompiledGraph::from_edges(n, &[], Vec::new()));
     let table = Arc::new(NopTable);
-    graph.execute(&pool, &table);
+    graph.execute(&pool, &table).expect("run");
     let delta = pool.stats().since(&before);
     assert_eq!(delta.jobs_executed, n as u64, "one executed job per task");
     assert_eq!(
@@ -261,7 +265,7 @@ fn events_outside_a_session_are_not_recorded() {
     let edges = random_edges(n, 30, 11);
     let graph = Arc::new(CompiledGraph::from_edges(n, &edges, Vec::new()));
     let table = Arc::new(NopTable);
-    graph.execute(&pool, &table); // untraced: tracer disabled
+    graph.execute(&pool, &table).expect("run"); // untraced: tracer disabled
     let session = TraceSession::start(pool.tracer(), TraceConfig::default());
     let trace = session.finish();
     assert_eq!(trace.events.len(), 0, "no work ran inside the session");

@@ -1,0 +1,218 @@
+//! Small-N DAG shapes: representation, exhaustive enumeration, and
+//! isomorphism-deduplication.
+//!
+//! The protocol model is symmetric under task relabelling — the invariants it
+//! checks (exactly-once claiming, counter restoration, latch release) do not
+//! mention task identities — so it suffices to explore one representative per
+//! isomorphism class.  Every DAG admits a topological labelling, hence every
+//! class has a representative whose edges all point from a lower index to a
+//! higher one; enumeration therefore walks the `2^C(n,2)` forward-edge masks
+//! and keeps the first member of each class (canonical form = the minimum
+//! adjacency bitmask over all `n!` vertex permutations).
+
+use crate::state::MAX_TASKS;
+
+/// A directed acyclic graph on `n ≤ MAX_TASKS` tasks, stored as an adjacency
+/// bitmask: bit `i * MAX_TASKS + j` is set iff there is an edge `i → j`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dag {
+    n: u8,
+    adj: u64,
+}
+
+impl Dag {
+    /// Builds a DAG from an explicit edge list.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-edges, or `n > MAX_TASKS`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(n <= MAX_TASKS, "at most {MAX_TASKS} tasks");
+        let mut adj = 0u64;
+        for &(i, j) in edges {
+            assert!(
+                (i as usize) < n && (j as usize) < n,
+                "edge endpoint out of range"
+            );
+            assert_ne!(i, j, "self-edge");
+            adj |= 1 << (i as usize * MAX_TASKS + j as usize);
+        }
+        let dag = Dag { n: n as u8, adj };
+        assert!(dag.is_acyclic(), "edge list has a cycle");
+        dag
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// `true` iff the edge `i → j` exists.
+    #[inline]
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adj & (1 << (i * MAX_TASKS + j)) != 0
+    }
+
+    /// The successors of task `i`, ascending.
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n as usize).filter(move |&j| self.has_edge(i, j))
+    }
+
+    /// The number of successors of task `i`.
+    pub fn successor_count(&self, i: usize) -> usize {
+        ((self.adj >> (i * MAX_TASKS)) & ((1 << MAX_TASKS) - 1)).count_ones() as usize
+    }
+
+    /// The `k`-th successor (ascending) of task `i`.
+    pub fn successor(&self, i: usize, k: usize) -> usize {
+        self.successors(i).nth(k).expect("successor index in range")
+    }
+
+    /// Initial predecessor count of each task — the dependency counters a
+    /// [`CompiledGraph`](nd_runtime::CompiledGraph) would store.
+    pub fn initial_preds(&self) -> [u8; MAX_TASKS] {
+        let mut preds = [0u8; MAX_TASKS];
+        for i in 0..self.n as usize {
+            for j in self.successors(i) {
+                preds[j] += 1;
+            }
+        }
+        preds
+    }
+
+    /// Tasks with no predecessors, ascending.
+    pub fn roots(&self) -> Vec<u8> {
+        let preds = self.initial_preds();
+        (0..self.n).filter(|&t| preds[t as usize] == 0).collect()
+    }
+
+    /// The edge list in `(from, to)` form, suitable for
+    /// [`CompiledGraph::from_edges`](nd_runtime::CompiledGraph::from_edges).
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for i in 0..self.n as usize {
+            for j in self.successors(i) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+        edges
+    }
+
+    fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm on ≤ MAX_TASKS nodes.
+        let mut preds = self.initial_preds();
+        let mut removed = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.n as usize {
+                if preds[i] == 0 {
+                    preds[i] = u8::MAX; // mark removed
+                    removed += 1;
+                    changed = true;
+                    for j in self.successors(i) {
+                        if preds[j] != u8::MAX {
+                            preds[j] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        removed == self.n as usize
+    }
+
+    /// The minimum adjacency bitmask over all vertex permutations — equal for
+    /// two DAGs iff they are isomorphic as digraphs.
+    fn canonical_form(&self, perms: &[Vec<u8>]) -> u64 {
+        let mut best = u64::MAX;
+        for perm in perms {
+            let mut image = 0u64;
+            let mut rest = self.adj;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let (i, j) = (bit / MAX_TASKS, bit % MAX_TASKS);
+                image |= 1 << (perm[i] as usize * MAX_TASKS + perm[j] as usize);
+            }
+            best = best.min(image);
+        }
+        best
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut items: Vec<u8> = (0..n as u8).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Enumerates one representative per isomorphism class of DAGs on exactly `n`
+/// tasks.  The counts for `n = 1..=6` are `1, 2, 6, 31, 302, 5984` (OEIS
+/// A003087: acyclic digraphs on n unlabelled nodes).
+pub fn enumerate_dags(n: usize) -> Vec<Dag> {
+    assert!((1..=MAX_TASKS).contains(&n));
+    // All DAGs admit a topological labelling, so forward-edge masks (edges
+    // only from lower to higher index) cover every class.
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    let perms = permutations(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << pairs.len()) {
+        let mut adj = 0u64;
+        for (b, &(i, j)) in pairs.iter().enumerate() {
+            if mask & (1 << b) != 0 {
+                adj |= 1 << (i * MAX_TASKS + j);
+            }
+        }
+        let dag = Dag { n: n as u8, adj };
+        if seen.insert(dag.canonical_form(&perms)) {
+            out.push(dag);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlabelled_dag_counts_match_oeis_a003087() {
+        let counts: Vec<usize> = (1..=6).map(|n| enumerate_dags(n).len()).collect();
+        assert_eq!(counts, vec![1, 2, 6, 31, 302, 5984]);
+    }
+
+    #[test]
+    fn diamond_metadata() {
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(d.initial_preds()[..4], [0, 1, 1, 2]);
+        assert_eq!(d.roots(), vec![0]);
+        assert_eq!(d.successor_count(0), 2);
+        assert_eq!(d.successor(0, 1), 2);
+        assert_eq!(d.edges(), vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_edge_list_is_rejected() {
+        Dag::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! The acceptance sweep: every DAG shape up to 6 tasks × 1–3 workers,
+//! explored exhaustively with and without an injected fault, as a two-run
+//! (execute → reset → re-execute) state space.  Zero violations expected.
+//!
+//! The CI `verify-model` job runs the even wider sweep (a panic injected at
+//! *every* strand of every shape) through the release-built `verify_model`
+//! binary; this test keeps the per-shape fault set to one representative
+//! panic plus the nondeterministic deadline so the whole matrix stays
+//! test-suite-sized.
+
+use nd_model::{check, enumerate_dags, CheckStats, Config, Fault};
+
+#[test]
+fn all_dag_shapes_up_to_six_tasks_hold_the_invariants() {
+    let mut grand = CheckStats::default();
+    let mut shapes = 0usize;
+    for n in 1..=6usize {
+        for dag in enumerate_dags(n) {
+            shapes += 1;
+            for workers in 1..=3usize {
+                // With and without an injected fault: clean, a panic at a
+                // mid-graph strand, and a deadline that may trip at any claim.
+                for fault in [
+                    Fault::None,
+                    Fault::PanicAt((n / 2) as u8),
+                    Fault::DeadlineAnytime,
+                ] {
+                    match check(Config::new(dag, workers, fault)) {
+                        Ok(stats) => grand.absorb(stats),
+                        Err(cex) => panic!(
+                            "violation in {n}-task DAG {:?} × {workers} workers × {fault:?}:\n{cex}",
+                            dag.edges()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    // 1 + 2 + 6 + 31 + 302 + 5984 isomorphism classes.
+    assert_eq!(shapes, 6326, "DAG enumeration changed size");
+    assert!(
+        grand.states > 1_000_000,
+        "suspiciously small sweep: {grand:?}"
+    );
+    println!(
+        "sweep: {shapes} shapes × 3 worker counts × 3 faults — {} states, {} transitions",
+        grand.states, grand.transitions
+    );
+}

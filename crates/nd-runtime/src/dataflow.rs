@@ -90,6 +90,7 @@ use crate::pool::{GraphTask, JobUnit, ThreadPool, WorkerCtx};
 use nd_trace::{EventKind, TraceEvent, EXEC_FLAG_INLINE, NO_TASK};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -555,6 +556,40 @@ impl CompiledGraph {
             .unwrap_or(Placement::Anywhere)
     }
 
+    /// The claim boundary's self-reset half: restores `id`'s live counter to
+    /// its initial value the moment the task is claimed.  All predecessors
+    /// have finished (the counter was zero), and nothing decrements this slot
+    /// again until the *next* execution, which cannot start before this one
+    /// completes — so the store needs no ordering.
+    ///
+    /// Both execution paths go through here: the pool's workers
+    /// ([`GraphTask::run_graph_task`]) and the deterministic
+    /// [`ScheduleDriver`].  `nd-model` model-checks exactly this protocol;
+    /// keeping it in one place is what makes the conformance replay honest.
+    #[inline]
+    pub(crate) fn claim_restore(&self, id: u32) {
+        self.pending[id as usize].store(self.initial_preds[id as usize], Ordering::Relaxed);
+    }
+
+    /// The finish half of the protocol: decrements every successor's live
+    /// counter (the atomic handoff that makes the *last* finishing
+    /// predecessor the one that readies a task) and invokes `on_ready` for
+    /// each successor whose counter reaches zero.
+    ///
+    /// The caller decides what "ready" means operationally — the pool path
+    /// spawns or tail-executes, the [`ScheduleDriver`] pushes onto its
+    /// frontier — but the counter discipline is shared.
+    #[inline]
+    pub(crate) fn finish_successors(&self, id: u32, mut on_ready: impl FnMut(u32)) {
+        for &s in self.successors(id) {
+            let prev = self.pending[s as usize].fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "dependency counter underflow");
+            if prev == 1 {
+                on_ready(s);
+            }
+        }
+    }
+
     /// Executes the graph on `pool`, dispatching every task through `table`,
     /// and blocks until every task has run.  On success the graph is left
     /// reset, ready for the next execution; on a fault (a strand panicked)
@@ -911,11 +946,10 @@ impl<T: TaskTable> GraphTask for ActiveRun<T> {
         let mut steal_wire = ctx.steal_distance_wire();
         let mut exec_flags = 0u32;
         loop {
-            // Restore the live counter the moment the task is claimed: all
-            // predecessors have finished, and nothing decrements this slot
-            // again until the *next* execution, which cannot start before this
-            // one completes.  This is what makes the graph self-resetting.
-            g.pending[id as usize].store(g.initial_preds[id as usize], Ordering::Relaxed);
+            // Restore the live counter the moment the task is claimed (the
+            // self-resetting half of the protocol; see
+            // [`CompiledGraph::claim_restore`]).
+            g.claim_restore(id);
             // The claim boundary is also the fault boundary: a cancelled run
             // *drains* — every remaining task is still claimed exactly once
             // and performs full successor/latch bookkeeping below, just
@@ -956,18 +990,14 @@ impl<T: TaskTable> GraphTask for ActiveRun<T> {
 
             let mut first_ready = None;
             let mut ready = 0u32;
-            for &s in g.successors(id) {
-                let prev = g.pending[s as usize].fetch_sub(1, Ordering::AcqRel);
-                debug_assert!(prev > 0, "dependency counter underflow");
-                if prev == 1 {
-                    ready += 1;
-                    if first_ready.is_none() {
-                        first_ready = Some(s);
-                    } else {
-                        self.spawn(s, ctx);
-                    }
+            g.finish_successors(id, |s| {
+                ready += 1;
+                if first_ready.is_none() {
+                    first_ready = Some(s);
+                } else {
+                    self.spawn(s, ctx);
                 }
-            }
+            });
             self.latch.count_down();
             match first_ready {
                 // Inline tail-execution: exactly one successor became ready
@@ -1070,6 +1100,247 @@ impl ReusableGraph {
     /// Restores the dependency counters (see [`CompiledGraph::reset`]).
     pub fn reset(&self) {
         self.graph.reset()
+    }
+}
+
+/// What one [`ScheduleDriver::step`] did with its task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The task was claimed live and its work ran to completion.
+    Executed,
+    /// The task was claimed in a cancelled run: the full claim protocol was
+    /// performed (counter restored, successors decremented, latch counted
+    /// down) but the work was skipped — the drain path.
+    Drained,
+    /// The task's work panicked; the unwind was caught, the fault recorded
+    /// (first fault wins) and the rest of the run will drain.
+    Panicked,
+}
+
+/// A schedule handed to [`ScheduleDriver::step`] broke the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The driven task is not on the ready frontier: either its dependency
+    /// counter has not reached zero (claiming it would violate the
+    /// no-claim-of-unready-task invariant) or it was already claimed this
+    /// run (claiming it again would violate exactly-once).
+    NotReady {
+        /// The task the schedule tried to claim.
+        task: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotReady { task } => {
+                write!(f, "task {task} is not on the ready frontier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A deterministic schedule driver: executes a [`CompiledGraph`] **one claim
+/// at a time on the calling thread**, with the schedule chosen by the caller
+/// instead of by the pool's workers and thieves.
+///
+/// This is the conformance hook the `nd-model` state-space explorer replays
+/// its sampled schedules through: every step performs the *real* protocol on
+/// the *real* shared objects — the graph's atomic dependency counters
+/// (`CompiledGraph::claim_restore` / `CompiledGraph::finish_successors`),
+/// a genuine [`CountLatch`], and the same `FaultCell` cancellation/drain
+/// machinery the pool path uses — so a schedule accepted here is a schedule
+/// the concurrent executor could actually take, and the observable outcome
+/// (claim order, executed-vs-drained partition, final error, counter state)
+/// is the implementation's answer, not a simulation's.
+///
+/// The driver holds the graph's in-flight guard for its whole lifetime;
+/// dropping it mid-run resets the graph (counters re-asserted, guard
+/// cleared), so an abandoned replay cannot poison later executions.
+///
+/// ```
+/// use nd_runtime::dataflow::{CompiledGraph, ScheduleDriver, StepOutcome, TaskTable};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// struct Marks(Vec<AtomicUsize>);
+/// impl TaskTable for Marks {
+///     fn run_task(&self, task: u32) {
+///         self.0[task as usize].fetch_add(1, Ordering::SeqCst);
+///     }
+/// }
+///
+/// // A diamond: 0 → {1, 2} → 3, driven in the order 0, 2, 1, 3.
+/// let graph = Arc::new(CompiledGraph::from_edges(
+///     4,
+///     &[(0, 1), (0, 2), (1, 3), (2, 3)],
+///     Vec::new(),
+/// ));
+/// let table = Arc::new(Marks((0..4).map(|_| AtomicUsize::new(0)).collect()));
+/// let mut driver = ScheduleDriver::new(&graph, &table);
+/// assert_eq!(driver.ready(), &[0]);
+/// for &t in &[0, 2, 1, 3] {
+///     assert_eq!(driver.step(t).unwrap(), StepOutcome::Executed);
+/// }
+/// assert_eq!(driver.claim_order(), &[0, 2, 1, 3]);
+/// driver.finish().unwrap();
+/// assert!(graph.counters_are_reset());
+/// ```
+pub struct ScheduleDriver<T: TaskTable> {
+    graph: Arc<CompiledGraph>,
+    table: Arc<T>,
+    fault: FaultCell,
+    latch: CountLatch,
+    /// The ready frontier: unclaimed tasks whose dependency counters are
+    /// zero, kept sorted for deterministic inspection.
+    ready: Vec<u32>,
+    claim_order: Vec<u32>,
+}
+
+impl<T: TaskTable> ScheduleDriver<T> {
+    /// Starts a driven run of `graph` with an unbounded budget.
+    ///
+    /// # Panics
+    /// Panics if another execution of the graph is still in flight.
+    pub fn new(graph: &Arc<CompiledGraph>, table: &Arc<T>) -> Self {
+        Self::with_budget(graph, table, &RunBudget::UNBOUNDED)
+    }
+
+    /// Starts a driven run of `graph` under `budget` (the deadline is checked
+    /// at every claim, exactly like the pool path).
+    ///
+    /// # Panics
+    /// Panics if another execution of the graph is still in flight.
+    pub fn with_budget(graph: &Arc<CompiledGraph>, table: &Arc<T>, budget: &RunBudget) -> Self {
+        assert!(
+            !graph.in_flight.swap(true, Ordering::Acquire),
+            "compiled graph is already executing"
+        );
+        debug_assert!(
+            graph.counters_are_reset(),
+            "dependency counters not at their initial values — \
+             was a previous execution aborted without reset()?"
+        );
+        let fault = FaultCell::new();
+        fault.arm(budget);
+        let mut ready = graph.roots.clone();
+        ready.sort_unstable();
+        ScheduleDriver {
+            graph: Arc::clone(graph),
+            table: Arc::clone(table),
+            fault,
+            latch: CountLatch::new(graph.task_count()),
+            ready,
+            claim_order: Vec::with_capacity(graph.task_count()),
+        }
+    }
+
+    /// The current ready frontier (sorted ascending): tasks whose dependency
+    /// counters have reached zero and that have not been claimed yet.
+    pub fn ready(&self) -> &[u32] {
+        &self.ready
+    }
+
+    /// The tasks claimed so far, in claim order.
+    pub fn claim_order(&self) -> &[u32] {
+        &self.claim_order
+    }
+
+    /// `true` once every task has been claimed (the latch has released).
+    pub fn is_complete(&self) -> bool {
+        self.latch.is_released()
+    }
+
+    /// Cancels the rest of the run as `err` (first fault wins), exactly as a
+    /// worker observing a fault would: subsequent claims drain.
+    pub fn cancel(&self, err: RunError) {
+        self.fault.fail(err);
+    }
+
+    /// Claims `task` and performs one full protocol step: counter self-reset,
+    /// cancellation/deadline consult, the work (under the same catch scope as
+    /// the pool path, so a panicking task becomes a typed fault and the run
+    /// drains), successor decrements, latch countdown.
+    ///
+    /// # Errors
+    /// [`ScheduleError::NotReady`] if `task` is not on the ready frontier —
+    /// the driver refuses to double-claim or to claim an unready task, which
+    /// is precisely the property the conformance replay checks.
+    pub fn step(&mut self, task: u32) -> Result<StepOutcome, ScheduleError> {
+        let at = self
+            .ready
+            .binary_search(&task)
+            .map_err(|_| ScheduleError::NotReady { task })?;
+        self.ready.remove(at);
+        self.graph.claim_restore(task);
+        let mut outcome = StepOutcome::Drained;
+        let mut live = !self.fault.cancelled();
+        if live {
+            if let Some((deadline, elapsed)) = self.fault.deadline_blown() {
+                self.fault
+                    .fail(RunError::DeadlineExceeded { deadline, elapsed });
+                live = false;
+            }
+        }
+        if live {
+            let table = &self.table;
+            match catch_unwind(AssertUnwindSafe(|| table.run_task(task))) {
+                Ok(()) => outcome = StepOutcome::Executed,
+                Err(payload) => {
+                    self.fault.fail(RunError::Panicked {
+                        task,
+                        op_kind: self.table.task_label(task),
+                        payload: RunError::payload_string(&*payload),
+                    });
+                    outcome = StepOutcome::Panicked;
+                }
+            }
+        }
+        let ready = &mut self.ready;
+        self.graph.finish_successors(task, |s| {
+            if let Err(pos) = ready.binary_search(&s) {
+                ready.insert(pos, s);
+            }
+        });
+        self.latch.count_down();
+        self.claim_order.push(task);
+        Ok(outcome)
+    }
+
+    /// Ends the run: returns the fault (if any) once every task has been
+    /// claimed, leaving the graph reset and ready for its next execution.
+    ///
+    /// # Panics
+    /// Panics if tasks remain unclaimed — an incomplete schedule is a driver
+    /// bug, not a run outcome.
+    pub fn finish(self) -> Result<(), RunError> {
+        assert!(
+            self.latch.is_released(),
+            "schedule incomplete: {} of {} tasks claimed",
+            self.claim_order.len(),
+            self.graph.task_count()
+        );
+        let result = match self.fault.take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        };
+        // Drop clears the in-flight guard (the latch is released, so the
+        // counters are already restored).
+        result
+    }
+}
+
+impl<T: TaskTable> Drop for ScheduleDriver<T> {
+    fn drop(&mut self) {
+        if self.latch.is_released() {
+            self.graph.in_flight.store(false, Ordering::Release);
+        } else {
+            // Abandoned mid-run: re-assert the counters and clear the guard
+            // so the graph stays usable (the documented post-fault recovery).
+            self.graph.reset();
+        }
     }
 }
 
@@ -1553,5 +1824,143 @@ mod tests {
         let mut compiled = g.compile();
         let stats = compiled.execute_with(&p, &RunBudget::UNBOUNDED).unwrap();
         assert_eq!(stats.tasks, 32);
+    }
+
+    /// Records each task's execution in claim order.
+    struct RecordingTable {
+        ran: Mutex<Vec<u32>>,
+        panic_at: Option<u32>,
+    }
+
+    impl RecordingTable {
+        fn new(panic_at: Option<u32>) -> Arc<Self> {
+            Arc::new(RecordingTable {
+                ran: Mutex::new(Vec::new()),
+                panic_at,
+            })
+        }
+    }
+
+    impl TaskTable for RecordingTable {
+        fn run_task(&self, task: u32) {
+            if self.panic_at == Some(task) {
+                panic!("injected fault at task {task}");
+            }
+            self.ran.lock().push(task);
+        }
+        fn task_label(&self, _task: u32) -> &'static str {
+            "recorded"
+        }
+    }
+
+    fn diamond() -> Arc<CompiledGraph> {
+        Arc::new(CompiledGraph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            Vec::new(),
+        ))
+    }
+
+    #[test]
+    fn driver_executes_a_chosen_schedule() {
+        let graph = diamond();
+        let table = RecordingTable::new(None);
+        let mut d = ScheduleDriver::new(&graph, &table);
+        assert_eq!(d.ready(), &[0]);
+        assert!(!d.is_complete());
+        assert_eq!(d.step(0).unwrap(), StepOutcome::Executed);
+        assert_eq!(d.ready(), &[1, 2]);
+        assert_eq!(d.step(2).unwrap(), StepOutcome::Executed);
+        assert_eq!(d.ready(), &[1]);
+        assert_eq!(d.step(1).unwrap(), StepOutcome::Executed);
+        assert_eq!(d.ready(), &[3]);
+        assert_eq!(d.step(3).unwrap(), StepOutcome::Executed);
+        assert!(d.is_complete());
+        assert_eq!(d.claim_order(), &[0, 2, 1, 3]);
+        assert_eq!(*table.ran.lock(), vec![0, 2, 1, 3]);
+        d.finish().unwrap();
+        assert!(graph.counters_are_reset());
+        assert!(!graph.in_flight.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn driver_rejects_unready_and_double_claims() {
+        let graph = diamond();
+        let table = RecordingTable::new(None);
+        let mut d = ScheduleDriver::new(&graph, &table);
+        // Task 3 still has pending predecessors.
+        assert_eq!(d.step(3), Err(ScheduleError::NotReady { task: 3 }));
+        d.step(0).unwrap();
+        // Double claim.
+        assert_eq!(d.step(0), Err(ScheduleError::NotReady { task: 0 }));
+        // A rejected step must not have perturbed the run.
+        assert_eq!(d.ready(), &[1, 2]);
+        for t in [1, 2, 3] {
+            d.step(t).unwrap();
+        }
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn driver_panicking_task_drains_the_rest() {
+        let graph = diamond();
+        let table = RecordingTable::new(Some(1));
+        let mut d = ScheduleDriver::new(&graph, &table);
+        assert_eq!(d.step(0).unwrap(), StepOutcome::Executed);
+        assert_eq!(d.step(1).unwrap(), StepOutcome::Panicked);
+        // Every remaining claim performs the full protocol but skips the work.
+        assert_eq!(d.step(2).unwrap(), StepOutcome::Drained);
+        assert_eq!(d.step(3).unwrap(), StepOutcome::Drained);
+        assert!(d.is_complete());
+        match d.finish().unwrap_err() {
+            RunError::Panicked { task, op_kind, .. } => {
+                assert_eq!(task, 1);
+                assert_eq!(op_kind, "recorded");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(*table.ran.lock(), vec![0]);
+        // The drain restored every counter; the graph is immediately reusable.
+        assert!(graph.counters_are_reset());
+        let table2 = RecordingTable::new(None);
+        let mut d = ScheduleDriver::new(&graph, &table2);
+        for t in [0, 1, 2, 3] {
+            d.step(t).unwrap();
+        }
+        d.finish().unwrap();
+        assert_eq!(*table2.ran.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn driver_expired_deadline_drains_from_the_first_claim() {
+        let graph = diamond();
+        let table = RecordingTable::new(None);
+        let budget = RunBudget::with_deadline(Duration::from_nanos(1));
+        let mut d = ScheduleDriver::with_budget(&graph, &table, &budget);
+        std::thread::sleep(Duration::from_millis(2));
+        for t in [0, 1, 2, 3] {
+            assert_eq!(d.step(t).unwrap(), StepOutcome::Drained);
+        }
+        match d.finish().unwrap_err() {
+            RunError::DeadlineExceeded { .. } => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(table.ran.lock().is_empty());
+        assert!(graph.counters_are_reset());
+    }
+
+    #[test]
+    fn driver_abandoned_mid_run_resets_the_graph() {
+        let graph = diamond();
+        let table = RecordingTable::new(None);
+        let mut d = ScheduleDriver::new(&graph, &table);
+        d.step(0).unwrap();
+        drop(d);
+        assert!(graph.counters_are_reset());
+        assert!(!graph.in_flight.load(Ordering::SeqCst));
+        // The pool path still works on the same graph afterwards.
+        let p = pool();
+        let stats = graph.execute(&p, &table).unwrap();
+        assert_eq!(stats.tasks, 4);
     }
 }

@@ -58,7 +58,8 @@ pub mod pool;
 #[cfg(feature = "chaos")]
 pub use chaos::{ChaosStats, FaultPlan, WorkerDelay, CHAOS_PANIC_MARKER};
 pub use dataflow::{
-    CompiledGraph, ExecStats, Placement, ReusableGraph, TaskGraph, TaskId, TaskTable,
+    CompiledGraph, ExecStats, Placement, ReusableGraph, ScheduleDriver, ScheduleError, StepOutcome,
+    TaskGraph, TaskId, TaskTable,
 };
 pub use fault::{AdmissionConfig, OverloadPolicy, Priority, RunBudget, RunError, SubmitOutcome};
 pub use lower::{lower_dag, lower_dag_boxed, LoweredDag};

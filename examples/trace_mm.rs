@@ -1,11 +1,12 @@
 //! Tracing quickstart: run one anchored matrix multiplication under a trace
 //! session, print a per-worker summary table, and write the full
-//! Chrome-trace JSON to `trace.json` (open it in `chrome://tracing` or
+//! Chrome-trace JSON (open it in `chrome://tracing` or
 //! [Perfetto](https://ui.perfetto.dev)).
 //!
-//! Run with `cargo run --release --example trace_mm -- [n] [base]`
-//! (defaults: 256, 16).  `ND_TRACE_CAPACITY` sets the per-worker event-ring
-//! capacity (default 65536 events).
+//! Run with `cargo run --release --example trace_mm -- [n] [base] [out.json]`
+//! (defaults: 256, 16, `target/trace.json` — never the working directory).
+//! `ND_TRACE_CAPACITY` sets the per-worker event-ring capacity (default
+//! 65536 events).
 
 use nested_dataflow::algorithms::common::Mode;
 use nested_dataflow::algorithms::exec::ExecContext;
@@ -26,6 +27,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(16)
         .min(n);
+    let out = std::env::args()
+        .nth(3)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new("target").join("trace.json"));
 
     let host = detect_host();
     let pool = HierarchicalPool::new(host.machine(), StealPolicy::NearestFirst);
@@ -84,7 +89,14 @@ fn main() {
         );
     }
 
-    std::fs::write("trace.json", chrome_trace_json(&trace)).expect("failed to write trace.json");
-    println!("\nwrote trace.json (chrome://tracing / ui.perfetto.dev)");
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("failed to create trace output directory");
+    }
+    std::fs::write(&out, chrome_trace_json(&trace))
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", out.display()));
+    println!(
+        "\nwrote {} (chrome://tracing / ui.perfetto.dev)",
+        out.display()
+    );
     println!("metrics summary: {}", metrics_summary_json(&trace));
 }

@@ -3,7 +3,10 @@
 //! queue-depth bound must hold, shed counts must be exact, and every job that
 //! was not shed must run exactly once.
 
-use nd_runtime::{AdmissionConfig, OverloadPolicy, Priority, SubmitOutcome, ThreadPool};
+use nd_runtime::{
+    AdmissionConfig, CompiledGraph, OverloadPolicy, Priority, RunBudget, RunError, SubmitOutcome,
+    TaskTable, ThreadPool,
+};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -197,4 +200,110 @@ fn pool_stats_carry_fault_counters() {
     let delta = pool.stats().since(&before);
     assert_eq!(delta.jobs_shed, 1);
     assert_eq!(delta.jobs_degraded, 0);
+}
+
+/// A `RunBudget` deadline expiring while Degrade-parked low-priority jobs are
+/// queued: the faulted graph run must drain structurally, the parked queue
+/// must still be pumped to empty once the slot-holder finishes, and the pool
+/// must stay fully usable — the deadline fault and the admission layer are
+/// independent mechanisms and neither may wedge the other.
+#[test]
+fn deadline_fault_does_not_wedge_the_degrade_overflow_queue() {
+    struct Slow;
+    impl TaskTable for Slow {
+        fn run_task(&self, _task: u32) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Two workers minimum: one runs the gated slot-holder, the rest make
+    // progress on the graph (a 1-worker pool would have no one to claim the
+    // graph's tasks until the gate opens, which is the blocker's scenario,
+    // not the deadline's).
+    for workers in [2usize, 8] {
+        let pool =
+            ThreadPool::with_admission(workers, AdmissionConfig::new(1, OverloadPolicy::Degrade));
+
+        // Fill the single admission slot with a gated blocker…
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        assert!(matches!(
+            pool.submit(
+                Priority::High,
+                Box::new(move |_| {
+                    while g.load(Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                })
+            ),
+            SubmitOutcome::Admitted
+        ));
+        // …and park a pile of low-priority jobs behind it.
+        let parked_ran = Arc::new(AtomicUsize::new(0));
+        let parked = 12usize;
+        for _ in 0..parked {
+            let ran = Arc::clone(&parked_ran);
+            assert!(matches!(
+                pool.submit(
+                    Priority::Low,
+                    Box::new(move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    })
+                ),
+                SubmitOutcome::Degraded
+            ));
+        }
+        let snap = pool.admission_stats().expect("admission layer is on");
+        assert_eq!(snap.overflow_queued, parked);
+
+        // A serial chain needing ~64 ms against a 5 ms budget: the deadline
+        // expires while the overflow queue is populated and the slot is held.
+        let n = 32u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|t| (t - 1, t)).collect();
+        let graph = Arc::new(CompiledGraph::from_edges(n as usize, &edges, Vec::new()));
+        let table = Arc::new(Slow);
+        let budget = RunBudget::with_deadline(Duration::from_millis(5));
+        let err = graph.execute_with(&pool, &table, &budget).unwrap_err();
+        assert!(
+            matches!(err, RunError::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {err:?} (workers={workers})"
+        );
+        // The drain finished and self-reset the graph; the parked jobs are
+        // untouched (the slot is still held).
+        assert!(graph.counters_are_reset());
+        let snap = pool.admission_stats().expect("admission layer is on");
+        assert_eq!(snap.overflow_queued, parked, "workers={workers}");
+        assert_eq!(parked_ran.load(Ordering::SeqCst), 0);
+
+        // Open the gate: the slot releases and the overflow queue must pump
+        // dry, one injection per completion.
+        gate.store(1, Ordering::SeqCst);
+        let ran = Arc::clone(&parked_ran);
+        wait_until("parked overflow drains after deadline fault", move || {
+            ran.load(Ordering::SeqCst) == parked
+        });
+        let snap = pool.admission_stats().expect("admission layer is on");
+        assert_eq!(snap.overflow_queued, 0);
+        assert_eq!(snap.outstanding, 0);
+
+        // The pool stays usable on both paths: the same graph completes
+        // under an unbounded budget, and fresh submissions are admitted.
+        let stats = graph.execute(&pool, &table).unwrap();
+        assert_eq!(stats.tasks, n as usize);
+        let after = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&after);
+        assert!(matches!(
+            pool.submit(
+                Priority::Low,
+                Box::new(move |_| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                })
+            ),
+            SubmitOutcome::Admitted
+        ));
+        let a2 = Arc::clone(&after);
+        wait_until("post-fault submission runs", move || {
+            a2.load(Ordering::SeqCst) == 1
+        });
+    }
 }

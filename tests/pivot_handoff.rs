@@ -1,0 +1,123 @@
+//! `PivotStore` handoff property tests: concurrent index-disjoint panel
+//! writes plus DAG-ordered reads must never observe a torn or stale slot,
+//! across the full worker matrix and across compiled-graph re-executions.
+//!
+//! This is the integration-level twin of the `nd-model` torn-write check:
+//! the model proves no two workers can be concurrently inside work that owns
+//! the same slot range *for all small DAG shapes*; this test drives the real
+//! `PivotStore` through the real executor with round-tagged values so any
+//! torn write, lost write, or stale (previous-round) read is detected by
+//! value.
+
+use nd_linalg::PivotStore;
+use nd_runtime::{CompiledGraph, TaskTable, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+mod common;
+use common::pool_sizes;
+
+/// Task layout: task `2k` writes panel `k`'s slots, task `2k + 1` reads them
+/// back (plus panel `k - 1`, handed off across panels).  Writers are mutually
+/// independent — they race on the store, disjointly — and each reader is
+/// DAG-ordered after every writer whose slots it reads.
+struct HandoffTable {
+    store: PivotStore,
+    width: usize,
+    /// Bumped before every execution so a stale read from the previous round
+    /// is distinguishable from a correct one.
+    round: AtomicUsize,
+    mismatches: AtomicUsize,
+}
+
+impl HandoffTable {
+    /// The value panel `k`, slot `s` must hold in round `r` — unique per
+    /// (round, slot), so torn and stale reads differ from it.
+    fn tag(&self, round: usize, panel: usize, slot: usize) -> usize {
+        (round + 1) * 1_000_000 + panel * self.width + slot + 1
+    }
+
+    fn check_panel(&self, round: usize, panel: usize) {
+        // SAFETY: this task is DAG-ordered after panel `panel`'s writer and
+        // no writer of these slots can run concurrently (index-disjoint
+        // ownership) — the contract under test.
+        let slots = unsafe { self.store.slice(panel * self.width, self.width) };
+        for (s, &v) in slots.iter().enumerate() {
+            if v != self.tag(round, panel, s) {
+                self.mismatches.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl TaskTable for HandoffTable {
+    fn run_task(&self, task: u32) {
+        let round = self.round.load(Ordering::SeqCst);
+        let panel = task as usize / 2;
+        if task.is_multiple_of(2) {
+            // SAFETY: panel `panel` owns exactly these slots; all concurrent
+            // writers touch disjoint ranges.
+            let slots = unsafe { self.store.slice_mut(panel * self.width, self.width) };
+            for (s, slot) in slots.iter_mut().enumerate() {
+                *slot = self.tag(round, panel, s);
+            }
+        } else {
+            self.check_panel(round, panel);
+            if panel > 0 {
+                self.check_panel(round, panel - 1);
+            }
+        }
+    }
+
+    fn task_label(&self, task: u32) -> &'static str {
+        if task.is_multiple_of(2) {
+            "panel-write"
+        } else {
+            "pivot-read"
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For every panel count × block width × worker count: all panel writes
+    /// land untorn, all DAG-ordered reads see the current round's values, and
+    /// graph reuse across rounds never leaks a previous round's data.
+    #[test]
+    fn dag_ordered_pivot_handoff_is_never_torn_or_stale(
+        panels in 2usize..6,
+        width in 1usize..9,
+        rounds in 2usize..5,
+    ) {
+        for workers in pool_sizes() {
+            let pool = ThreadPool::new(workers);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for k in 0..panels as u32 {
+                edges.push((2 * k, 2 * k + 1)); // writer k → reader k
+                if k > 0 {
+                    edges.push((2 * (k - 1), 2 * k + 1)); // writer k-1 → reader k
+                }
+            }
+            let graph = Arc::new(CompiledGraph::from_edges(2 * panels, &edges, Vec::new()));
+            let table = Arc::new(HandoffTable {
+                store: PivotStore::new(panels * width),
+                width,
+                round: AtomicUsize::new(0),
+                mismatches: AtomicUsize::new(0),
+            });
+            prop_assert_eq!(table.store.len(), panels * width);
+            for round in 0..rounds {
+                table.round.store(round, Ordering::SeqCst);
+                let stats = graph.execute(&pool, &table).unwrap();
+                prop_assert_eq!(stats.tasks, 2 * panels);
+                prop_assert_eq!(
+                    table.mismatches.load(Ordering::SeqCst), 0,
+                    "torn or stale pivot slot (workers={}, round={})", workers, round
+                );
+                prop_assert!(graph.counters_are_reset());
+            }
+        }
+    }
+}

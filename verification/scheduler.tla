@@ -1,0 +1,258 @@
+------------------------------ MODULE scheduler ------------------------------
+(***************************************************************************)
+(* A TLA+ mirror of the executor protocol model checked (in Rust) by       *)
+(* crates/nd-model: exactly-once task claiming via atomic dependency-      *)
+(* counter decrement with self-resetting counters, a counting latch for    *)
+(* run completion, and a first-fault-wins drain for cancellation.          *)
+(*                                                                         *)
+(* The transition system below corresponds action-for-action to            *)
+(* nd_model::model (which in turn mirrors nd_runtime::dataflow's           *)
+(* run_graph_task at the granularity of its atomics); NOTATION.md carries  *)
+(* the three-way mapping between this spec, the Rust model, and the        *)
+(* implementation.  The spec is a documentation artifact: CI runs the Rust *)
+(* explorer (the `verify-model` job), not TLC, because the container has   *)
+(* no TLA+ toolchain — the Rust model additionally covers work-stealing    *)
+(* deque order and torn-slot detection, which are elided here to keep the  *)
+(* core claim/drain protocol legible.                                      *)
+(*                                                                         *)
+(* Model-check with TLC (if available) using e.g.                          *)
+(*   Tasks     <- 0..3                                                     *)
+(*   Workers   <- {"w0", "w1"}                                             *)
+(*   Succs     <- [t \in 0..3 |-> IF t = 0 THEN {1, 2}                     *)
+(*                                ELSE IF t \in {1, 2} THEN {3} ELSE {}]   *)
+(*   FaultTask <- 1  (or -1 for a clean run)                               *)
+(*   Runs      <- 2                                                        *)
+(***************************************************************************)
+
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS
+    Tasks,      \* the task indices of one compiled graph, e.g. 0..3
+    Workers,    \* the pool's worker identities
+    Succs,      \* [Tasks -> SUBSET Tasks]: the CSR successor arena
+    FaultTask,  \* task whose work panics on run 0, or -1 for no fault
+    Runs        \* back-to-back executions of the reusable graph (2 covers reset)
+
+ASSUME /\ \A t \in Tasks : Succs[t] \subseteq Tasks /\ t \notin Succs[t]
+ASSUME Runs \in {1, 2}
+
+(* Initial predecessor counts — CompiledGraph::initial_preds. *)
+InitPreds == [t \in Tasks |-> Cardinality({s \in Tasks : t \in Succs[s]})]
+
+Roots == {t \in Tasks : InitPreds[t] = 0}
+
+VARIABLES
+    pending,    \* [Tasks -> Nat]: the live atomic dependency counters
+    claimed,    \* SUBSET Tasks: ghost — tasks whose claim has begun
+    executed,   \* SUBSET Tasks: ghost — tasks whose work ran
+    drained,    \* SUBSET Tasks: ghost — claims that skipped work (cancelled run)
+    latch,      \* Nat: the run's CountLatch value
+    latchZeroed,\* Nat: times the latch hit zero this run (must end at 1)
+    cancelled,  \* BOOLEAN: FaultCell::cancelled
+    faultFired, \* BOOLEAN: the injected fault has been consumed
+    run,        \* 0..Runs-1: which execution of the reusable graph
+    ready,      \* SUBSET Tasks: counter-zero tasks awaiting a worker
+                \* (the union of the injector and every deque; the Rust model
+                \*  additionally tracks per-deque order and steal ends)
+    pc          \* [Workers -> program point], mirroring WorkerPc
+
+vars == <<pending, claimed, executed, drained, latch, latchZeroed,
+          cancelled, faultFired, run, ready, pc>>
+
+(* Worker program points, as records tagged like nd_model's WorkerPc.      *)
+Idle         == [phase |-> "idle"]
+Claiming(t)  == [phase |-> "claiming", task |-> t]
+Working(t)   == [phase |-> "working", task |-> t]
+(* "finishing" folds the per-successor decrement loop: todo is the set of  *)
+(* successors not yet decremented, first the tail-exec reservation.        *)
+Finishing(t, todo, first) ==
+    [phase |-> "finishing", task |-> t, todo |-> todo, first |-> first]
+
+NoTask == -1
+
+Init ==
+    /\ pending = InitPreds
+    /\ claimed = {} /\ executed = {} /\ drained = {}
+    /\ latch = Cardinality(Tasks) /\ latchZeroed = 0
+    /\ cancelled = FALSE /\ faultFired = FALSE
+    /\ run = 0
+    /\ ready = Roots
+    /\ pc = [w \in Workers |-> Idle]
+
+(* -- Take: a worker picks any ready task (deque pop, injector take, and   *)
+(*    steal are all instances; the Rust model distinguishes them).         *)
+Take(w, t) ==
+    /\ pc[w].phase = "idle"
+    /\ t \in ready
+    /\ ready' = ready \ {t}
+    /\ pc' = [pc EXCEPT ![w] = Claiming(t)]
+    /\ UNCHANGED <<pending, claimed, executed, drained, latch, latchZeroed,
+                   cancelled, faultFired, run>>
+
+(* -- Claim: the protocol's commit point.  The safety checks double-claim  *)
+(*    and claim-of-unready live in the invariants below; the claim itself  *)
+(*    restores the task's counter (the self-resetting discipline) and      *)
+(*    consults the fault gate: a cancelled run drains (full protocol, no   *)
+(*    work).                                                               *)
+ClaimLive(w) ==
+    /\ pc[w].phase = "claiming"
+    /\ ~cancelled
+    /\ LET t == pc[w].task IN
+       /\ claimed' = claimed \union {t}
+       /\ pending' = [pending EXCEPT ![t] = InitPreds[t]]
+       /\ pc' = [pc EXCEPT ![w] = Working(t)]
+    /\ UNCHANGED <<executed, drained, latch, latchZeroed, cancelled,
+                   faultFired, run, ready>>
+
+ClaimDrained(w) ==
+    /\ pc[w].phase = "claiming"
+    /\ cancelled
+    /\ LET t == pc[w].task IN
+       /\ claimed' = claimed \union {t}
+       /\ pending' = [pending EXCEPT ![t] = InitPreds[t]]
+       /\ drained' = drained \union {t}
+       /\ pc' = [pc EXCEPT ![w] = Finishing(t, Succs[t], NoTask)]
+    /\ UNCHANGED <<executed, latch, latchZeroed, cancelled, faultFired,
+                   run, ready>>
+
+(* -- DeadlineTrip: the RunBudget deadline may be observed blown at any    *)
+(*    claim (nondeterministically), cancelling the run first-fault-wins.   *)
+DeadlineTrip(w) ==
+    /\ pc[w].phase = "claiming"
+    /\ ~cancelled /\ ~faultFired
+    /\ cancelled' = TRUE /\ faultFired' = TRUE
+    /\ LET t == pc[w].task IN
+       /\ claimed' = claimed \union {t}
+       /\ pending' = [pending EXCEPT ![t] = InitPreds[t]]
+       /\ drained' = drained \union {t}
+       /\ pc' = [pc EXCEPT ![w] = Finishing(t, Succs[t], NoTask)]
+    /\ UNCHANGED <<executed, latch, latchZeroed, run, ready>>
+
+(* -- Work: the task's body.  The injected fault (FaultTask, run 0) caught *)
+(*    by the worker's unwind scope becomes a cancellation; otherwise the   *)
+(*    task is executed.                                                    *)
+Work(w) ==
+    /\ pc[w].phase = "working"
+    /\ LET t == pc[w].task
+           panics == t = FaultTask /\ run = 0 /\ ~faultFired IN
+       /\ executed' = IF panics THEN executed ELSE executed \union {t}
+       /\ cancelled' = IF panics THEN TRUE ELSE cancelled
+       /\ faultFired' = IF panics THEN TRUE ELSE faultFired
+       /\ pc' = [pc EXCEPT ![w] = Finishing(t, Succs[t], NoTask)]
+    /\ UNCHANGED <<pending, claimed, drained, latch, latchZeroed, run, ready>>
+
+(* -- Decrement: one successor's fetch_sub.  The decrementer that takes a  *)
+(*    counter to zero owns the wakeup: the first such successor is         *)
+(*    reserved for inline tail-execution, the rest are published to ready. *)
+Decrement(w, s) ==
+    /\ pc[w].phase = "finishing"
+    /\ s \in pc[w].todo
+    /\ pending' = [pending EXCEPT ![s] = @ - 1]
+    /\ LET t == pc[w].task
+           nowReady == pending[s] = 1
+           keepFirst == nowReady /\ pc[w].first = NoTask IN
+       /\ ready' = IF nowReady /\ ~keepFirst THEN ready \union {s} ELSE ready
+       /\ pc' = [pc EXCEPT ![w] = Finishing(t, pc[w].todo \ {s},
+                                            IF keepFirst THEN s ELSE pc[w].first)]
+    /\ UNCHANGED <<claimed, executed, drained, latch, latchZeroed, cancelled,
+                   faultFired, run>>
+
+(* -- CountDown: latch.count_down() after the last decrement, then inline  *)
+(*    tail-execution of the reserved successor (drained claims tail-exec   *)
+(*    too — the drain must visit every task).                              *)
+CountDown(w) ==
+    /\ pc[w].phase = "finishing"
+    /\ pc[w].todo = {}
+    /\ latch' = latch - 1
+    /\ latchZeroed' = IF latch = 1 THEN latchZeroed + 1 ELSE latchZeroed
+    /\ pc' = [pc EXCEPT ![w] =
+                IF pc[w].first = NoTask THEN Idle ELSE Claiming(pc[w].first)]
+    /\ UNCHANGED <<pending, claimed, executed, drained, cancelled,
+                   faultFired, run, ready>>
+
+(* -- Reset: the external thread observes the latch released and re-arms   *)
+(*    the reusable graph (PersistentRun / ReusableGraph::execute again).   *)
+Quiescent ==
+    /\ claimed = Tasks
+    /\ ready = {}
+    /\ \A w \in Workers : pc[w].phase = "idle"
+
+Reset ==
+    /\ run + 1 < Runs
+    /\ Quiescent
+    /\ run' = run + 1
+    /\ claimed' = {} /\ executed' = {} /\ drained' = {}
+    /\ latch' = Cardinality(Tasks) /\ latchZeroed' = 0
+    /\ cancelled' = FALSE
+    /\ ready' = Roots
+    /\ pc' = [w \in Workers |-> Idle]
+    /\ UNCHANGED <<pending, faultFired>>
+
+Next ==
+    \/ \E w \in Workers :
+        \/ \E t \in ready : Take(w, t)
+        \/ ClaimLive(w) \/ ClaimDrained(w) \/ DeadlineTrip(w)
+        \/ Work(w)
+        \/ \E s \in Tasks : Decrement(w, s)
+        \/ CountDown(w)
+    \/ Reset
+
+Spec == Init /\ [][Next]_vars /\ WF_vars(Next)
+
+-----------------------------------------------------------------------------
+(* Safety.                                                                 *)
+
+(* Exactly-once: a task on the ready set (or held by a worker) is never    *)
+(* already claimed, and no two workers hold the same task — the model's    *)
+(* DoubleClaim / ClaimUnready checks.                                      *)
+Held(w) == IF pc[w].phase \in {"claiming", "working", "finishing"}
+           THEN {pc[w].task} ELSE {}
+
+NoDoubleClaim ==
+    /\ \A t \in ready : t \notin claimed
+    /\ \A w1, w2 \in Workers :
+        w1 # w2 => Held(w1) \cap Held(w2) = {}
+
+(* A task only becomes claimable when its counter is zero.                 *)
+NoUnreadyClaim ==
+    \A w \in Workers : pc[w].phase = "claiming" => pending[pc[w].task] = 0
+
+(* Counters never underflow.                                              *)
+NoCounterUnderflow == \A t \in Tasks : pending[t] >= 0
+
+(* The latch never counts below zero and zeroes at most once per run.      *)
+LatchSafe == latch >= 0 /\ latchZeroed <= 1
+
+(* At quiescence the counters are bit-restored (the self-resetting         *)
+(* discipline) and the latch has released exactly once — including on      *)
+(* cancelled/drained runs.                                                 *)
+QuiescenceClean ==
+    Quiescent => /\ pending = InitPreds
+                 /\ latch = 0
+                 /\ latchZeroed = 1
+                 /\ claimed = executed \union drained \union
+                        (IF faultFired /\ FaultTask \in claimed
+                         THEN {FaultTask} ELSE {})
+
+Safety == NoDoubleClaim /\ NoUnreadyClaim /\ NoCounterUnderflow
+          /\ LatchSafe /\ QuiescenceClean
+
+-----------------------------------------------------------------------------
+(* Liveness (checked by the Rust explorer as terminal-state vetting: the   *)
+(* transition graph is acyclic, so "eventually" is "in every terminal      *)
+(* state").                                                                *)
+
+(* Every ready strand is eventually claimed; the drain terminates: every   *)
+(* run — faulted or not — ends with all tasks claimed and the latch        *)
+(* released.                                                               *)
+EventuallyAllClaimed == <>(claimed = Tasks /\ latch = 0)
+
+EveryTaskClaimed == \A t \in Tasks : <>(t \in claimed)
+
+Liveness == EventuallyAllClaimed /\ EveryTaskClaimed
+
+-----------------------------------------------------------------------------
+THEOREM Spec => [](Safety)
+THEOREM Spec => Liveness
+
+=============================================================================

@@ -454,9 +454,9 @@ fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore, 
                 with_pack_scratch(pack_len, |s| gemm::gemm_nt_block_packed(c, a, b, alpha, s))
             }
         },
-        CompiledOp::TrsmLower { t, b } => unsafe { trsm::trsm_lower_block(t, b) },
-        CompiledOp::TrsmRightLt { l, b } => unsafe { trsm::trsm_right_lower_trans_block(l, b) },
-        CompiledOp::Potrf { a } => unsafe { potrf::potrf_block(a) },
+        CompiledOp::TrsmLower { t, b } => unsafe { trsm::trsm_lower_block_ptr(t, b) },
+        CompiledOp::TrsmRightLt { l, b } => unsafe { trsm::trsm_right_lower_trans_block_ptr(l, b) },
+        CompiledOp::Potrf { a } => unsafe { potrf::potrf_block_ptr(a) },
         CompiledOp::LuPanel { a, piv } => unsafe {
             let out = pivots.slice_mut(piv, a.cols());
             getrf::getrf_panel_block_into(a, out);
@@ -492,7 +492,7 @@ fn dispatch_op(op: CompiledOp, seq_s: &[u8], seq_t: &[u8], pivots: &PivotStore, 
         CompiledOp::LuRowSwapTiled { a, piv, len } => unsafe {
             getrf::swap_rows_block(a, pivots.slice(piv, len));
         },
-        CompiledOp::TrsmUnitLower { l, b } => unsafe { getrf::trsm_unit_lower_block(l, b) },
+        CompiledOp::TrsmUnitLower { l, b } => unsafe { getrf::trsm_unit_lower_block_ptr(l, b) },
         CompiledOp::Lcs {
             view,
             i0,

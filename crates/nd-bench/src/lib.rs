@@ -39,6 +39,14 @@
 //!   `BENCH_exec.json`; the cost of carrying the *uninstalled* `chaos`
 //!   fault-injection harness is bounded by the same `sched_overhead`
 //!   comparison, run by the CI chaos job).
+//! * `exp_scaling` — E21: the multicore scaling study — strong and weak
+//!   scaling of MM, LU and FW-2D at 1 / 2 / 8 workers on synthesized PMH
+//!   machines, flat ring-order work stealing versus `σ·M_i`-anchored
+//!   execution, with per-configuration steal-distance histograms and
+//!   busy/steal/idle breakdowns from `nd-trace`, plus an in-process
+//!   scalar-versus-SIMD GFLOP/s comparison of the packed GEMM base case and
+//!   the detected CPU features (the `scaling`, `simd` and `cpu` sections
+//!   spliced into the `BENCH_exec.json` written by `exp_exec`).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

@@ -6,11 +6,13 @@
 //! * [`gemm_naive`]: a safe whole-matrix reference implementation (the oracle
 //!   the tiled kernels are tested against),
 //! * [`gemm_block`] and [`gemm_nt_block`]: the register-tiled raw-view block
-//!   kernels used as base-case strands by the parallel executors — `4×4` `f64`
-//!   tiles accumulated over the whole `k`-panel with scalar row/column
-//!   remainders, so each base-case strand does real floating-point work per
-//!   scheduling event (the `nt` variant computes `C += α·A·Bᵀ`, needed by
-//!   Cholesky's trailing update `A₁₁ -= L₁₀·L₁₀ᵀ`),
+//!   kernels used as base-case strands by the parallel executors — dispatched
+//!   once per process between AVX2+FMA vector kernels (8×4 `f64` tiles with
+//!   software prefetch, see [`crate::simd`]) and the scalar `4×4` fallbacks
+//!   [`gemm_block_scalar`] / [`gemm_nt_block_scalar`], so each base-case
+//!   strand does real floating-point work per scheduling event (the `nt`
+//!   variant computes `C += α·A·Bᵀ`, needed by Cholesky's trailing update
+//!   `A₁₁ -= L₁₀·L₁₀ᵀ`),
 //! * [`gemm_recursive`]: the sequential 2-way divide-and-conquer multiply used by the
 //!   serial cache-complexity experiments (E13) — the same traversal order the
 //!   divide-and-conquer spawn tree induces.
@@ -45,10 +47,12 @@ const NR: usize = 4;
 
 /// Scratch elements [`gemm_block_packed`] needs to pack both operands of an
 /// `m × n × k` multiply (`A` is `m × k`, `B` is `k × n`; the `nt` variant's
-/// `B` is `n × k` — same element count).
+/// `B` is `n × k` — same element count), **plus** the vector kernels'
+/// prefetch-lookahead pad ([`crate::simd::prefetch_lookahead`]) so the
+/// `k`-loop's streaming prefetches always land in worker-owned scratch.
 #[inline]
 pub fn gemm_pack_len(m: usize, n: usize, k: usize) -> usize {
-    m * k + k * n
+    m * k + k * n + crate::simd::prefetch_lookahead(n)
 }
 
 /// Copies a (possibly strided) view row by row into the front of `dst` and
@@ -127,18 +131,40 @@ unsafe fn pack_operands(a: MatPtr, b: MatPtr, scratch: &mut [f64]) -> (MatPtr, M
 
 /// Block kernel: `C += α·A·B` on raw views.
 ///
-/// Register-tiled: full `4×4` tiles of `C` are held in registers while the
-/// whole `k`-panel is accumulated (one pass over a row-quad of `A` and the
-/// rows of `B`), and row/column remainders fall back to a scalar loop with the
-/// same per-element accumulation order.  Every element of `C` receives its
-/// `k` terms in ascending-`p` order starting from its prior value, so results
-/// are independent of the tiling (and of the tile/remainder split).
+/// Dispatches once per process (see [`crate::simd`]) between the AVX2+FMA
+/// vector kernel (8×4 f64 register tile, software prefetch of the next packed
+/// panel lines) and the scalar [`gemm_block_scalar`] fallback — selection is
+/// independent of shape, stride and layout, so all execution paths of one
+/// process agree bit-for-bit, and `ND_FORCE_SCALAR=1` pins the deterministic
+/// scalar path everywhere.  Within either path, results are independent of the
+/// block decomposition (each element's `k` terms accumulate in ascending-`p`
+/// order with a per-path-uniform rounding rule).
 ///
 /// # Safety
 /// The caller must uphold the [`MatPtr`] safety contract: the views must be live and
 /// no other thread may concurrently access any element of `C`, nor write any element
 /// of `A` or `B`, for the duration of the call.
 pub unsafe fn gemm_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::gemm_block(c, a, b, alpha);
+    }
+    gemm_block_scalar(c, a, b, alpha)
+}
+
+/// The scalar 4×4 register-tiled `C += α·A·B` kernel — the always-available
+/// fallback and the bit-exact oracle path of the vector dispatch.
+///
+/// Full `4×4` tiles of `C` are held in registers while the whole `k`-panel is
+/// accumulated (one pass over a row-quad of `A` and the rows of `B`), and
+/// row/column remainders fall back to a scalar loop with the same per-element
+/// accumulation order.  Every element of `C` receives its `k` terms in
+/// ascending-`p` order starting from its prior value, so results are
+/// independent of the tiling (and of the tile/remainder split).
+///
+/// # Safety
+/// Same contract as [`gemm_block`].
+pub unsafe fn gemm_block_scalar(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     debug_assert_eq!(a.rows(), m);
     debug_assert_eq!(b.rows(), k);
@@ -239,13 +265,30 @@ unsafe fn gemm_scalar(
 
 /// Block kernel: `C += α·A·Bᵀ` on raw views.
 ///
-/// Register-tiled like [`gemm_block`]; because both `A` and `Bᵀ`'s storage
-/// (`B` is `n×k`) are walked along rows, the `k`-loop reads both operands
-/// contiguously — `4×4` tiles accumulate sixteen dot products at once.
+/// Dispatches like [`gemm_block`] between the AVX2+FMA vector kernel and the
+/// scalar [`gemm_nt_block_scalar`] fallback.
 ///
 /// # Safety
 /// Same contract as [`gemm_block`].
 pub unsafe fn gemm_nt_block(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::gemm_nt_block(c, a, b, alpha);
+    }
+    gemm_nt_block_scalar(c, a, b, alpha)
+}
+
+/// The scalar 4×4 register-tiled `C += α·A·Bᵀ` kernel (fallback / oracle path
+/// of [`gemm_nt_block`]).
+///
+/// Register-tiled like [`gemm_block_scalar`]; because both `A` and `Bᵀ`'s
+/// storage (`B` is `n×k`) are walked along rows, the `k`-loop reads both
+/// operands contiguously — `4×4` tiles accumulate sixteen dot products at
+/// once.
+///
+/// # Safety
+/// Same contract as [`gemm_block`].
+pub unsafe fn gemm_nt_block_scalar(c: MatPtr, a: MatPtr, b: MatPtr, alpha: f64) {
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     debug_assert_eq!(a.rows(), m);
     debug_assert_eq!(b.cols(), k, "B must be n x k so that Bᵀ is k x n");

@@ -276,6 +276,21 @@ pub unsafe fn trsm_unit_lower_block<L: MatView, B: MatView>(l: L, b: B) {
     }
 }
 
+/// [`trsm_unit_lower_block`] on dense raw views, with the per-process SIMD
+/// dispatch (see [`crate::simd`]) — four RHS columns per register with fused
+/// `acc − l·b` updates, scalar generic kernel as the fallback/oracle path.
+/// The compiled-op layer routes every `TrsmUnitLower` strand through here.
+///
+/// # Safety
+/// Same contract as [`trsm_unit_lower_block`].
+pub unsafe fn trsm_unit_lower_block_ptr(l: MatPtr, b: MatPtr) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::trsm_unit_lower_block(l, b);
+    }
+    trsm_unit_lower_block(l, b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! `CHO(A)` computes a lower-triangular `L` with `A = L·Lᵀ` for a symmetric
 //! positive-definite `A` (paper, Section 3).
 
-use crate::matrix::{MatView, Matrix};
+use crate::matrix::{MatPtr, MatView, Matrix};
 
 /// In-place Cholesky factorization (safe reference implementation): on return the
 /// lower triangle of `a` holds `L`; the strict upper triangle is zeroed.
@@ -61,6 +61,22 @@ pub unsafe fn potrf_block<V: MatView>(a: V) {
             a.set(i, j, v / d);
         }
     }
+}
+
+/// [`potrf_block`] on dense raw views, with the per-process SIMD dispatch
+/// (see [`crate::simd`]): the AVX2+FMA kernel runs the column update's dot
+/// products through fused 4-lane accumulation, the scalar generic kernel is
+/// the fallback/oracle path.  The compiled-op layer routes every `Potrf`
+/// strand through here (both layouts resolve diagonal blocks to [`MatPtr`]).
+///
+/// # Safety
+/// Same contract as [`potrf_block`].
+pub unsafe fn potrf_block_ptr(a: MatPtr) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::potrf_block(a);
+    }
+    potrf_block(a)
 }
 
 /// Checks `‖L·Lᵀ − A‖_F / ‖A‖_F` for a computed factor (testing helper).

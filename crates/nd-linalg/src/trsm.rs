@@ -5,7 +5,7 @@
 //! algorithm additionally needs the "right-looking transposed" variant
 //! `X·Lᵀ = B` (the paper writes it as `TRS(L₀₀, A₁₀ᵀ)ᵀ`).
 
-use crate::matrix::{MatView, Matrix};
+use crate::matrix::{MatPtr, MatView, Matrix};
 
 /// Solves `T·X = B` for lower-triangular `T`, overwriting `B` with `X`
 /// (safe reference implementation, forward substitution).
@@ -89,6 +89,38 @@ pub unsafe fn trsm_right_lower_trans_block<L: MatView, B: MatView>(l: L, b: B) {
             b.set(i, j, acc / l.get(j, j));
         }
     }
+}
+
+/// [`trsm_lower_block`] on dense raw views, with the per-process SIMD
+/// dispatch (see [`crate::simd`]): the AVX2+FMA kernel solves four RHS
+/// columns per register with fused `acc − t·b` updates, the scalar generic
+/// kernel is the fallback/oracle path.  The compiled-op layer routes every
+/// `TrsmLower` strand (both layouts resolve their blocks to [`MatPtr`])
+/// through here, so dispatch is uniform across row-major, tiled, packed and
+/// anchored execution.
+///
+/// # Safety
+/// Same contract as [`trsm_lower_block`].
+pub unsafe fn trsm_lower_block_ptr(t: MatPtr, b: MatPtr) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::trsm_lower_block(t, b);
+    }
+    trsm_lower_block(t, b)
+}
+
+/// [`trsm_right_lower_trans_block`] on dense raw views, with the per-process
+/// SIMD dispatch (fused vector dot products per element) — see
+/// [`trsm_lower_block_ptr`].
+///
+/// # Safety
+/// Same contract as [`trsm_lower_block`].
+pub unsafe fn trsm_right_lower_trans_block_ptr(l: MatPtr, b: MatPtr) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        return crate::simd::avx2::trsm_right_lower_trans_block(l, b);
+    }
+    trsm_right_lower_trans_block(l, b)
 }
 
 #[cfg(test)]

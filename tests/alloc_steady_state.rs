@@ -101,6 +101,19 @@ fn compiled_reexecution_with_packing_scratch_allocates_nothing() {
             compiled.pack_scratch_len() > 0,
             "row-major MM must have strided multiplies for packing to exercise"
         );
+        // The compile-time high-water mark must cover the packed panels PLUS
+        // the SIMD prefetch lookahead pad — the k-loop prefetches rows up to
+        // `PREFETCH_ROWS_AHEAD` panels ahead, and those addresses must stay
+        // inside the worker-owned arena for the steady state to stay exact.
+        assert!(
+            compiled.pack_scratch_len() >= nd_linalg::gemm::gemm_pack_len(base, base, base),
+            "pack high-water must cover the base-case panels + prefetch lookahead"
+        );
+        assert!(
+            nd_linalg::gemm::gemm_pack_len(base, base, base)
+                >= 2 * base * base + nd_linalg::simd::prefetch_lookahead(base),
+            "gemm_pack_len must include the prefetch lookahead pad"
+        );
         // The deque shim pre-reserves 1024 slots; stay far under it so a
         // queue can never grow mid-measurement.
         assert!(

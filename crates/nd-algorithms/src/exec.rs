@@ -50,7 +50,7 @@ use std::sync::{Arc, OnceLock};
 /// bit-identical results (packing moves bytes, never changes a floating-point
 /// operation).  `Tiled` is the cache-friendly choice the paper's locality
 /// bounds assume: every base-case operand is one contiguous slab.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Layout {
     /// One row-major allocation per matrix; base-case blocks are strided views.
     RowMajor,
@@ -746,6 +746,14 @@ impl CompiledAlgorithm {
     /// The compiled dependency graph (task indices equal DAG vertex indices).
     pub fn graph(&self) -> &Arc<CompiledGraph> {
         &self.graph
+    }
+
+    /// The operation table the graph executes against.  Exposed so callers
+    /// that need a custom execution harness (e.g. a serving layer wrapping
+    /// the table to inject deterministic faults on the production fault
+    /// path) can drive [`CompiledGraph::execute_with`] themselves.
+    pub fn op_table(&self) -> &Arc<OpTable> {
+        &self.table
     }
 
     /// Per-task trace side tables this compiled form can supply by itself:

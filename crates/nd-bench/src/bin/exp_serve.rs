@@ -1,0 +1,324 @@
+//! E22: the serving layer under mixed-tenant load with injected chaos.
+//!
+//! Drives `nd-serve` the way a service would be driven: an `interactive`
+//! tenant (high priority, small MM jobs), a `batch` tenant (low priority,
+//! larger MM and Cholesky jobs), and a `poison` tenant whose graph key
+//! faults deterministically for its first twelve attempts — all multiplexed
+//! onto one shared pool while roughly one attempt in fifty panics inside the
+//! executor's catch scope.
+//!
+//! Records, into the `serve` section of `BENCH_exec.json`:
+//!
+//! * acceptance/terminal accounting (the zero-loss invariant:
+//!   `accepted == terminal`),
+//! * per-tenant p50/p99 latency and overall throughput,
+//! * retry volume and availability of the healthy tenants (the fraction of
+//!   their accepted jobs that ended `Done` — the retry layer should hold
+//!   this at ≥ 99% under 1-in-50 chaos),
+//! * circuit-breaker trips, fast-rejected submissions while cooling, and
+//!   whether the poisoned key recovered to `Closed` once its fault cleared,
+//! * graceful-drain timing.
+
+use nd_algorithms::exec::Layout;
+use nd_runtime::{Priority, ThreadPool};
+use nd_serve::{
+    AlgoKind, BreakerConfig, InjectSpec, JobOutcome, JobSpec, JobTicket, RetryPolicy, ServeConfig,
+    ServeError, Server, TenantConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One tenant's collected results.
+#[derive(Default)]
+struct TenantRun {
+    accepted: u64,
+    rejected: u64,
+    done: u64,
+    shed: u64,
+    poisoned: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl TenantRun {
+    fn absorb(&mut self, outcome: &JobOutcome) {
+        match outcome {
+            JobOutcome::Done { latency_ns, .. } => {
+                self.done += 1;
+                self.latencies_ns.push(*latency_ns);
+            }
+            JobOutcome::Shed { .. } => self.shed += 1,
+            JobOutcome::Poisoned { .. } => self.poisoned += 1,
+        }
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        v[idx] as f64 / 1e3
+    }
+
+    fn json(&self, name: &str) -> String {
+        format!(
+            "{{\"tenant\":\"{name}\",\"accepted\":{},\"rejected\":{},\"done\":{},\
+\"shed\":{},\"poisoned\":{},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+            self.accepted,
+            self.rejected,
+            self.done,
+            self.shed,
+            self.poisoned,
+            self.percentile_us(0.50),
+            self.percentile_us(0.99)
+        )
+    }
+}
+
+/// Splices the `serve` section into `exp_exec`'s `BENCH_exec.json` (or a
+/// fresh skeleton), replacing any previous run of this binary and leaving
+/// every other section — including `exp_scaling`'s trailing `scaling` /
+/// `simd` / `cpu` block — untouched.
+fn splice_serve(serve: &str) {
+    let base = std::fs::read_to_string("BENCH_exec.json")
+        .unwrap_or_else(|_| String::from("{\n  \"experiment\": \"exp_exec\"\n}\n"));
+    let (head, tail) = match base.find(",\n  \"serve\":") {
+        Some(i) => {
+            // Replace the existing serve section: it extends to the next
+            // top-level section (two-space indent) or the closing brace.
+            let next = base[i + 1..].find(",\n  \"").map(|j| i + 1 + j);
+            match next {
+                Some(j) => (base[..i].to_string(), base[j..].to_string()),
+                None => (base[..i].to_string(), String::from("\n}\n")),
+            }
+        }
+        None => match base.find(",\n  \"scaling\":") {
+            // Keep serve ahead of exp_scaling's block: that binary rewrites
+            // everything from its own marker to the end of the file.
+            Some(i) => (base[..i].to_string(), base[i..].to_string()),
+            None => {
+                let t = base.trim_end();
+                let t = t
+                    .strip_suffix('}')
+                    .expect("BENCH_exec.json is not a JSON object");
+                (t.trim_end().to_string(), String::from("\n}\n"))
+            }
+        },
+    };
+    let file = format!("{head},\n  \"serve\": {serve}{tail}");
+    std::fs::write("BENCH_exec.json", &file).expect("failed to write BENCH_exec.json");
+}
+
+fn main() {
+    let jobs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("ND_POOL_WORKERS")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+        })
+        .unwrap_or(4);
+    const CHAOS_1_IN: u64 = 50;
+    eprintln!("exp_serve: {jobs} interactive jobs, {workers} workers, chaos 1/{CHAOS_1_IN}");
+
+    let pool = Arc::new(ThreadPool::new(workers));
+    let server = Server::new(
+        Arc::clone(&pool),
+        ServeConfig {
+            runners: 2,
+            chaos_panic_1_in: Some(CHAOS_1_IN),
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(5),
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(10),
+            },
+            quarantine_after: 6,
+            seed: 0xE22,
+            ..ServeConfig::default()
+        },
+    );
+    server.register_tenant(
+        "interactive",
+        TenantConfig {
+            priority: Priority::High,
+            ..TenantConfig::default()
+        },
+    );
+    server.register_tenant(
+        "batch",
+        TenantConfig {
+            priority: Priority::Low,
+            ..TenantConfig::default()
+        },
+    );
+    server.register_tenant("poison", TenantConfig::default());
+
+    let interactive_specs = [
+        JobSpec::new(AlgoKind::Mm, 16, 8, Layout::RowMajor, 11),
+        JobSpec::new(AlgoKind::Mm, 32, 8, Layout::Tiled, 12),
+        JobSpec::new(AlgoKind::Cholesky, 16, 8, Layout::RowMajor, 13),
+    ];
+    let batch_specs = [
+        JobSpec::new(AlgoKind::Mm, 64, 16, Layout::Tiled, 21),
+        JobSpec::new(AlgoKind::Cholesky, 32, 16, Layout::RowMajor, 22),
+    ];
+    // The poisoned key: deterministically faults for its first 12 attempts,
+    // then heals — enough to poison jobs, trip the breaker, and then prove
+    // HalfOpen recovery.
+    let mut poison_spec = JobSpec::new(AlgoKind::Mm, 16, 16, Layout::RowMajor, 66);
+    poison_spec.inject = InjectSpec::FirstK(12);
+
+    let mut runs: Vec<(&'static str, TenantRun)> = vec![
+        ("interactive", TenantRun::default()),
+        ("batch", TenantRun::default()),
+        ("poison", TenantRun::default()),
+    ];
+    let mut tickets: Vec<(usize, JobTicket)> = Vec::new();
+    let start = Instant::now();
+    for i in 0..jobs {
+        let spec = interactive_specs[(i % 3) as usize];
+        match server.submit("interactive", spec) {
+            Ok(t) => {
+                runs[0].1.accepted += 1;
+                tickets.push((0, t));
+            }
+            Err(_) => runs[0].1.rejected += 1,
+        }
+        if i % 2 == 0 {
+            let spec = batch_specs[(i / 2 % 2) as usize];
+            match server.submit("batch", spec) {
+                Ok(t) => {
+                    runs[1].1.accepted += 1;
+                    tickets.push((1, t));
+                }
+                Err(_) => runs[1].1.rejected += 1,
+            }
+        }
+        if i % 10 == 0 {
+            // Pace the poison storm so the breaker's trip → cool → probe
+            // cycle happens while traffic is still flowing.
+            match server.submit("poison", poison_spec) {
+                Ok(t) => {
+                    runs[2].1.accepted += 1;
+                    tickets.push((2, t));
+                }
+                Err(ServeError::BreakerOpen { .. }) => runs[2].1.rejected += 1,
+                Err(_) => runs[2].1.rejected += 1,
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    for (tenant, ticket) in &tickets {
+        runs[*tenant].1.absorb(&ticket.wait());
+    }
+    let elapsed = start.elapsed();
+
+    // Recovery probe: once the injected faults are exhausted, the poisoned
+    // key must come back through HalfOpen to Closed and serve `Done`.
+    let recovery_deadline = Instant::now() + Duration::from_secs(10);
+    let mut breaker_recovered = false;
+    while Instant::now() < recovery_deadline {
+        match server.submit("poison", poison_spec) {
+            Ok(t) => match t.wait() {
+                JobOutcome::Done { .. } => {
+                    breaker_recovered = true;
+                    break;
+                }
+                _ => continue,
+            },
+            Err(ServeError::BreakerOpen { .. }) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("unexpected rejection during recovery: {e:?}"),
+        }
+    }
+
+    let drain_start = Instant::now();
+    let report = server.drain(Duration::from_secs(30));
+    let drain_ms = drain_start.elapsed().as_secs_f64() * 1e3;
+    let h = server.health();
+    let poison_key = poison_spec.key();
+    let poison_breaker_closed = h
+        .breakers
+        .iter()
+        .find(|(k, _)| *k == poison_key)
+        .map(|(_, s)| *s == nd_serve::BreakerState::Closed)
+        .unwrap_or(false);
+
+    let healthy_accepted = runs[0].1.accepted + runs[1].1.accepted;
+    let healthy_done = runs[0].1.done + runs[1].1.done;
+    let availability = if healthy_accepted > 0 {
+        healthy_done as f64 / healthy_accepted as f64
+    } else {
+        1.0
+    };
+    let throughput = h.done as f64 / elapsed.as_secs_f64();
+
+    eprintln!(
+        "exp_serve: accepted {} terminal {} done {} shed {} poisoned {} | \
+retries {} injected {} | breaker trips {} fast-rejects {} recovered {} | \
+healthy availability {:.4} | {:.0} jobs/s | drain {:.1} ms (completed {})",
+        h.accepted,
+        h.terminal,
+        h.done,
+        h.shed,
+        h.poisoned,
+        h.retries,
+        h.injected_faults,
+        h.breaker_trips,
+        h.breaker_fast_rejects,
+        breaker_recovered,
+        availability,
+        throughput,
+        drain_ms,
+        report.completed
+    );
+    assert_eq!(h.accepted, h.terminal, "zero-loss invariant violated");
+
+    let tenant_rows: Vec<String> = runs.iter().map(|(n, r)| r.json(n)).collect();
+    let serve_section = format!(
+        "{{\n    \"workers\": {workers},\n    \"chaos_panic_1_in\": {CHAOS_1_IN},\n    \
+\"accepted\": {},\n    \"terminal\": {},\n    \"done\": {},\n    \"shed\": {},\n    \
+\"poisoned\": {},\n    \"retries\": {},\n    \"attempts\": {},\n    \
+\"injected_faults\": {},\n    \"breaker_trips\": {},\n    \
+\"breaker_fast_rejects\": {},\n    \"breaker_recovered\": {},\n    \
+\"availability_healthy\": {:.6},\n    \"throughput_jobs_per_s\": {:.1},\n    \
+\"cache\": {{\"compiles\": {}, \"hits\": {}, \"quarantines\": {}}},\n    \
+\"drain\": {{\"completed\": {}, \"shed\": {}, \"elapsed_ms\": {:.2}}},\n    \
+\"tenants\": [\n      {}\n    ]\n  }}",
+        h.accepted,
+        h.terminal,
+        h.done,
+        h.shed,
+        h.poisoned,
+        h.retries,
+        h.attempts,
+        h.injected_faults,
+        h.breaker_trips,
+        h.breaker_fast_rejects,
+        breaker_recovered && poison_breaker_closed,
+        availability,
+        throughput,
+        h.cache.compiles,
+        h.cache.hits,
+        h.cache.quarantines,
+        report.completed,
+        report.shed,
+        drain_ms,
+        tenant_rows.join(",\n      ")
+    );
+    println!("{{\"experiment\":\"exp_serve\",\"section\":\"serve\",\"summary\":{serve_section}}}");
+    splice_serve(&serve_section);
+    eprintln!("exp_serve: spliced the serve section into BENCH_exec.json");
+    server.shutdown(Duration::from_secs(5));
+}

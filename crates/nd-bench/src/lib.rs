@@ -47,6 +47,13 @@
 //!   scalar-versus-SIMD GFLOP/s comparison of the packed GEMM base case and
 //!   the detected CPU features (the `scaling`, `simd` and `cpu` sections
 //!   spliced into the `BENCH_exec.json` written by `exp_exec`).
+//! * `exp_serve` — E22: the serving layer (`nd-serve`) under mixed-tenant
+//!   load with 1-in-50 chaos-injected panics and a deterministically
+//!   poisoned graph key: acceptance/terminal accounting (the zero-loss
+//!   invariant), per-tenant p50/p99 latency and throughput, retry volume
+//!   and healthy-tenant availability, circuit-breaker trips / fast rejects
+//!   / recovery, and graceful-drain timing (the `serve` section of
+//!   `BENCH_exec.json`).
 //!
 //! The Criterion benches in `benches/` measure the real-runtime wall-clock
 //! counterparts (E12) and the model-construction costs.

@@ -268,6 +268,33 @@ mod tests {
         assert_eq!(RunError::payload_string(&*n), "<non-string panic payload>");
     }
 
+    /// `RunError` must cross service/API boundaries: boxable into
+    /// `Box<dyn Error + Send + Sync>` (the `anyhow`-style erased type) with
+    /// the `Display` rendering intact, and convertible through `?`.
+    #[test]
+    fn run_error_crosses_an_erased_error_boundary() {
+        fn serve() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+            Err(RunError::Panicked {
+                task: 3,
+                op_kind: "trsm",
+                payload: "boundary".into(),
+            })?; // `?` must auto-box via From<RunError>
+            Ok(())
+        }
+        let boxed = serve().unwrap_err();
+        assert_eq!(boxed.to_string(), "task 3 (trsm) panicked: boundary");
+        // Downcast back to the typed error on the far side of the boundary.
+        let typed = boxed.downcast::<RunError>().expect("downcasts back");
+        assert_eq!(typed.task(), Some(3));
+        // And the plain single-threaded erased form works too.
+        let d: Box<dyn std::error::Error> = Box::new(RunError::DeadlineExceeded {
+            deadline: Duration::from_millis(1),
+            elapsed: Duration::from_millis(2),
+        });
+        assert!(d.to_string().contains("deadline"));
+        assert!(d.source().is_none());
+    }
+
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_high_water_is_rejected() {

@@ -1,0 +1,264 @@
+//! Per-graph-key circuit breaker: Closed → Open → HalfOpen → Closed.
+//!
+//! Repeated faults on one compiled graph must not keep burning pool time
+//! and retry budget for every tenant that touches the key.  After
+//! `failure_threshold` consecutive failures the breaker opens: submissions
+//! against the key fail fast with a typed rejection, and accepted jobs that
+//! reach an open breaker are deferred briefly and then shed.  After the
+//! cooldown one attempt is let through as a **probe** (HalfOpen); its
+//! success closes the breaker, its failure re-opens it for another
+//! cooldown.
+
+use std::time::Duration;
+
+/// The breaker's three states.  Wire values (0/1/2) appear in `Breaker`
+/// trace events and in health snapshots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakerState {
+    /// Healthy: attempts flow freely; consecutive failures are counted.
+    Closed,
+    /// Tripped: everything fails fast until the cooldown elapses.
+    Open,
+    /// Probing: exactly one attempt is in flight to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable wire encoding for trace events.
+    pub fn wire(self) -> u16 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Short stable name for snapshots and bench sections.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while Closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays Open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What the attempt-time gate decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// Run the attempt (and if the state is HalfOpen, this attempt is the
+    /// probe).
+    Allow,
+    /// Do not run now; come back at the given clock time (the cooldown
+    /// expiry, or a probe is already in flight).
+    Defer {
+        /// Earliest clock time worth re-asking, nanoseconds.
+        until_ns: u64,
+    },
+}
+
+/// One breaker.  Not internally synchronised — the server keeps each behind
+/// a mutex in its per-key map.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until_ns: u64,
+    probe_in_flight: bool,
+    /// Closed→Open trips since construction.
+    pub trips: u64,
+    /// Total state transitions since construction.
+    pub transitions: u64,
+}
+
+impl Breaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until_ns: 0,
+            probe_in_flight: false,
+            trips: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Current state (transitions happen only inside `allow`/`on_*`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Submission-time check: may new work against this key be *accepted*?
+    /// Open-and-cooling rejects fast; everything else accepts (the
+    /// attempt-time [`Breaker::allow`] gate still applies before the run).
+    pub fn check_admit(&self, now_ns: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => now_ns >= self.open_until_ns,
+        }
+    }
+
+    /// Attempt-time gate.  Transitions Open→HalfOpen when the cooldown has
+    /// elapsed and marks the caller's attempt as the probe.
+    pub fn allow(&mut self, now_ns: u64) -> Gate {
+        match self.state {
+            BreakerState::Closed => Gate::Allow,
+            BreakerState::Open => {
+                if now_ns >= self.open_until_ns {
+                    self.state = BreakerState::HalfOpen;
+                    self.transitions += 1;
+                    self.probe_in_flight = true;
+                    Gate::Allow
+                } else {
+                    Gate::Defer {
+                        until_ns: self.open_until_ns,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    // One probe at a time; re-ask shortly after now.
+                    Gate::Defer {
+                        until_ns: now_ns + self.cfg.cooldown.as_nanos() as u64 / 4 + 1,
+                    }
+                } else {
+                    self.probe_in_flight = true;
+                    Gate::Allow
+                }
+            }
+        }
+    }
+
+    /// An allowed attempt completed cleanly.  Returns the new state if this
+    /// caused a transition (HalfOpen probe success → Closed).
+    pub fn on_success(&mut self) -> Option<BreakerState> {
+        self.consecutive_failures = 0;
+        self.probe_in_flight = false;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.transitions += 1;
+            Some(BreakerState::Closed)
+        } else {
+            None
+        }
+    }
+
+    /// An allowed attempt faulted.  Returns the new state on a transition
+    /// (Closed→Open at the threshold, HalfOpen probe failure → Open).
+    pub fn on_failure(&mut self, now_ns: u64) -> Option<BreakerState> {
+        self.probe_in_flight = false;
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.open_until_ns = now_ns + self.cfg.cooldown.as_nanos() as u64;
+                    self.trips += 1;
+                    self.transitions += 1;
+                    Some(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_until_ns = now_ns + self.cfg.cooldown.as_nanos() as u64;
+                self.transitions += 1;
+                Some(BreakerState::Open)
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_nanos(1_000),
+        }
+    }
+
+    #[test]
+    fn trips_at_the_threshold_and_fails_fast_while_cooling() {
+        let mut b = Breaker::new(cfg());
+        assert_eq!(b.on_failure(0), None);
+        assert_eq!(b.on_failure(0), None);
+        assert_eq!(b.on_failure(10), Some(BreakerState::Open));
+        assert_eq!(b.trips, 1);
+        assert!(
+            !b.check_admit(10),
+            "cooling breaker must reject submissions"
+        );
+        assert_eq!(b.allow(500), Gate::Defer { until_ns: 1_010 });
+    }
+
+    #[test]
+    fn probes_after_cooldown_and_closes_on_success() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        assert!(b.check_admit(2_000), "post-cooldown submissions may queue");
+        assert_eq!(b.allow(2_000), Gate::Allow, "first attempt is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A second attempt during the probe is deferred, not run.
+        assert!(matches!(b.allow(2_001), Gate::Defer { .. }));
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+        assert_eq!(b.allow(2_002), Gate::Allow);
+    }
+
+    #[test]
+    fn probe_failure_reopens_for_another_cooldown() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        assert_eq!(b.allow(1_500), Gate::Allow);
+        assert_eq!(b.on_failure(1_500), Some(BreakerState::Open));
+        assert_eq!(b.allow(1_600), Gate::Defer { until_ns: 2_500 });
+        assert_eq!(b.allow(2_500), Gate::Allow);
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+        assert_eq!(b.transitions, 5); // open, half-open, open, half-open, closed
+        assert_eq!(b.trips, 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = Breaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "count must reset on success"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! The serving layer's clock: wall time for production, a virtual
+//! monotonically-advanced counter for deterministic tests.
+//!
+//! Every time-dependent decision in the server — token-bucket refill,
+//! backoff wake-ups, breaker cooldowns, latency accounting — reads this one
+//! clock.  Under [`ServeClock::virtual_at`] the runners *advance* the clock
+//! to the next scheduled wake-up whenever the server is otherwise idle, so a
+//! test with retries and cooldowns completes in microseconds of real time
+//! and replays bit-identically from the same seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Nanosecond clock, either wall (monotonic, anchored at construction) or
+/// virtual (an atomic counter moved only by [`ServeClock::advance_to`]).
+#[derive(Debug)]
+pub struct ServeClock {
+    epoch: Instant,
+    /// `None` payload sentinel: wall mode uses `u64::MAX` in `virt_ns`.
+    virt_ns: AtomicU64,
+    is_virtual: bool,
+}
+
+impl ServeClock {
+    /// A wall clock anchored now.
+    pub fn wall() -> Self {
+        ServeClock {
+            epoch: Instant::now(),
+            virt_ns: AtomicU64::new(0),
+            is_virtual: false,
+        }
+    }
+
+    /// A virtual clock starting at `start_ns`.
+    pub fn virtual_at(start_ns: u64) -> Self {
+        ServeClock {
+            epoch: Instant::now(),
+            virt_ns: AtomicU64::new(start_ns),
+            is_virtual: true,
+        }
+    }
+
+    /// `true` for a virtual clock.
+    pub fn is_virtual(&self) -> bool {
+        self.is_virtual
+    }
+
+    /// Nanoseconds since the epoch (construction time, or the virtual
+    /// counter's value).
+    pub fn now_ns(&self) -> u64 {
+        if self.is_virtual {
+            self.virt_ns.load(Ordering::Acquire)
+        } else {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Moves a virtual clock forward to at least `t_ns` (never backwards —
+    /// concurrent advancers race benignly via `fetch_max`).  No-op on a wall
+    /// clock.
+    pub fn advance_to(&self, t_ns: u64) {
+        if self.is_virtual {
+            self.virt_ns.fetch_max(t_ns, Ordering::AcqRel);
+        }
+    }
+
+    /// Moves a virtual clock forward by `delta_ns`.  No-op on a wall clock.
+    pub fn advance(&self, delta_ns: u64) {
+        if self.is_virtual {
+            self.virt_ns.fetch_add(delta_ns, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_moves_only_forward_and_on_demand() {
+        let c = ServeClock::virtual_at(100);
+        assert!(c.is_virtual());
+        assert_eq!(c.now_ns(), 100);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        c.advance_to(120); // backwards: ignored
+        assert_eq!(c.now_ns(), 150);
+        c.advance_to(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn wall_clock_ticks_and_ignores_advance() {
+        let c = ServeClock::wall();
+        assert!(!c.is_virtual());
+        let t0 = c.now_ns();
+        c.advance(1_000_000_000_000); // no-op
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = c.now_ns();
+        assert!(t1 > t0);
+        assert!(t1 < 1_000_000_000_000, "advance must not move a wall clock");
+    }
+}

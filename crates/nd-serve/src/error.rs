@@ -1,0 +1,96 @@
+//! Typed submission rejections.  Everything the front door can say "no"
+//! with is an explicit variant — callers branch on the reason (back off,
+//! redirect, drop) instead of parsing strings.
+
+use crate::job::GraphKey;
+
+/// Why a submission was rejected *before* acceptance.  A rejected job was
+/// never accepted: it consumed no slot, holds no ticket, and owes no
+/// terminal outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// The tenant's token bucket is empty.  `retry_after_ns` is the
+    /// earliest clock time a token will be available.
+    RateLimited {
+        /// The rejected tenant.
+        tenant: String,
+        /// Nanoseconds until a token refills.
+        retry_after_ns: u64,
+    },
+    /// The tenant is at its outstanding-job cap.
+    TenantBusy {
+        /// The rejected tenant.
+        tenant: String,
+        /// Jobs currently outstanding.
+        outstanding: usize,
+        /// The tenant's cap.
+        cap: usize,
+    },
+    /// The spec's circuit breaker is open: recent runs of this graph key
+    /// kept faulting, so the server fails fast instead of queueing work it
+    /// expects to burn.
+    BreakerOpen {
+        /// The tripped graph key.
+        key: GraphKey,
+    },
+    /// The server is draining or stopped; no new work is admitted.
+    Draining,
+    /// No tenant registered under this name.
+    UnknownTenant(String),
+    /// The spec's dimensions are malformed (not powers of two, or
+    /// `n < base`).
+    InvalidSpec,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::RateLimited {
+                tenant,
+                retry_after_ns,
+            } => write!(
+                f,
+                "tenant '{tenant}' rate-limited; retry after {retry_after_ns} ns"
+            ),
+            ServeError::TenantBusy {
+                tenant,
+                outstanding,
+                cap,
+            } => write!(
+                f,
+                "tenant '{tenant}' at outstanding-job cap ({outstanding}/{cap})"
+            ),
+            ServeError::BreakerOpen { key } => {
+                write!(f, "circuit breaker open for {key}")
+            }
+            ServeError::Draining => write!(f, "server is draining; not admitting"),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant '{name}'"),
+            ServeError::InvalidSpec => write!(f, "malformed job spec dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AlgoKind, JobSpec};
+    use nd_algorithms::exec::Layout;
+
+    #[test]
+    fn renders_and_boxes() {
+        let e = ServeError::RateLimited {
+            tenant: "t".into(),
+            retry_after_ns: 5,
+        };
+        assert!(e.to_string().contains("rate-limited"));
+        let key = JobSpec::new(AlgoKind::Mm, 16, 8, Layout::RowMajor, 0).key();
+        let b: Box<dyn std::error::Error + Send + Sync> = Box::new(ServeError::BreakerOpen { key });
+        assert!(b.to_string().contains("breaker open"));
+        assert!(ServeError::Draining.to_string().contains("draining"));
+        assert!(ServeError::UnknownTenant("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Retry budget and jittered exponential backoff, plus the seeded RNG the
+//! whole serving layer draws from.
+//!
+//! Everything here is a pure function of its inputs: the same seed yields
+//! the same jitter stream, so a chaos test replays decision-for-decision.
+
+use std::time::Duration;
+
+/// SplitMix64 — the same tiny seeded generator the chaos harness and the
+/// executor stress tests use.  Not cryptographic; deterministic and
+/// well-mixed, which is all jitter needs.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// How faulted jobs are retried: a hard attempt budget and exponential
+/// backoff with multiplicative jitter in `[1/2, 1)` of the exponential step.
+///
+/// Classification is the caller's (the server's) job and follows the typed
+/// `RunError`: panics and deadline trips are retryable via the executor's
+/// proven `reset()`+rerun path; a job that exhausts `max_attempts` is
+/// reported `Poisoned` and never runs again.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per job (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retrying after `failed_attempts` failures
+    /// (`failed_attempts >= 1`): `min(max, base · 2^(failed_attempts−1))`
+    /// scaled by a jitter factor in `[1/2, 1)` drawn from `rng`.
+    pub fn backoff_ns(&self, failed_attempts: u32, rng: &mut SplitMix64) -> u64 {
+        debug_assert!(failed_attempts >= 1);
+        let base = self.base_backoff.as_nanos() as u64;
+        let cap = self.max_backoff.as_nanos() as u64;
+        let exp = failed_attempts.saturating_sub(1).min(32);
+        let step = base.saturating_mul(1u64 << exp).min(cap).max(1);
+        // Jitter: uniform in [step/2, step).
+        let half = (step / 2).max(1);
+        half + rng.next_u64() % half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_under_a_seed() {
+        let policy = RetryPolicy::default();
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = SplitMix64::new(seed);
+            (1..=6).map(|a| policy.backoff_ns(a, &mut rng)).collect()
+        };
+        assert_eq!(seq(42), seq(42), "same seed must replay the same jitter");
+        assert_ne!(seq(42), seq(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+        };
+        let mut rng = SplitMix64::new(7);
+        for attempt in 1..=10u32 {
+            let ns = policy.backoff_ns(attempt, &mut rng);
+            let step = (1_000_000u64 << (attempt - 1).min(32)).min(8_000_000);
+            assert!(ns >= step / 2, "attempt {attempt}: {ns} below jitter floor");
+            assert!(ns < step, "attempt {attempt}: {ns} above exponential step");
+        }
+    }
+}

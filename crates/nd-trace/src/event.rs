@@ -51,6 +51,18 @@ pub enum EventKind {
     /// was refused or parked.  `a` is the `OverloadPolicy` wire kind
     /// (1 = shed/refused, 2 = degrade/parked).
     Shed = 8,
+    /// The serving layer re-queued a faulted job for another attempt.  `a` is
+    /// the attempt number being retried *from* (1 = first retry), `b` the
+    /// backoff delay in microseconds.
+    Retry = 9,
+    /// A serving-layer circuit breaker changed state.  `a` is the new state's
+    /// wire kind (0 = closed, 1 = open, 2 = half-open), `b` the breaker's
+    /// graph-key hash (stable within a session, for correlating trips).
+    Breaker = 10,
+    /// A serving-layer drain milestone.  `a` is the phase wire kind
+    /// (0 = drain begin, 1 = drain complete, 2 = drain deadline expired),
+    /// `b` the number of jobs still in flight at the instant.
+    Drain = 11,
 }
 
 impl EventKind {
@@ -67,6 +79,9 @@ impl EventKind {
             6 => EventKind::RunEnd,
             7 => EventKind::Fault,
             8 => EventKind::Shed,
+            9 => EventKind::Retry,
+            10 => EventKind::Breaker,
+            11 => EventKind::Drain,
             _ => return None,
         })
     }
@@ -83,6 +98,9 @@ impl EventKind {
             EventKind::RunEnd => "run_end",
             EventKind::Fault => "fault",
             EventKind::Shed => "shed",
+            EventKind::Retry => "retry",
+            EventKind::Breaker => "breaker",
+            EventKind::Drain => "drain",
         }
     }
 }
@@ -212,6 +230,9 @@ mod tests {
             EventKind::RunEnd,
             EventKind::Fault,
             EventKind::Shed,
+            EventKind::Retry,
+            EventKind::Breaker,
+            EventKind::Drain,
         ] {
             assert_eq!(EventKind::from_wire(kind as u8), Some(kind));
         }

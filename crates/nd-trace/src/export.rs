@@ -146,6 +146,50 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     us(e.t0_ns),
                 );
             }
+            EventKind::Retry => {
+                let task = i64::from(e.task as i32);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"retry\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"task\":{task},\"attempt\":{},\"backoff_us\":{}}}}}",
+                    us(e.t0_ns),
+                    e.a,
+                    e.b,
+                );
+            }
+            EventKind::Breaker => {
+                let state = match e.a {
+                    0 => "closed",
+                    1 => "open",
+                    2 => "half_open",
+                    _ => "?",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"breaker\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"state\":\"{state}\",\"key_hash\":{}}}}}",
+                    us(e.t0_ns),
+                    e.b,
+                );
+            }
+            EventKind::Drain => {
+                let phase = match e.a {
+                    0 => "begin",
+                    1 => "complete",
+                    2 => "deadline_expired",
+                    _ => "?",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"drain\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"phase\":\"{phase}\",\"in_flight\":{}}}}}",
+                    us(e.t0_ns),
+                    e.b,
+                );
+            }
             EventKind::Claim | EventKind::LatchReset | EventKind::RunBegin | EventKind::RunEnd => {
                 let name = e.kind.name();
                 let task = i64::from(e.task as i32);
@@ -173,7 +217,8 @@ pub fn metrics_summary_json(trace: &Trace) -> String {
         "{{\"events\": {}, \"dropped\": {}, \"wall_ns\": {}, \"exec_spans\": {}, \
          \"claims\": {}, \"inline_execs\": {}, \"steals\": {}, \"enqueues\": {}, \
          \"busy_ns_total\": {}, \"critical_path_ns\": {}, \"critical_path_tasks\": {}, \
-         \"faults\": {}, \"sheds\": {}",
+         \"faults\": {}, \"sheds\": {}, \"retries\": {}, \"breaker_transitions\": {}, \
+         \"drain_events\": {}",
         trace.events.len(),
         trace.dropped,
         trace.wall_ns,
@@ -187,6 +232,9 @@ pub fn metrics_summary_json(trace: &Trace) -> String {
         m.critical_path_tasks,
         m.faults,
         m.sheds,
+        m.retries,
+        m.breaker_transitions,
+        m.drain_events,
     );
     let _ = write!(
         out,

@@ -126,6 +126,12 @@ pub struct TraceMetrics {
     pub faults: u64,
     /// External submissions refused or parked by the admission layer.
     pub sheds: u64,
+    /// Serving-layer retry re-queues (a faulted job scheduled for rerun).
+    pub retries: u64,
+    /// Serving-layer circuit-breaker state transitions.
+    pub breaker_transitions: u64,
+    /// Serving-layer drain milestones (begin / complete / deadline expired).
+    pub drain_events: u64,
 }
 
 /// A finished trace: the merged, time-sorted event stream plus side tables
@@ -275,6 +281,9 @@ fn derive_metrics(
             }
             EventKind::Fault => m.faults += 1,
             EventKind::Shed => m.sheds += 1,
+            EventKind::Retry => m.retries += 1,
+            EventKind::Breaker => m.breaker_transitions += 1,
+            EventKind::Drain => m.drain_events += 1,
             EventKind::LatchReset | EventKind::RunBegin | EventKind::RunEnd => {}
         }
     }

@@ -20,6 +20,10 @@
 //!   per-worker event rings, derived scheduler metrics, and Chrome-trace
 //!   (Perfetto) export.  Zero-cost when disabled; see the README's
 //!   "Tracing" quickstart.
+//! * [`serve`] — the fault-tolerant multi-tenant serving layer: many tenants
+//!   submitting algorithm jobs onto one shared pool, with a compiled-graph
+//!   cache, per-tenant QoS envelopes, retry/backoff, per-graph circuit
+//!   breakers, and graceful drain (see the README's "Serving" section).
 //!
 //! ## Quickstart: simulate, then really execute, one algorithm
 //!
@@ -69,6 +73,7 @@ pub use nd_linalg as linalg;
 pub use nd_pmh as pmh;
 pub use nd_runtime as runtime;
 pub use nd_sched as sched;
+pub use nd_serve as serve;
 pub use nd_trace as trace;
 
 /// Convenience prelude bringing the most common types into scope.
@@ -88,4 +93,5 @@ pub mod prelude {
     pub use nd_runtime::pool::{PoolTopology, ThreadPool};
     pub use nd_sched::space_bounded::{simulate_space_bounded, SbConfig};
     pub use nd_sched::work_stealing::simulate_work_stealing;
+    pub use nd_serve::{AlgoKind, JobOutcome, JobSpec, ServeConfig, Server, TenantConfig};
 }

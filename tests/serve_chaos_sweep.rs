@@ -1,0 +1,205 @@
+//! Seeded chaos sweep over the serving layer (satellite of the nd-serve PR):
+//! 18 seeds × the worker matrix, with roughly one attempt in four panicking
+//! inside the executor's real catch scope.  Proves the service invariants the
+//! crate advertises:
+//!
+//! * every accepted job reaches **exactly one** terminal outcome
+//!   (`Done` / `Shed` / `Poisoned`) — accepted == terminal, and a drained
+//!   ticket never yields a second outcome;
+//! * every `Done` digest is bit-identical to the clean-run reference, no
+//!   matter how many times the job was retried through `reset()`+rerun;
+//! * drain under fault loses nothing: jobs still mid-retry at drain time
+//!   either finish or are shed with a terminal outcome, never dropped.
+
+mod common;
+
+use common::pool_sizes;
+use nd_algorithms::exec::Layout;
+use nd_runtime::ThreadPool;
+use nd_serve::{
+    AlgoKind, BreakerConfig, JobOutcome, JobSpec, RetryPolicy, ServeConfig, Server, TenantConfig,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEEDS: [u64; 18] = [
+    1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597, 2584, 4181,
+];
+
+fn spec_mix() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(AlgoKind::Mm, 16, 8, Layout::RowMajor, 11),
+        JobSpec::new(AlgoKind::Mm, 16, 8, Layout::Tiled, 11),
+        JobSpec::new(AlgoKind::Mm, 32, 8, Layout::RowMajor, 7),
+        JobSpec::new(AlgoKind::Cholesky, 16, 8, Layout::RowMajor, 3),
+        JobSpec::new(AlgoKind::Cholesky, 32, 16, Layout::Tiled, 5),
+    ]
+}
+
+fn chaos_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        virtual_clock: true,
+        chaos_panic_1_in: Some(4),
+        retry: RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(1),
+        },
+        // Chaos is uniform across keys; a tight breaker would just turn the
+        // sweep into a breaker test.  The breaker has its own suite.
+        breaker: BreakerConfig {
+            failure_threshold: 1_000,
+            cooldown: Duration::from_micros(100),
+        },
+        quarantine_after: 1_000,
+        seed,
+        ..ServeConfig::default()
+    }
+}
+
+/// Clean-run reference digests, computed once on a 2-worker pool.  Digests
+/// are a function of the job spec alone (seeded data, deterministic
+/// algorithms), so one reference serves every pool size and chaos seed.
+fn reference_digests(specs: &[JobSpec]) -> HashMap<u64, u64> {
+    let server = Server::new(
+        Arc::new(ThreadPool::new(2)),
+        ServeConfig {
+            virtual_clock: true,
+            ..ServeConfig::default()
+        },
+    );
+    server.register_tenant("ref", TenantConfig::default());
+    let mut out = HashMap::new();
+    for spec in specs {
+        let outcome = server.submit("ref", *spec).unwrap().wait();
+        let JobOutcome::Done {
+            digest, attempts, ..
+        } = outcome
+        else {
+            panic!("clean reference run failed: {outcome:?}");
+        };
+        assert_eq!(attempts, 1, "no chaos on the reference server");
+        out.insert(
+            spec.key().hash32() as u64 ^ spec.seed.rotate_left(32),
+            digest,
+        );
+    }
+    server.shutdown(Duration::from_secs(5));
+    out
+}
+
+fn ref_key(spec: &JobSpec) -> u64 {
+    spec.key().hash32() as u64 ^ spec.seed.rotate_left(32)
+}
+
+/// The main sweep: mixed tenants and specs under chaos, run to completion.
+#[test]
+fn chaos_sweep_exactly_one_terminal_outcome_and_identical_digests() {
+    let specs = spec_mix();
+    let reference = reference_digests(&specs);
+    for workers in pool_sizes() {
+        for &seed in &SEEDS {
+            let server = Server::new(Arc::new(ThreadPool::new(workers)), chaos_config(seed));
+            server.register_tenant("interactive", TenantConfig::default());
+            server.register_tenant(
+                "batch",
+                TenantConfig {
+                    priority: nd_runtime::Priority::Low,
+                    ..TenantConfig::default()
+                },
+            );
+            let mut tickets = Vec::new();
+            for round in 0..2 {
+                for (i, spec) in specs.iter().enumerate() {
+                    let tenant = if (round + i) % 2 == 0 {
+                        "interactive"
+                    } else {
+                        "batch"
+                    };
+                    tickets.push((spec, server.submit(tenant, *spec).unwrap()));
+                }
+            }
+            for (spec, ticket) in &tickets {
+                let outcome = ticket.wait();
+                match outcome {
+                    JobOutcome::Done {
+                        digest, attempts, ..
+                    } => {
+                        assert!(attempts >= 1);
+                        assert_eq!(
+                            digest,
+                            reference[&ref_key(spec)],
+                            "workers={workers} seed={seed}: retried digest diverged for {spec:?}"
+                        );
+                    }
+                    other => panic!(
+                        "workers={workers} seed={seed}: job must retry to Done, got {other:?}"
+                    ),
+                }
+                // Exactly one outcome: the terminal channel is now empty.
+                assert!(
+                    ticket.try_wait().is_none(),
+                    "workers={workers} seed={seed}: second terminal outcome observed"
+                );
+            }
+            let report = server.shutdown(Duration::from_secs(30));
+            assert!(
+                report.completed,
+                "workers={workers} seed={seed}: shutdown shed work"
+            );
+            // (health() is gone with the server; accepted==terminal was
+            // implied by every ticket yielding an outcome + completed drain.)
+        }
+    }
+}
+
+/// Drain racing live chaos-retried work: whatever the drain deadline cuts
+/// off is shed with a terminal outcome; nothing is ever silently dropped.
+#[test]
+fn chaos_drain_under_fault_loses_nothing() {
+    let specs = spec_mix();
+    let reference = reference_digests(&specs);
+    for workers in pool_sizes() {
+        for &seed in &SEEDS[..6] {
+            let server = Server::new(Arc::new(ThreadPool::new(workers)), chaos_config(seed));
+            server.register_tenant("t", TenantConfig::default());
+            let tickets: Vec<_> = (0..10)
+                .map(|i| {
+                    let spec = specs[i % specs.len()];
+                    (spec, server.submit("t", spec).unwrap())
+                })
+                .collect();
+            // A deadline tight enough that some seeds shed mid-retry work and
+            // others finish — both sides of the race must stay lossless.
+            let report = server.drain(Duration::from_millis(5 * workers as u64));
+            let h = server.health();
+            assert_eq!(
+                h.accepted, h.terminal,
+                "workers={workers} seed={seed}: accepted jobs lost in drain"
+            );
+            assert_eq!(h.accepted, 10);
+            assert_eq!(h.done + h.shed + h.poisoned, h.terminal);
+            assert_eq!(
+                h.shed, report.shed,
+                "every shed is a drain-deadline shed here"
+            );
+            let mut done = 0u64;
+            for (spec, ticket) in &tickets {
+                match ticket.wait() {
+                    JobOutcome::Done { digest, .. } => {
+                        done += 1;
+                        assert_eq!(digest, reference[&ref_key(spec)]);
+                    }
+                    JobOutcome::Shed { .. } => {}
+                    JobOutcome::Poisoned { error, .. } => {
+                        panic!("workers={workers} seed={seed}: poisoned under chaos: {error}")
+                    }
+                }
+                assert!(ticket.try_wait().is_none(), "exactly-once violated");
+            }
+            assert_eq!(done, h.done);
+            server.shutdown(Duration::from_secs(5));
+        }
+    }
+}
